@@ -1,0 +1,395 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (printing paper-vs-measured rows), then runs
+   bechamel micro-benchmarks of the hot code paths.
+
+   Usage: main.exe [--quick] [--seed N] [--only NAME[,NAME...]] [--no-micro]
+   Experiment names: fig1 fig5 alt-paths efficacy fig6 loss selective
+   accuracy scalability load hubble anomalies sentinel ablation damping
+   case-study table1. *)
+
+let seed = ref 42
+let quick = ref false
+let only : string list ref = ref []
+let run_micro = ref true
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        go rest
+    | "--no-micro" :: rest ->
+        run_micro := false;
+        go rest
+    | "--seed" :: n :: rest ->
+        seed := int_of_string n;
+        go rest
+    | "--only" :: names :: rest ->
+        only := String.split_on_char ',' names;
+        go rest
+    | arg :: _ ->
+        Printf.eprintf "unknown argument %s\n" arg;
+        exit 2
+  in
+  go (List.tl (Array.to_list Sys.argv))
+
+let wanted name =
+  match !only with
+  | [] -> true
+  | names -> List.mem name names
+
+let banner title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  Printf.printf "[%s completed in %.1fs]\n" name (Unix.gettimeofday () -. t0);
+  result
+
+let print_tables tables = List.iter Stats.Table.print tables
+
+(* ------------------------------------------------------------------ *)
+(* Experiment sizes: the default regenerates stable statistics; --quick
+   shrinks everything for smoke runs. *)
+
+type sizes = {
+  dataset : int;
+  ases : int;
+  poisons : int;
+  loss_poisons : int;
+  feeds : int;
+  failures : int;
+  outages : int;
+}
+
+let sizes () =
+  if !quick then
+    {
+      dataset = 2000;
+      ases = 150;
+      poisons = 8;
+      loss_poisons = 5;
+      feeds = 15;
+      failures = 30;
+      outages = 80;
+    }
+  else
+    {
+      dataset = 10308;
+      ases = 318;
+      poisons = 25;
+      loss_poisons = 15;
+      feeds = 40;
+      failures = 120;
+      outages = 400;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the hot paths. *)
+
+let micro_benchmarks () =
+  let open Bechamel in
+  let open Toolkit in
+  let seed = !seed in
+  (* Decision process over a populated candidate set. *)
+  let decision_test =
+    let entries =
+      List.init 8 (fun i ->
+          {
+            Bgp.Route.ann =
+              Bgp.Route.announcement
+                ~prefix:(Net.Prefix.of_string_exn "203.0.113.0/24")
+                ~path:(List.init (3 + (i mod 4)) (fun j -> Net.Asn.of_int (100 + i + j)))
+                ();
+            neighbor = Net.Asn.of_int (100 + i);
+            rel =
+              (if i mod 3 = 0 then Topology.Relationship.Customer
+               else if i mod 3 = 1 then Topology.Relationship.Peer
+               else Topology.Relationship.Provider);
+            local_pref = Topology.Relationship.local_pref Topology.Relationship.Peer;
+            learned_at = 0.0;
+          })
+    in
+    Test.make ~name:"decision: best of 8 candidates"
+      (Staged.stage (fun () -> ignore (Bgp.Decision.best entries)))
+  in
+  (* Longest-prefix-match trie. *)
+  let trie_test =
+    let rng = Prng.create ~seed in
+    let trie =
+      List.fold_left
+        (fun acc i ->
+          let p =
+            Net.Prefix.make
+              (Net.Ipv4.of_octets 10 (i mod 256) ((i * 7) mod 256) 0)
+              (16 + (i mod 9))
+          in
+          Net.Prefix_trie.add p i acc)
+        Net.Prefix_trie.empty
+        (List.init 500 (fun i -> i))
+    in
+    let addresses =
+      Array.init 64 (fun _ ->
+          Net.Ipv4.of_octets 10 (Prng.int rng 256) (Prng.int rng 256) (Prng.int rng 256))
+    in
+    let i = ref 0 in
+    Test.make ~name:"prefix trie: longest-prefix match"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Net.Prefix_trie.lookup addresses.(!i land 63) trie)))
+  in
+  (* Valley-free reachability on a realistic topology. *)
+  let gen = Topology.Topo_gen.generate ~seed () in
+  let graph = gen.Topology.Topo_gen.graph in
+  let stubs = Array.of_list gen.Topology.Topo_gen.stub_list in
+  let reach_test =
+    let i = ref 0 in
+    Test.make ~name:"policy_reachable on 318-AS graph"
+      (Staged.stage (fun () ->
+           incr i;
+           let src = stubs.(!i mod Array.length stubs) in
+           let dst = stubs.((!i * 13 + 7) mod Array.length stubs) in
+           ignore
+             (Topology.Splice.policy_reachable graph ~src ~dst ~avoiding:Net.Asn.Set.empty)))
+  in
+  (* Event engine throughput. *)
+  let engine_test =
+    Test.make ~name:"event engine: schedule+run 100 events"
+      (Staged.stage (fun () ->
+           let e = Sim.Engine.create () in
+           for i = 1 to 100 do
+             Sim.Engine.schedule e ~at:(float_of_int i) ignore
+           done;
+           Sim.Engine.run e))
+  in
+  (* Data-plane forwarding walk. *)
+  let bed = Workloads.Scenarios.planetlab ~ases:150 ~seed () in
+  let vps = Array.of_list bed.Workloads.Scenarios.vantage_points in
+  let walk_test =
+    let i = ref 0 in
+    Test.make ~name:"data plane: forwarding walk"
+      (Staged.stage (fun () ->
+           incr i;
+           let src = vps.(!i mod Array.length vps) in
+           let dst = vps.((!i * 5 + 3) mod Array.length vps) in
+           ignore
+             (Dataplane.Forward.delivers bed.Workloads.Scenarios.net
+                bed.Workloads.Scenarios.failures ~src
+                ~dst:(Dataplane.Forward.probe_address bed.Workloads.Scenarios.net dst))))
+  in
+  let tests =
+    Test.make_grouped ~name:"lifeguard"
+      [ decision_test; trie_test; reach_test; engine_test; walk_test ]
+  in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+    let raw_results = Benchmark.all cfg instances tests in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw_results) instances
+    in
+    let results = Analyze.merge ols instances results in
+    results
+  in
+  let results = benchmark () in
+  let table =
+    Stats.Table.create ~title:"Micro-benchmarks (bechamel, monotonic clock)"
+      ~columns:[ "benchmark"; "ns/run" ]
+  in
+  Hashtbl.iter
+    (fun measure_name tbl ->
+      if measure_name = Bechamel.Measure.label Bechamel.Toolkit.Instance.monotonic_clock
+      then
+        Hashtbl.iter
+          (fun test_name ols ->
+            let ns =
+              match Bechamel.Analyze.OLS.estimates ols with
+              | Some [ e ] -> Printf.sprintf "%.1f" e
+              | Some _ | None -> "-"
+            in
+            Stats.Table.add_row table [ test_name; ns ])
+          tbl)
+    results;
+  Stats.Table.print table
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  parse_args ();
+  let s = sizes () in
+  let seed = !seed in
+  Printf.printf "LIFEGUARD reproduction benchmark harness (seed %d%s)\n" seed
+    (if !quick then ", quick mode" else "");
+
+  if wanted "fig1" then begin
+    banner "Figure 1: outage durations vs unavailability";
+    let r = timed "fig1" (fun () -> Experiments.Fig1_durations.run ~n:s.dataset ~seed ()) in
+    print_tables (Experiments.Fig1_durations.to_tables r)
+  end;
+
+  if wanted "fig5" then begin
+    banner "Figure 5: residual outage duration";
+    let r = timed "fig5" (fun () -> Experiments.Fig5_residual.run ~n:s.dataset ~seed ()) in
+    print_tables (Experiments.Fig5_residual.to_tables r)
+  end;
+
+  if wanted "alt-paths" then begin
+    banner "Section 2.2: alternate policy-compliant paths";
+    let r =
+      timed "alt-paths" (fun () ->
+          Experiments.Sec22_alt_paths.run ~ases:s.ases ~outage_count:s.outages ~seed ())
+    in
+    print_tables (Experiments.Sec22_alt_paths.to_tables r)
+  end;
+
+  let efficacy =
+    if wanted "efficacy" || wanted "table1" then begin
+      banner "Section 5.1: poisoning efficacy";
+      let r =
+        timed "efficacy" (fun () ->
+            Experiments.Sec51_efficacy.run ~ases:s.ases ~max_poisons:s.poisons ~seed ())
+      in
+      print_tables (Experiments.Sec51_efficacy.to_tables r);
+      Some r
+    end
+    else None
+  in
+
+  let convergence =
+    if wanted "fig6" || wanted "table1" then begin
+      banner "Figure 6: convergence after poisoned announcements";
+      let r =
+        timed "fig6" (fun () ->
+            Experiments.Fig6_convergence.run ~ases:s.ases ~max_poisons:s.poisons ~seed ())
+      in
+      print_tables (Experiments.Fig6_convergence.to_tables r);
+      Some r
+    end
+    else None
+  in
+
+  let loss =
+    if wanted "loss" || wanted "table1" then begin
+      banner "Section 5.2: loss during convergence";
+      let r =
+        timed "loss" (fun () ->
+            Experiments.Sec52_loss.run ~ases:s.ases ~max_poisons:s.loss_poisons ~seed ())
+      in
+      print_tables (Experiments.Sec52_loss.to_tables r);
+      Some r
+    end
+    else None
+  in
+
+  let selective =
+    if wanted "selective" || wanted "table1" then begin
+      banner "Section 5.2: selective poisoning + forward diversity";
+      let r =
+        timed "selective" (fun () ->
+            Experiments.Sec52_selective.run ~ases:s.ases ~max_feeds:s.feeds ~seed ())
+      in
+      print_tables (Experiments.Sec52_selective.to_tables r);
+      Some r
+    end
+    else None
+  in
+
+  let accuracy =
+    if wanted "accuracy" || wanted "scalability" || wanted "table1" then begin
+      banner "Section 5.3: isolation accuracy";
+      let r =
+        timed "accuracy" (fun () ->
+            Experiments.Sec53_accuracy.run ~ases:s.ases ~failure_count:s.failures ~seed ())
+      in
+      print_tables (Experiments.Sec53_accuracy.to_tables r);
+      Some r
+    end
+    else None
+  in
+
+  let scalability =
+    match accuracy with
+    | Some acc when wanted "scalability" || wanted "table1" ->
+        banner "Section 5.4: scalability";
+        let r =
+          timed "scalability" (fun () ->
+              Experiments.Sec54_scalability.run ~ases:s.ases ~seed ~accuracy:acc ())
+        in
+        print_tables (Experiments.Sec54_scalability.to_tables r);
+        Some r
+    | _ -> None
+  in
+
+  if wanted "load" then begin
+    banner "Table 2: update load at deployment scale";
+    let r = timed "load" (fun () -> Experiments.Tab2_load.run ~n:s.dataset ~seed ()) in
+    print_tables (Experiments.Tab2_load.to_tables r)
+  end;
+
+  if wanted "hubble" then begin
+    banner "Hubble-style monitoring: deriving H(d) for Table 2";
+    let r =
+      timed "hubble" (fun () ->
+          Experiments.Hubble_study.run ~ases:(min s.ases 200)
+            ~days:(if !quick then 2.0 else 7.0)
+            ~seed ())
+    in
+    print_tables (Experiments.Hubble_study.to_tables r)
+  end;
+
+  if wanted "anomalies" then begin
+    banner "Section 7.1: poisoning anomalies";
+    let r =
+      timed "anomalies" (fun () ->
+          Experiments.Sec71_anomalies.run ~ases:(min s.ases 200) ~seed ())
+    in
+    print_tables (Experiments.Sec71_anomalies.to_tables r)
+  end;
+
+  if wanted "sentinel" then begin
+    banner "Section 7.2: sentinel variants";
+    let r = timed "sentinel" (fun () -> Experiments.Sec72_sentinel.run ()) in
+    print_tables (Experiments.Sec72_sentinel.to_tables r)
+  end;
+
+  if wanted "ablation" then begin
+    banner "Ablation: prepending / MRAI / FIB latency";
+    let r =
+      timed "ablation" (fun () ->
+          Experiments.Ablation.run ~ases:(min s.ases 200) ~poisons:(min s.poisons 10) ~seed ())
+    in
+    print_tables (Experiments.Ablation.to_tables r)
+  end;
+
+  if wanted "damping" then begin
+    banner "Route-flap damping: why announcements were spaced 90 minutes";
+    let r =
+      timed "damping" (fun () -> Experiments.Damping.run ~ases:(min s.ases 150) ~seed ())
+    in
+    print_tables (Experiments.Damping.to_tables r)
+  end;
+
+  if wanted "case-study" then begin
+    banner "Section 6: case study";
+    let r = timed "case-study" (fun () -> Experiments.Case_study.run ()) in
+    print_tables (Experiments.Case_study.to_tables r)
+  end;
+
+  (match (efficacy, convergence, loss, selective, accuracy, scalability) with
+  | Some e, Some c, Some l, Some sel, Some a, Some sc when wanted "table1" ->
+      banner "Table 1: summary of key results";
+      let r =
+        Experiments.Tab1_summary.of_parts ~efficacy:e ~convergence:c ~loss:l ~selective:sel
+          ~accuracy:a ~scalability:sc
+      in
+      print_tables (Experiments.Tab1_summary.to_tables r)
+  | _ -> ());
+
+  if !run_micro && !only = [] then begin
+    banner "Micro-benchmarks";
+    micro_benchmarks ()
+  end

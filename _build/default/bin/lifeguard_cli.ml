@@ -1,0 +1,272 @@
+(* lifeguard — command-line front end to the reproduction.
+
+   Subcommands run individual experiments (one per paper table/figure),
+   replay the case study, or poke at a simulated Internet interactively
+   enough for demos:
+
+     lifeguard fig1 --seed 42 --outages 10308
+     lifeguard efficacy --ases 318 --poisons 25
+     lifeguard case-study
+     lifeguard topo --ases 200 --seed 7
+     lifeguard poison --ases 150 --seed 7 --target 123 *)
+
+open Cmdliner
+
+let print_tables tables = List.iter Stats.Table.print tables
+
+(* Common options *)
+let seed =
+  let doc = "PRNG seed; every experiment is deterministic given its seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let ases =
+  let doc = "Approximate AS count of the synthetic Internet." in
+  Arg.(value & opt int 318 & info [ "ases" ] ~docv:"N" ~doc)
+
+let fig1_cmd =
+  let outages =
+    Arg.(value & opt int 10308 & info [ "outages" ] ~docv:"N" ~doc:"Dataset size.")
+  in
+  let run seed outages =
+    print_tables (Experiments.Fig1_durations.to_tables (Experiments.Fig1_durations.run ~n:outages ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "fig1" ~doc:"Outage duration CDF vs unavailability (paper Fig. 1)")
+    Term.(const run $ seed $ outages)
+
+let fig5_cmd =
+  let outages =
+    Arg.(value & opt int 10308 & info [ "outages" ] ~docv:"N" ~doc:"Dataset size.")
+  in
+  let run seed outages =
+    print_tables (Experiments.Fig5_residual.to_tables (Experiments.Fig5_residual.run ~n:outages ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Residual outage durations (paper Fig. 5)")
+    Term.(const run $ seed $ outages)
+
+let alt_paths_cmd =
+  let outages =
+    Arg.(value & opt int 400 & info [ "outages" ] ~docv:"N" ~doc:"Failures to inject.")
+  in
+  let run seed ases outages =
+    print_tables
+      (Experiments.Sec22_alt_paths.to_tables
+         (Experiments.Sec22_alt_paths.run ~ases ~outage_count:outages ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "alt-paths" ~doc:"Alternate policy-compliant path existence (paper sec. 2.2)")
+    Term.(const run $ seed $ ases $ outages)
+
+let poisons_arg =
+  Arg.(value & opt int 25 & info [ "poisons" ] ~docv:"N" ~doc:"ASes to poison.")
+
+let efficacy_cmd =
+  let run seed ases poisons =
+    print_tables
+      (Experiments.Sec51_efficacy.to_tables
+         (Experiments.Sec51_efficacy.run ~ases ~max_poisons:poisons ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "efficacy" ~doc:"Poisoning efficacy, live + simulated (paper sec. 5.1)")
+    Term.(const run $ seed $ ases $ poisons_arg)
+
+let fig6_cmd =
+  let run seed ases poisons =
+    print_tables
+      (Experiments.Fig6_convergence.to_tables
+         (Experiments.Fig6_convergence.run ~ases ~max_poisons:poisons ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Convergence after poisoned announcements (paper Fig. 6)")
+    Term.(const run $ seed $ ases $ poisons_arg)
+
+let loss_cmd =
+  let run seed ases poisons =
+    print_tables
+      (Experiments.Sec52_loss.to_tables (Experiments.Sec52_loss.run ~ases ~max_poisons:poisons ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "loss" ~doc:"Packet loss during convergence (paper sec. 5.2)")
+    Term.(const run $ seed $ ases $ poisons_arg)
+
+let selective_cmd =
+  let feeds = Arg.(value & opt int 40 & info [ "feeds" ] ~docv:"N" ~doc:"Feed ASes to test.") in
+  let run seed ases feeds =
+    print_tables
+      (Experiments.Sec52_selective.to_tables
+         (Experiments.Sec52_selective.run ~ases ~max_feeds:feeds ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "selective" ~doc:"Selective poisoning + forward diversity (paper sec. 5.2/2.3)")
+    Term.(const run $ seed $ ases $ feeds)
+
+let accuracy_cmd =
+  let failures =
+    Arg.(value & opt int 120 & info [ "failures" ] ~docv:"N" ~doc:"Failures to isolate.")
+  in
+  let run seed ases failures =
+    print_tables
+      (Experiments.Sec53_accuracy.to_tables
+         (Experiments.Sec53_accuracy.run ~ases ~failure_count:failures ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "accuracy" ~doc:"Failure isolation accuracy (paper sec. 5.3)")
+    Term.(const run $ seed $ ases $ failures)
+
+let scalability_cmd =
+  let run seed ases =
+    let accuracy = Experiments.Sec53_accuracy.run ~ases ~failure_count:60 ~seed () in
+    print_tables
+      (Experiments.Sec54_scalability.to_tables
+         (Experiments.Sec54_scalability.run ~ases ~seed ~accuracy ()))
+  in
+  Cmd.v
+    (Cmd.info "scalability" ~doc:"Atlas refresh + isolation overhead (paper sec. 5.4)")
+    Term.(const run $ seed $ ases)
+
+let load_cmd =
+  let run seed =
+    print_tables (Experiments.Tab2_load.to_tables (Experiments.Tab2_load.run ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Update load at deployment scale (paper Table 2)")
+    Term.(const run $ seed)
+
+let hubble_cmd =
+  let days = Arg.(value & opt float 7.0 & info [ "days" ] ~docv:"D" ~doc:"Observation window.") in
+  let run seed ases days =
+    print_tables
+      (Experiments.Hubble_study.to_tables
+         (Experiments.Hubble_study.run ~ases:(min ases 220) ~days ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "hubble" ~doc:"Hubble-style monitoring week: derive H(d) for Table 2")
+    Term.(const run $ seed $ ases $ days)
+
+let anomalies_cmd =
+  let run seed ases =
+    print_tables
+      (Experiments.Sec71_anomalies.to_tables
+         (Experiments.Sec71_anomalies.run ~ases:(min ases 220) ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "anomalies" ~doc:"Poisoning anomalies: loop-limit + Cogent filters (paper sec. 7.1)")
+    Term.(const run $ seed $ ases)
+
+let sentinel_cmd =
+  let run () = print_tables (Experiments.Sec72_sentinel.to_tables (Experiments.Sec72_sentinel.run ())) in
+  Cmd.v
+    (Cmd.info "sentinel" ~doc:"Sentinel prefix variants (paper sec. 7.2)")
+    Term.(const run $ const ())
+
+let ablation_cmd =
+  let poisons = Arg.(value & opt int 8 & info [ "poisons" ] ~docv:"N" ~doc:"Poisonings per row.") in
+  let run seed ases poisons =
+    print_tables
+      (Experiments.Ablation.to_tables (Experiments.Ablation.run ~ases:(min ases 220) ~poisons ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Prepending / MRAI / FIB-latency ablation grid")
+    Term.(const run $ seed $ ases $ poisons)
+
+let damping_cmd =
+  let run seed ases =
+    print_tables (Experiments.Damping.to_tables (Experiments.Damping.run ~ases:(min ases 150) ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "damping" ~doc:"Route-flap damping vs announcement spacing")
+    Term.(const run $ seed $ ases)
+
+let case_study_cmd =
+  let run () = print_tables (Experiments.Case_study.to_tables (Experiments.Case_study.run ())) in
+  Cmd.v
+    (Cmd.info "case-study" ~doc:"Replay the Taiwan/Wisconsin incident (paper sec. 6)")
+    Term.(const run $ const ())
+
+let topo_cmd =
+  let run seed ases =
+    let gen = Topology.Topo_gen.generate ~params:(Topology.Topo_gen.sized ases) ~seed () in
+    Format.printf "%a@." Topology.As_graph.pp_stats gen.Topology.Topo_gen.graph;
+    let g = gen.Topology.Topo_gen.graph in
+    let degrees =
+      List.map (fun a -> float_of_int (Topology.As_graph.degree g a)) (Topology.As_graph.as_list g)
+      |> Array.of_list
+    in
+    Printf.printf "degree: mean %.1f, median %.0f, max %.0f\n"
+      (Stats.Descriptive.mean degrees)
+      (Stats.Descriptive.median degrees)
+      (snd (Stats.Descriptive.min_max degrees))
+  in
+  Cmd.v
+    (Cmd.info "topo" ~doc:"Generate a synthetic AS topology and print its shape")
+    Term.(const run $ seed $ ases)
+
+let poison_cmd =
+  let target =
+    Arg.(value & opt (some int) None & info [ "target" ] ~docv:"ASN" ~doc:"AS to poison (default: first harvested).")
+  in
+  let run seed ases target =
+    let mux = Workloads.Scenarios.bgpmux ~ases ~seed () in
+    let net = mux.Workloads.Scenarios.bed.Workloads.Scenarios.net in
+    Lifeguard.Remediate.announce_baseline net mux.Workloads.Scenarios.plan;
+    Bgp.Network.run_until_quiet net;
+    let harvest = Workloads.Scenarios.harvest_on_path_ases mux in
+    let target =
+      match target with
+      | Some t -> Net.Asn.of_int t
+      | None -> List.hd harvest
+    in
+    Format.printf "Poisoning %a on a %d-AS Internet...@." Net.Asn.pp target ases;
+    let before =
+      List.filter
+        (fun feed ->
+          match Bgp.Network.best_route net feed Workloads.Scenarios.production_prefix with
+          | Some e ->
+              Bgp.As_path.traverses ~origin:mux.Workloads.Scenarios.origin ~target
+                e.Bgp.Route.ann.Bgp.Route.path
+          | None -> false)
+        mux.Workloads.Scenarios.feeds
+    in
+    Lifeguard.Remediate.poison net mux.Workloads.Scenarios.plan ~target;
+    Bgp.Network.run_until_quiet net;
+    List.iter
+      (fun feed ->
+        match Bgp.Network.best_route net feed Workloads.Scenarios.production_prefix with
+        | Some e ->
+            Format.printf "  %a rerouted to [%a]@." Net.Asn.pp feed Bgp.As_path.pp
+              e.Bgp.Route.ann.Bgp.Route.path
+        | None -> Format.printf "  %a cut off (captive)@." Net.Asn.pp feed)
+      before;
+    if before = [] then
+      Format.printf "  (no collector feed was routing through %a)@." Net.Asn.pp target
+  in
+  Cmd.v
+    (Cmd.info "poison" ~doc:"Poison one AS on a synthetic Internet and show who reroutes")
+    Term.(const run $ seed $ ases $ target)
+
+let main =
+  let doc = "LIFEGUARD (SIGCOMM 2012) reproduction: failure localization and BGP-poisoning repair" in
+  Cmd.group (Cmd.info "lifeguard" ~version:"1.0.0" ~doc)
+    [
+      fig1_cmd;
+      fig5_cmd;
+      alt_paths_cmd;
+      efficacy_cmd;
+      fig6_cmd;
+      loss_cmd;
+      selective_cmd;
+      accuracy_cmd;
+      scalability_cmd;
+      load_cmd;
+      hubble_cmd;
+      anomalies_cmd;
+      sentinel_cmd;
+      ablation_cmd;
+      damping_cmd;
+      case_study_cmd;
+      topo_cmd;
+      poison_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/case_study_taiwan.ml: Experiments List Printf Stats

@@ -1,0 +1,1 @@
+examples/ec2_outage_study.ml: Array Lifeguard List Printf Stats Sys Workloads

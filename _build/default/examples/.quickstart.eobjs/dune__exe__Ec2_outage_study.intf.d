@@ -1,0 +1,1 @@
+examples/ec2_outage_study.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: As_graph Asn Bgp Dataplane Format Lifeguard List Measurement Net Prefix Printf Relationship Sim Topology

@@ -1,0 +1,1 @@
+examples/selective_poisoning.ml: As_graph Asn Bgp Dataplane Lifeguard List Net Prefix Printf Relationship Sim Topology

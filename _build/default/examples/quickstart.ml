@@ -1,0 +1,123 @@
+(* Quickstart: the whole LIFEGUARD story on a seven-AS topology.
+
+   Build an Internet, announce a production prefix with the prepended
+   baseline, break a transit AS silently, locate the failure with
+   LIFEGUARD's isolation pipeline, poison the culprit, and watch the
+   sentinel detect the repair.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Net
+
+let asn = Asn.of_int
+let section title = Printf.printf "\n--- %s ---\n" title
+
+let () =
+  (* A miniature Internet, the paper's Fig. 2: origin O buys transit from
+     B; E can reach O through A (short) or through D-C (long); F is
+     single-homed behind A. *)
+  let open Topology in
+  let g = As_graph.create () in
+  let o = asn 64500
+  and b = asn 20
+  and a = asn 30
+  and c = asn 40
+  and d = asn 50
+  and e = asn 60
+  and f = asn 70 in
+  List.iter (fun x -> As_graph.add_as g x) [ o; b; a; c; d; e; f ];
+  As_graph.add_link g ~a:o ~b ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:b ~b:a ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:b ~b:c ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:c ~b:d ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:e ~b:d ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:e ~b:a ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:f ~b:a ~rel:Relationship.Provider;
+
+  (* Wire the control plane to a discrete-event engine and converge. *)
+  let engine = Sim.Engine.create () in
+  let net = Bgp.Network.create ~engine ~graph:g ~mrai:5.0 () in
+  let failures = Dataplane.Failure.create () in
+  let probe = Dataplane.Probe.env net failures in
+  Dataplane.Forward.announce_infrastructure net;
+  Bgp.Network.run_until_quiet net;
+
+  (* O's address space: a production /24 under a /23 sentinel. *)
+  let production = Prefix.of_string_exn "203.0.113.0/24" in
+  let sentinel = Prefix.of_string_exn "203.0.112.0/23" in
+  let plan = Lifeguard.Remediate.plan ~sentinel ~origin:o ~production () in
+  Lifeguard.Remediate.announce_baseline net plan;
+  Bgp.Network.run_until_quiet net;
+
+  let show_route who =
+    match Bgp.Network.best_route net who production with
+    | Some entry ->
+        Printf.printf "  %s routes to %s via [%s]\n" (Asn.to_string who)
+          (Prefix.to_string production)
+          (Bgp.As_path.to_string entry.Bgp.Route.ann.Bgp.Route.path)
+    | None -> Printf.printf "  %s has NO route to the production prefix\n" (Asn.to_string who)
+  in
+  section "steady state (note the O-O-O prepended baseline)";
+  List.iter show_route [ e; f; d ];
+
+  (* AS A develops a silent failure: it keeps announcing routes but drops
+     every packet heading into O's address space. *)
+  section "silent failure: A blackholes traffic toward O";
+  let failure = Dataplane.Failure.spec ~toward:sentinel (Dataplane.Failure.Node a) in
+  Dataplane.Failure.add failures failure;
+  let o_src = Prefix.nth_address production 1 in
+  let e_addr = Dataplane.Forward.probe_address net e in
+  Printf.printf "  ping O -> E: %b (reply dies inside A)\n"
+    (Dataplane.Probe.ping_from probe ~src:o ~src_ip:o_src ~dst:e_addr);
+
+  (* Locate it: spoofed pings isolate the direction, the path atlas gives
+     historical paths, and hop probing finds the reachability horizon. *)
+  section "LIFEGUARD isolation";
+  let atlas = Measurement.Atlas.create () in
+  Measurement.Atlas.refresh_all atlas probe ~vps:[ o ] ~dsts:[ e; f; d ] ~now:0.0;
+  let ctx =
+    {
+      Lifeguard.Isolation.env = probe;
+      atlas;
+      responsiveness = Measurement.Responsiveness.create ();
+      vantage_points = [ o; d; c ];
+      source_overrides = [ (o, o_src) ];
+    }
+  in
+  let diagnosis = Lifeguard.Isolation.isolate ctx ~src:o ~dst:e in
+  Format.printf "  %a@." Lifeguard.Isolation.pp_diagnosis diagnosis;
+
+  (* Decide and repair: poison A so BGP's loop prevention steers everyone
+     who has an alternative around it. *)
+  section "remediation: poison the blamed AS";
+  (match
+     Lifeguard.Decide.decide Lifeguard.Decide.default_config g ~origin:o ~diagnosis
+       ~outage_age:600.0
+   with
+  | Lifeguard.Decide.Poison target ->
+      Format.printf "  verdict: poison %a@." Asn.pp target;
+      Lifeguard.Remediate.poison net plan ~target;
+      Bgp.Network.run_until_quiet net
+  | v -> Format.printf "  verdict: %a@." Lifeguard.Decide.pp_verdict v);
+  List.iter show_route [ e; f; d ];
+  Printf.printf "  ping O -> E now: %b (E rerouted onto D-C-B)\n"
+    (Dataplane.Probe.ping_from probe ~src:o ~src_ip:o_src ~dst:e_addr);
+  (* Captive F lost the poisoned more-specific but keeps the covering
+     sentinel as a backup route (delivery still depends on A's data plane
+     actually healing). *)
+  (match Bgp.Network.fib_lookup net f (Prefix.nth_address production 9) with
+  | Some (p, _) ->
+      Printf.printf "  captive F falls back to the sentinel route %s\n" (Prefix.to_string p)
+  | None -> Printf.printf "  captive F has no covering route at all!\n");
+
+  (* A fixes itself; sentinel probes notice and LIFEGUARD unpoisons. *)
+  section "repair detection via the sentinel";
+  Printf.printf "  recovered while A is broken? %b\n"
+    (Lifeguard.Remediate.is_recovered probe plan ~through:a ~targets:[ e ]);
+  Dataplane.Failure.remove failures failure;
+  Printf.printf "  recovered after A heals?     %b\n"
+    (Lifeguard.Remediate.is_recovered probe plan ~through:a ~targets:[ e ]);
+  Lifeguard.Remediate.unpoison net plan;
+  Bgp.Network.run_until_quiet net;
+  section "back to normal";
+  List.iter show_route [ e; f ]

@@ -1,0 +1,83 @@
+(* Selective poisoning (paper §3.1.2, Fig. 3, and the Internet2 demo of
+   §5.2): steer a target AS off one of its links without cutting it off
+   and without touching anyone else's route.
+
+   The topology mirrors the paper's UWash/UWisc experiment: the origin
+   announces the same prefix through two providers whose paths reach the
+   target AS over disjoint ingresses. Poisoning the target through one
+   provider leaves it exactly one (unpoisoned) path — through the other —
+   which moves its traffic onto the other ingress link.
+
+   Run with: dune exec examples/selective_poisoning.exe *)
+
+open Net
+
+let asn = Asn.of_int
+
+let () =
+  let open Topology in
+  let g = As_graph.create () in
+  (* O multihomed to UWash and UWisc; both reach Internet2 via disjoint
+     regional networks (PNW Gigapop vs WiscNet); client C sits behind
+     Internet2. *)
+  let o = asn 64500 in
+  let uwash = asn 73 and uwisc = asn 59 in
+  let pnw = asn 9201 and wiscnet = asn 2381 in
+  let i2 = asn 11537 in
+  let client = asn 204 in
+  List.iter (fun x -> As_graph.add_as g x) [ o; uwash; uwisc; pnw; wiscnet; i2; client ];
+  As_graph.add_link g ~a:o ~b:uwash ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:o ~b:uwisc ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:uwash ~b:pnw ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:uwisc ~b:wiscnet ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:pnw ~b:i2 ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:wiscnet ~b:i2 ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:client ~b:i2 ~rel:Relationship.Provider;
+
+  let engine = Sim.Engine.create () in
+  let net = Bgp.Network.create ~engine ~graph:g ~mrai:5.0 () in
+  Dataplane.Forward.announce_infrastructure net;
+  Bgp.Network.run_until_quiet net;
+
+  let production = Prefix.of_string_exn "203.0.113.0/24" in
+  let plan = Lifeguard.Remediate.plan ~origin:o ~production () in
+  Lifeguard.Remediate.announce_baseline net plan;
+  Bgp.Network.run_until_quiet net;
+
+  let show who =
+    match Bgp.Network.best_route net who production with
+    | Some entry ->
+        Printf.printf "  %-8s -> [%s] (ingress %s)\n" (Asn.to_string who)
+          (Bgp.As_path.to_string entry.Bgp.Route.ann.Bgp.Route.path)
+          (Asn.to_string entry.Bgp.Route.neighbor)
+    | None -> Printf.printf "  %-8s -> no route\n" (Asn.to_string who)
+  in
+
+  Printf.printf "Before selective poisoning (both announcements unpoisoned):\n";
+  show i2;
+  show client;
+  show wiscnet;
+
+  (* Suppose the Internet2 -> WiscNet direction silently fails. We want
+     Internet2 to stop using WiscNet for our prefix — without poisoning
+     Internet2 out of every path (clients behind it must keep working).
+     Announce the poison via UWisc only: Internet2 hears a poisoned path
+     from WiscNet (rejected) and a clean one from PNW Gigapop. *)
+  Printf.printf
+    "\nSelectively poisoning Internet2 via UWisc only (to avoid the\n\
+     Internet2->WiscNet link, as if it had silently failed):\n";
+  Lifeguard.Remediate.selective_poison net plan ~target:i2 ~poisoned_via:[ uwisc ];
+  Bgp.Network.run_until_quiet net;
+  show i2;
+  show client;
+  show wiscnet;
+  Printf.printf
+    "  => Internet2's ingress flipped to PNW Gigapop; the client behind it\n\
+     followed automatically; WiscNet itself still has a route (it is not\n\
+     the one being avoided).\n";
+
+  Printf.printf "\nReverting to the baseline:\n";
+  Lifeguard.Remediate.unpoison net plan;
+  Bgp.Network.run_until_quiet net;
+  show i2;
+  show client

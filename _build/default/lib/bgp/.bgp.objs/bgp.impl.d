@@ -1,0 +1,1 @@
+lib/bgp/bgp.ml: As_path Community Convergence Decision Network Policy Route Speaker

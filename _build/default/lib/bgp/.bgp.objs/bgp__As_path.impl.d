@@ -1,0 +1,1 @@
+lib/bgp/as_path.ml: Asn Format List Net String

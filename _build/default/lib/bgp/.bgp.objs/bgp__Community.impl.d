@@ -1,0 +1,1 @@
+lib/bgp/community.ml: Format Int

@@ -1,0 +1,1 @@
+lib/bgp/convergence.ml: Asn Float Hashtbl List Net Network Option Prefix

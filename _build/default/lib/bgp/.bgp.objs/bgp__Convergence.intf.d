@@ -1,0 +1,1 @@
+lib/bgp/convergence.mli: Asn Net Network Prefix

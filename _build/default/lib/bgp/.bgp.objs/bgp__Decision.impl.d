@@ -1,0 +1,1 @@
+lib/bgp/decision.ml: As_path Asn Hashtbl Int List Net Option Route

@@ -1,0 +1,1 @@
+lib/bgp/decision.mli: Asn Hashtbl Net Route

@@ -1,0 +1,1 @@
+lib/bgp/network.ml: As_graph As_path Asn Float Hashtbl List Net Policy Prefix Prefix_trie Printf Route Sim Speaker Topology

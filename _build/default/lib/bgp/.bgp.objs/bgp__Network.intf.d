@@ -1,0 +1,1 @@
+lib/bgp/network.mli: As_graph As_path Asn Ipv4 Net Policy Prefix Route Sim Speaker Topology

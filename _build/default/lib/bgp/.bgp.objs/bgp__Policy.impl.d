@@ -1,0 +1,1 @@
+lib/bgp/policy.ml: As_path Asn Community Hashtbl List Net Relationship Route Topology

@@ -1,0 +1,1 @@
+lib/bgp/policy.mli: Asn Net Relationship Route Topology

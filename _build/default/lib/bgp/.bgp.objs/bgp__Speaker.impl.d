@@ -1,0 +1,1 @@
+lib/bgp/speaker.ml: As_path Asn Decision Float Hashtbl List Net Policy Prefix Prefix_trie Printf Relationship Route Topology

@@ -1,0 +1,1 @@
+lib/bgp/speaker.mli: As_path Asn Ipv4 Net Policy Prefix Relationship Route Topology

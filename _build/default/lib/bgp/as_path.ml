@@ -1,0 +1,50 @@
+open Net
+
+type t = Asn.t list
+
+let empty = []
+
+let origin t =
+  match List.rev t with
+  | last :: _ -> Some last
+  | [] -> None
+
+let first_hop = function
+  | hd :: _ -> Some hd
+  | [] -> None
+
+let length = List.length
+let prepend asn t = asn :: t
+let contains asn t = List.exists (Asn.equal asn) t
+let count asn t = List.length (List.filter (Asn.equal asn) t)
+let unique_ases t = List.fold_left (fun acc a -> Asn.Set.add a acc) Asn.Set.empty t
+
+let traversed ~origin t =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | hd :: _ when Asn.equal hd origin -> List.rev acc
+    | hd :: rest -> go (hd :: acc) rest
+  in
+  go [] t
+
+let traverses ~origin ~target t = contains target (traversed ~origin t)
+let plain ~origin = [ origin ]
+
+let prepended ~origin ~copies =
+  if copies < 1 then invalid_arg "As_path.prepended: need at least one copy";
+  List.init copies (fun _ -> origin)
+
+let poisoned ~origin ~poison =
+  if Asn.equal origin poison then invalid_arg "As_path.poisoned: cannot poison the origin";
+  [ origin; poison; origin ]
+
+let poisoned_multi ~origin ~poisons =
+  if List.exists (Asn.equal origin) poisons then
+    invalid_arg "As_path.poisoned_multi: cannot poison the origin";
+  if poisons = [] then invalid_arg "As_path.poisoned_multi: empty poison list";
+  (origin :: poisons) @ [ origin ]
+
+let equal a b = List.length a = List.length b && List.for_all2 Asn.equal a b
+
+let to_string t = String.concat " " (List.map (fun a -> string_of_int (Asn.to_int a)) t)
+let pp fmt t = Format.pp_print_string fmt (to_string t)

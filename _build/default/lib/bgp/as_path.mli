@@ -1,0 +1,66 @@
+(** BGP AS paths, including the poisoning and prepending constructions at
+    the heart of LIFEGUARD's remediation.
+
+    A path lists ASes nearest-first: the head is the neighbor that
+    announced the route and the last element is the origin. BGP's loop
+    prevention — an AS rejects any path already containing its own number —
+    is what poisoning exploits: the origin [O] announces [O-A-O] so that
+    [A] drops the route and other ASes route around it. *)
+
+open Net
+
+type t = Asn.t list
+(** Nearest AS first, origin last. *)
+
+val empty : t
+val origin : t -> Asn.t option
+(** The last AS (the originator), if the path is non-empty. *)
+
+val first_hop : t -> Asn.t option
+(** The head of the path — the next-hop AS from the receiver's view. *)
+
+val length : t -> int
+(** Plain hop count, counting duplicates (so prepending lengthens a path,
+    which is why it lowers preference). *)
+
+val prepend : Asn.t -> t -> t
+val contains : Asn.t -> t -> bool
+val count : Asn.t -> t -> int
+(** Occurrences of an AS in the path. *)
+
+val unique_ases : t -> Asn.Set.t
+
+val traversed : origin:Asn.t -> t -> t
+(** The portion of the path that traffic actually traverses: everything
+    before the first occurrence of [origin]. A poisoned announcement
+    [X-Y-O-A-O] contains the poisoned AS [A] textually, but packets only
+    cross [X-Y] before reaching the origin — so "does this route avoid
+    [A]?" must be asked of the traversed portion. *)
+
+val traverses : origin:Asn.t -> target:Asn.t -> t -> bool
+(** [traverses ~origin ~target path]: does the traffic using this path
+    actually cross [target]? *)
+
+val plain : origin:Asn.t -> t
+(** The ordinary origination path [O]. *)
+
+val prepended : origin:Asn.t -> copies:int -> t
+(** [prepended ~origin ~copies:3] is [O-O-O] — the steady-state baseline
+    LIFEGUARD announces so that a later poisoned path has equal length. *)
+
+val poisoned : origin:Asn.t -> poison:Asn.t -> t
+(** [poisoned ~origin ~poison:a] is [O-A-O]: starts with the origin (so
+    neighbors still route toward [O]), contains [A] to trigger its loop
+    detection, and ends with the true origin (so registries stay
+    consistent). Raises [Invalid_argument] if [poison] equals [origin]. *)
+
+val poisoned_multi : origin:Asn.t -> poisons:Asn.t list -> t
+(** [O-A1-...-Ak-O]: poison several ASes at once (used to defeat ASes that
+    accept one occurrence of their own number, by inserting it twice —
+    see §7.1). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+(** Prints as ["O A O"] style: space-separated ASNs, nearest first. *)
+
+val to_string : t -> string

@@ -1,0 +1,78 @@
+open Net
+
+type peer_report = {
+  peer : Asn.t;
+  updates : int;
+  first_update : float;
+  last_update : float;
+  convergence_time : float;
+  affected : bool;
+  has_final_route : bool;
+}
+
+let analyze collector ~event_time ~prefix ~affected =
+  let records =
+    List.filter
+      (fun (r : Network.update_record) -> Prefix.equal r.prefix prefix)
+      (Network.Collector.since collector event_time)
+  in
+  let by_peer = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Network.update_record) ->
+      let key = Asn.to_int r.speaker in
+      let existing = Option.value ~default:[] (Hashtbl.find_opt by_peer key) in
+      Hashtbl.replace by_peer key (r :: existing))
+    records;
+  Hashtbl.fold
+    (fun key recs acc ->
+      let peer = Asn.of_int key in
+      let recs = List.rev recs (* oldest first *) in
+      let times = List.map (fun (r : Network.update_record) -> r.time) recs in
+      let first_update = List.fold_left Float.min (List.hd times) times in
+      let last_update = List.fold_left Float.max (List.hd times) times in
+      let final =
+        match List.rev recs with
+        | last :: _ -> last.route
+        | [] -> None
+      in
+      {
+        peer;
+        updates = List.length recs;
+        first_update;
+        last_update;
+        convergence_time = last_update -. first_update;
+        affected = affected peer;
+        has_final_route = final <> None;
+      }
+      :: acc)
+    by_peer []
+  |> List.sort (fun a b -> Asn.compare a.peer b.peer)
+
+let global_convergence_time reports =
+  match reports with
+  | [] -> None
+  | _ ->
+      let first =
+        List.fold_left (fun acc r -> Float.min acc r.first_update) infinity reports
+      in
+      let last =
+        List.fold_left (fun acc r -> Float.max acc r.last_update) neg_infinity reports
+      in
+      Some (last -. first)
+
+let fraction_of f reports =
+  match reports with
+  | [] -> 0.0
+  | _ ->
+      let hits = List.length (List.filter f reports) in
+      float_of_int hits /. float_of_int (List.length reports)
+
+let fraction_instant = fraction_of (fun r -> r.convergence_time <= 0.0)
+let fraction_single_update = fraction_of (fun r -> r.updates = 1)
+
+let mean_updates reports =
+  match reports with
+  | [] -> 0.0
+  | _ ->
+      float_of_int (List.fold_left (fun acc r -> acc + r.updates) 0 reports)
+      /. float_of_int (List.length reports)

@@ -1,0 +1,45 @@
+(** Convergence metrics from route-collector feeds.
+
+    Reproduces the paper's Fig. 6 measurement method: after an event
+    (e.g. a poisoned announcement at a known time), each collector peer's
+    convergence time is the delay from its first post-event update to its
+    stable post-event route, "instant" (0) meaning a single update that
+    merely passed the new path along. Peers are split into those that had
+    been routing through the poisoned AS ("change") and those that had not
+    ("no change"). *)
+
+open Net
+
+type peer_report = {
+  peer : Asn.t;
+  updates : int;  (** loc-RIB changes observed in the window. *)
+  first_update : float;
+  last_update : float;
+  convergence_time : float;  (** [last_update - first_update]; 0 = instant. *)
+  affected : bool;  (** Was routing through the event's target beforehand. *)
+  has_final_route : bool;  (** Still holds a route at the end. *)
+}
+
+val analyze :
+  Network.Collector.t ->
+  event_time:float ->
+  prefix:Prefix.t ->
+  affected:(Asn.t -> bool) ->
+  peer_report list
+(** One report per collector peer that saw at least one update for
+    [prefix] at or after [event_time]. [affected peer] classifies the peer
+    from its pre-event route (computed by the caller, who can snapshot
+    RIBs before triggering the event). *)
+
+val global_convergence_time : peer_report list -> float option
+(** Span from the earliest first update to the latest last update across
+    peers; [None] when no peer saw updates. *)
+
+val fraction_instant : peer_report list -> float
+(** Share of peers with zero convergence time. *)
+
+val fraction_single_update : peer_report list -> float
+(** Share of peers that made exactly one update. *)
+
+val mean_updates : peer_report list -> float
+(** Average number of updates per peer ([0.] on empty input). *)

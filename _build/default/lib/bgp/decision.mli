@@ -1,0 +1,28 @@
+(** The BGP best-route decision process.
+
+    Standard ordering: highest local preference, then shortest AS path
+    (counting prepended copies — which is what makes prepending a traffic
+    steering tool), then lowest MED among routes from the same neighboring
+    AS, then lowest neighbor ASN as the deterministic tiebreak standing in
+    for IGP cost / router-id. Two properties the paper leans on emerge
+    from this ordering: a poisoned path [O-A-O] ties with the prepended
+    baseline [O-O-O] (same length, same preference), so ASes not routing
+    through [A] have no reason to explore alternatives. *)
+
+open Net
+
+val compare_entries : ?salt:int -> Route.entry -> Route.entry -> int
+(** [compare_entries a b > 0] when [a] is preferred over [b]. Total order
+    over candidate entries for one prefix. [salt] perturbs the final
+    tiebreak per speaker (see {!best}). *)
+
+val best : ?salt:int -> Route.entry list -> Route.entry option
+(** Most preferred entry, [None] on the empty list. [salt] — typically
+    the deciding AS's number — stands in for the IGP-cost / router-id
+    tiebreaks real routers apply: each AS breaks exact ties in its own
+    idiosyncratic (but deterministic) order, which is what makes real
+    forward and reverse routes asymmetric. Omitting it falls back to
+    lowest-neighbor-ASN. *)
+
+val best_in_table : ?salt:int -> (Asn.t, Route.entry) Hashtbl.t -> Route.entry option
+(** Most preferred entry among a neighbor-indexed table of candidates. *)

@@ -1,0 +1,272 @@
+open Net
+open Topology
+
+type update_record = {
+  time : float;
+  speaker : Asn.t;
+  prefix : Prefix.t;
+  route : Route.entry option;
+}
+
+type session = {
+  mutable last_sent : float;  (** When we last put updates on this session. *)
+  pending : (Prefix.t, Speaker.action) Hashtbl.t;
+  mutable timer_armed : bool;
+  jittered_mrai : float;
+}
+
+type collector_state = {
+  cname : string;
+  cpeers : Asn.t list;
+  peer_set : Asn.Set.t;
+  mutable records : update_record list;  (** newest first *)
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  graph : As_graph.t;
+  speakers : Speaker.t Asn.Table.t;
+  delay_of : Asn.t -> Asn.t -> float;
+  sessions : (Asn.t * Asn.t, session) Hashtbl.t;  (** keyed (from, to) *)
+  owners : (Prefix.t, Asn.t) Hashtbl.t;
+  mutable owner_trie : Asn.t Prefix_trie.t;
+  mutable collectors : collector_state list;
+  mutable bgp_events : int;  (** BGP events currently in the engine queue *)
+  mutable delivered : int;
+  mutable delivery_log : float list;  (** delivery times, newest first *)
+}
+
+(* Deterministic per-pair pseudo-random factor in [0,1): hash the ASN pair
+   so runs are reproducible without threading a PRNG through the hot
+   path. *)
+let pair_hash a b =
+  let h = Hashtbl.hash (Asn.to_int a, Asn.to_int b, 0x9e3779b9) in
+  float_of_int (h land 0xFFFF) /. 65536.0
+
+let default_delay a b = 0.05 +. (0.2 *. pair_hash a b)
+
+let engine t = t.engine
+let graph t = t.graph
+
+let speaker t asn =
+  match Asn.Table.find_opt t.speakers asn with
+  | Some sp -> sp
+  | None -> invalid_arg (Printf.sprintf "Network: unknown %s" (Asn.to_string asn))
+
+let session t a b =
+  match Hashtbl.find_opt t.sessions (a, b) with
+  | Some s -> s
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Network: no session %s -> %s" (Asn.to_string a) (Asn.to_string b))
+
+(* Forward declaration to tie the delivery/emission knot. *)
+let rec deliver t ~from ~to_ action =
+  t.delivered <- t.delivered + 1;
+  t.delivery_log <- Sim.Engine.now t.engine :: t.delivery_log;
+  let out = Speaker.receive (speaker t to_) ~now:(Sim.Engine.now t.engine) ~from action in
+  emit_all t to_ out
+
+and emit_all t from out = List.iter (fun (to_, action) -> emit t ~from ~to_ action) out
+
+and emit t ~from ~to_ action =
+  let s = session t from to_ in
+  let now = Sim.Engine.now t.engine in
+  let prefix =
+    match action with
+    | Speaker.Announce ann -> ann.Route.prefix
+    | Speaker.Withdraw p -> p
+  in
+  if now -. s.last_sent >= s.jittered_mrai && Hashtbl.length s.pending = 0 then begin
+    s.last_sent <- now;
+    schedule_delivery t ~from ~to_ action
+  end
+  else begin
+    (* Coalesce: only the latest state per prefix matters. *)
+    Hashtbl.replace s.pending prefix action;
+    if not s.timer_armed then begin
+      s.timer_armed <- true;
+      let fire_at = Float.max now (s.last_sent +. s.jittered_mrai) in
+      t.bgp_events <- t.bgp_events + 1;
+      Sim.Engine.schedule t.engine ~at:fire_at (fun () ->
+          t.bgp_events <- t.bgp_events - 1;
+          s.timer_armed <- false;
+          s.last_sent <- Sim.Engine.now t.engine;
+          let batch = Hashtbl.fold (fun _ a acc -> a :: acc) s.pending [] in
+          Hashtbl.reset s.pending;
+          List.iter (fun action -> schedule_delivery t ~from ~to_ action) batch)
+    end
+  end
+
+and schedule_delivery t ~from ~to_ action =
+  let delay = t.delay_of from to_ in
+  t.bgp_events <- t.bgp_events + 1;
+  Sim.Engine.schedule_after t.engine ~delay (fun () ->
+      t.bgp_events <- t.bgp_events - 1;
+      deliver t ~from ~to_ action)
+
+let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
+    ?(fib_install_delay = 0.0) () =
+  let config_of =
+    match config_of with
+    | Some f -> f
+    | None -> fun _ -> Policy.default
+  in
+  let speakers = Asn.Table.create 256 in
+  List.iter
+    (fun asn ->
+      let sp =
+        Speaker.create ~asn ~config:(config_of asn) ~neighbors:(As_graph.neighbors graph asn)
+      in
+      Asn.Table.replace speakers asn sp)
+    (As_graph.as_list graph);
+  let t =
+    {
+      engine;
+      graph;
+      speakers;
+      delay_of;
+      sessions = Hashtbl.create 1024;
+      owners = Hashtbl.create 16;
+      owner_trie = Prefix_trie.empty;
+      collectors = [];
+      bgp_events = 0;
+      delivered = 0;
+      delivery_log = [];
+    }
+  in
+  (* Collector instrumentation: every speaker reports loc-RIB changes. *)
+  Asn.Table.iter
+    (fun asn sp ->
+      Speaker.set_on_best_change sp (fun ~now prefix route ->
+          List.iter
+            (fun c ->
+              if Asn.Set.mem asn c.peer_set then
+                c.records <- { time = now; speaker = asn; prefix; route } :: c.records)
+            t.collectors);
+      (* Damping reuse timers: when a speaker suppresses a route, wake it
+         up to re-run its decision once the penalty has decayed. *)
+      Speaker.set_reuse_scheduler sp (fun ~delay prefix ->
+          t.bgp_events <- t.bgp_events + 1;
+          Sim.Engine.schedule_after engine ~delay (fun () ->
+              t.bgp_events <- t.bgp_events - 1;
+              let out = Speaker.reevaluate sp ~now:(Sim.Engine.now engine) prefix in
+              emit_all t asn out));
+      if fib_install_delay > 0.0 then begin
+        (* The data plane trails the control plane by a deterministic
+           per-AS RIB-to-FIB install latency. *)
+        let delay =
+          fib_install_delay *. (0.25 +. (0.75 *. pair_hash asn asn))
+        in
+        Speaker.set_fib_commit_hook sp (fun prefix route ->
+            Sim.Engine.schedule_after engine ~delay (fun () ->
+                Speaker.install_fib sp prefix route))
+      end)
+    speakers;
+  (* Session pacing state per directed adjacency. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun (b, _) ->
+          Hashtbl.replace t.sessions (a, b)
+            {
+              last_sent = neg_infinity;
+              pending = Hashtbl.create 4;
+              timer_armed = false;
+              jittered_mrai = mrai *. (0.75 +. (0.25 *. pair_hash a b));
+            })
+        (As_graph.neighbors graph a))
+    (As_graph.as_list graph);
+  t
+
+let announce t ~origin ~prefix ?per_neighbor () =
+  let per_neighbor =
+    match per_neighbor with
+    | Some f -> f
+    | None -> fun _ -> Some (As_path.plain ~origin)
+  in
+  Hashtbl.replace t.owners prefix origin;
+  t.owner_trie <- Prefix_trie.add prefix origin t.owner_trie;
+  let out =
+    Speaker.originate (speaker t origin) ~now:(Sim.Engine.now t.engine) ~prefix ~per_neighbor
+  in
+  emit_all t origin out
+
+let withdraw t ~origin ~prefix =
+  Hashtbl.remove t.owners prefix;
+  t.owner_trie <- Prefix_trie.remove prefix t.owner_trie;
+  let out = Speaker.stop_originating (speaker t origin) ~now:(Sim.Engine.now t.engine) ~prefix in
+  emit_all t origin out
+
+let owner t prefix = Hashtbl.find_opt t.owners prefix
+let owner_of_address t ip = Prefix_trie.lookup ip t.owner_trie
+let best_route t asn prefix = Speaker.best (speaker t asn) prefix
+let fib_lookup t asn ip = Speaker.fib_lookup (speaker t asn) ip
+
+let run_until_quiet ?(timeout = 3600.0) t =
+  let deadline = Sim.Engine.now t.engine +. timeout in
+  let continue = ref true in
+  while !continue do
+    if t.bgp_events = 0 then continue := false
+    else if Sim.Engine.now t.engine >= deadline then continue := false
+    else if not (Sim.Engine.step t.engine) then continue := false
+  done
+
+let fail_link t ~a ~b =
+  let now = Sim.Engine.now t.engine in
+  let out_a = Speaker.session_down (speaker t a) ~now ~neighbor:b in
+  let out_b = Speaker.session_down (speaker t b) ~now ~neighbor:a in
+  emit_all t a out_a;
+  emit_all t b out_b
+
+let restore_link t ~a ~b =
+  let now = Sim.Engine.now t.engine in
+  let out_a = Speaker.session_up (speaker t a) ~now ~neighbor:b in
+  let out_b = Speaker.session_up (speaker t b) ~now ~neighbor:a in
+  emit_all t a out_a;
+  emit_all t b out_b
+
+let fail_node t asn =
+  List.iter (fun (n, _) -> fail_link t ~a:asn ~b:n) (As_graph.neighbors t.graph asn)
+
+let restore_node t asn =
+  List.iter (fun (n, _) -> restore_link t ~a:asn ~b:n) (As_graph.neighbors t.graph asn)
+
+module Collector = struct
+  type net = t
+  type t = collector_state
+
+  let attach (net : net) ~name ~peers =
+    let c =
+      {
+        cname = name;
+        cpeers = peers;
+        peer_set = List.fold_left (fun s p -> Asn.Set.add p s) Asn.Set.empty peers;
+        records = [];
+      }
+    in
+    net.collectors <- c :: net.collectors;
+    c
+
+  let name c = c.cname
+  let peers c = c.cpeers
+  let log c = List.rev c.records
+  let since c time = List.rev (List.filter (fun r -> r.time >= time) c.records)
+  let clear c = c.records <- []
+
+  let current_route c ~peer ~prefix =
+    let rec find = function
+      | [] -> None
+      | r :: rest ->
+          if Asn.equal r.speaker peer && Prefix.equal r.prefix prefix then Some r.route
+          else find rest
+    in
+    match find c.records with
+    | Some route -> route
+    | None -> None
+end
+
+let message_count t = t.delivered
+
+let messages_between t ~since ~until =
+  List.length (List.filter (fun time -> time >= since && time <= until) t.delivery_log)

@@ -1,0 +1,116 @@
+(** The inter-domain control plane: all speakers of a topology wired
+    through the discrete-event engine.
+
+    Updates travel with a per-link propagation delay and are paced by a
+    per-session MRAI timer with coalescing (the latest pending update per
+    prefix wins), which is what produces the realistic path-exploration
+    and convergence behaviour measured in Fig. 6 of the paper. The network
+    also hosts route collectors — passive feeds recording each peer's
+    loc-RIB changes with timestamps — which is how the paper (and this
+    reproduction) measures convergence and poisoning efficacy. *)
+
+open Net
+open Topology
+
+type t
+
+type update_record = {
+  time : float;
+  speaker : Asn.t;  (** Whose loc-RIB changed. *)
+  prefix : Prefix.t;
+  route : Route.entry option;  (** The new best route; [None] = lost. *)
+}
+
+val create :
+  engine:Sim.Engine.t ->
+  graph:As_graph.t ->
+  ?config_of:(Asn.t -> Policy.config) ->
+  ?delay_of:(Asn.t -> Asn.t -> float) ->
+  ?mrai:float ->
+  ?fib_install_delay:float ->
+  unit ->
+  t
+(** Build a speaker per AS of [graph]. [config_of] supplies per-AS policy
+    (default {!Policy.default}); [delay_of] the one-way update propagation
+    delay per directed link (default: deterministic 50–250 ms derived from
+    the ASN pair); [mrai] the min-route-advertisement interval (default
+    30 s, applied per session with per-session deterministic jitter).
+    [fib_install_delay] (default 0: atomic) delays data-plane FIB commits
+    behind loc-RIB changes by up to that many seconds (deterministic
+    per-AS), modeling the RIB-to-FIB latency that causes transient
+    blackholes and micro-loops during convergence. *)
+
+val engine : t -> Sim.Engine.t
+val graph : t -> As_graph.t
+
+val announce :
+  t -> origin:Asn.t -> prefix:Prefix.t -> ?per_neighbor:(Asn.t -> As_path.t option) ->
+  unit -> unit
+(** Originate (or re-originate with new paths) [prefix] at [origin], at
+    the current simulation time. Without [per_neighbor] every neighbor
+    receives the plain path [\[origin\]]. Use [per_neighbor] for
+    prepending, poisoning and selective advertising. Run the engine to
+    propagate. *)
+
+val withdraw : t -> origin:Asn.t -> prefix:Prefix.t -> unit
+(** Withdraw an originated prefix. *)
+
+val owner : t -> Prefix.t -> Asn.t option
+(** The AS currently originating exactly this prefix. *)
+
+val owner_of_address : t -> Ipv4.t -> (Prefix.t * Asn.t) option
+(** The most specific originated prefix covering the address, with its
+    originating AS — whose hosts answer probes sent to that address. *)
+
+val speaker : t -> Asn.t -> Speaker.t
+(** Direct access to an AS's speaker (read-mostly: RIB inspection). *)
+
+val best_route : t -> Asn.t -> Prefix.t -> Route.entry option
+val fib_lookup : t -> Asn.t -> Ipv4.t -> (Prefix.t * Route.entry) option
+
+val run_until_quiet : ?timeout:float -> t -> unit
+(** Drive the engine until no BGP events remain queued (or [timeout]
+    simulated seconds elapsed, default 3600). Other events scheduled on
+    the same engine keep it busy, so convergence experiments should use a
+    dedicated engine or the timeout. *)
+
+val fail_link : t -> a:Asn.t -> b:Asn.t -> unit
+(** Control-plane link failure: both sessions drop, routes withdraw. *)
+
+val restore_link : t -> a:Asn.t -> b:Asn.t -> unit
+(** Bring the sessions back; full-table re-advertisement follows. *)
+
+val fail_node : t -> Asn.t -> unit
+(** All sessions of an AS drop (router death, visible to BGP). *)
+
+val restore_node : t -> Asn.t -> unit
+
+(** Passive feeds recording peers' loc-RIB changes. *)
+module Collector : sig
+  type net := t
+  type t
+
+  val attach : net -> name:string -> peers:Asn.t list -> t
+  (** Record every loc-RIB change of each peer from now on. *)
+
+  val name : t -> string
+  val peers : t -> Asn.t list
+
+  val log : t -> update_record list
+  (** All records, oldest first. *)
+
+  val since : t -> float -> update_record list
+  (** Records with [time >=] the given instant, oldest first. *)
+
+  val clear : t -> unit
+
+  val current_route : t -> peer:Asn.t -> prefix:Prefix.t -> Route.entry option
+  (** The peer's best route as of its latest record; [None] when the feed
+      has no record for that (peer, prefix) or the peer lost the route. *)
+end
+
+val message_count : t -> int
+(** Total update messages delivered since creation (load accounting). *)
+
+val messages_between : t -> since:float -> until:float -> int
+(** Update messages delivered in a time window. *)

@@ -1,0 +1,79 @@
+open Net
+open Topology
+
+type damping = {
+  penalty_per_flap : float;
+  suppress_threshold : float;
+  reuse_threshold : float;
+  half_life : float;
+}
+
+let default_damping =
+  { penalty_per_flap = 1000.0; suppress_threshold = 2000.0; reuse_threshold = 750.0; half_life = 900.0 }
+
+type config = {
+  loop_limit : int;
+  reject_peers_in_customer_paths : bool;
+  strip_communities : bool;
+  honor_no_export_to_peers : bool;
+  default_provider : Asn.t option;
+  local_pref_override : (Asn.t * int) list;
+  damping : damping option;
+  pref_jitter : int;
+}
+
+let default =
+  {
+    loop_limit = 1;
+    reject_peers_in_customer_paths = false;
+    strip_communities = false;
+    honor_no_export_to_peers = true;
+    default_provider = None;
+    local_pref_override = [];
+    damping = None;
+    pref_jitter = 0;
+  }
+
+let local_pref_for config ~self ~neighbor ~rel =
+  match List.assoc_opt neighbor (List.map (fun (a, p) -> (a, p)) config.local_pref_override) with
+  | Some pref -> pref
+  | None ->
+      let jitter =
+        if config.pref_jitter <= 0 then 0
+        else
+          Hashtbl.hash (Asn.to_int self, Asn.to_int neighbor, 0x9E3779B9)
+          mod (config.pref_jitter + 1)
+      in
+      Relationship.local_pref rel + jitter
+
+type import_verdict = Accepted of int | Rejected of string
+
+let import config ~self ~peers_of_self ~neighbor ~rel (ann : Route.announcement) =
+  if As_path.count self ann.path >= config.loop_limit then Rejected "loop detected"
+  else if
+    config.reject_peers_in_customer_paths
+    && Relationship.equal rel Relationship.Customer
+    && List.exists (fun a -> Asn.Set.mem a peers_of_self) ann.path
+  then Rejected "peer AS in customer-announced path"
+  else Accepted (local_pref_for config ~self ~neighbor ~rel)
+
+let export config ~self ~entry ~to_neighbor ~to_rel =
+  let { Route.ann; rel = learned_from; neighbor; _ } = entry in
+  let blocked_by_community =
+    List.exists Community.is_no_export ann.Route.communities
+    || (config.honor_no_export_to_peers
+       && Relationship.equal to_rel Relationship.Peer
+       && List.exists
+            (Community.is_no_export_to_peers ~asn:(Asn.to_int self))
+            ann.Route.communities)
+  in
+  if Asn.equal to_neighbor neighbor && not (Route.is_local entry) then None
+  else if not (Relationship.export_ok ~learned_from ~to_:to_rel) then None
+  else if blocked_by_community then None
+  else begin
+    let communities = if config.strip_communities then [] else ann.Route.communities in
+    let path =
+      if Route.is_local entry then ann.Route.path else As_path.prepend self ann.Route.path
+    in
+    Some { ann with Route.path; communities; med = None }
+  end

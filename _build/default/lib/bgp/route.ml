@@ -1,0 +1,47 @@
+open Net
+open Topology
+
+type announcement = {
+  prefix : Prefix.t;
+  path : As_path.t;
+  communities : Community.t list;
+  med : int option;
+}
+
+let announcement ?(communities = []) ?med ~prefix ~path () =
+  if path = [] then invalid_arg "Route.announcement: empty AS path";
+  { prefix; path; communities; med }
+
+let announcement_equal a b =
+  Prefix.equal a.prefix b.prefix
+  && As_path.equal a.path b.path
+  && List.length a.communities = List.length b.communities
+  && List.for_all2 Community.equal a.communities b.communities
+  && Option.equal Int.equal a.med b.med
+
+let pp_announcement fmt a =
+  Format.fprintf fmt "%a via [%a]" Prefix.pp a.prefix As_path.pp a.path
+
+type entry = {
+  ann : announcement;
+  neighbor : Asn.t;
+  rel : Relationship.t;
+  local_pref : int;
+  learned_at : float;
+}
+
+let local_pref_local = 400
+
+let local_entry ~prefix ~self ~path ~now =
+  {
+    ann = announcement ~prefix ~path ();
+    neighbor = self;
+    rel = Relationship.Customer;
+    local_pref = local_pref_local;
+    learned_at = now;
+  }
+
+let is_local e = e.local_pref = local_pref_local
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%a lp=%d from %a" pp_announcement e.ann e.local_pref Asn.pp e.neighbor

@@ -1,0 +1,39 @@
+(** Route representations: the announcement on the wire and the RIB entry
+    a speaker stores after import. *)
+
+open Net
+open Topology
+
+type announcement = {
+  prefix : Prefix.t;
+  path : As_path.t;  (** Nearest AS first; the sender's ASN is the head. *)
+  communities : Community.t list;
+  med : int option;  (** Multi-exit discriminator, if set. *)
+}
+
+val announcement :
+  ?communities:Community.t list -> ?med:int -> prefix:Prefix.t -> path:As_path.t -> unit ->
+  announcement
+
+val announcement_equal : announcement -> announcement -> bool
+(** Full attribute equality — used to suppress duplicate updates. *)
+
+val pp_announcement : Format.formatter -> announcement -> unit
+
+type entry = {
+  ann : announcement;
+  neighbor : Asn.t;  (** The neighbor it was learned from (self if local). *)
+  rel : Relationship.t;  (** What that neighbor is to us. *)
+  local_pref : int;
+  learned_at : float;  (** Simulation time of import. *)
+}
+(** An adj-RIB-in / loc-RIB entry. *)
+
+val local_entry : prefix:Prefix.t -> self:Asn.t -> path:As_path.t -> now:float -> entry
+(** The locally-originated route for a prefix: highest preference, treated
+    as customer-learned for export purposes (exported to everyone). *)
+
+val is_local : entry -> bool
+(** Whether the entry is a local origination (neighbor = self). *)
+
+val pp_entry : Format.formatter -> entry -> unit

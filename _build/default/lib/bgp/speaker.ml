@@ -1,0 +1,327 @@
+open Net
+open Topology
+
+type action = Announce of Route.announcement | Withdraw of Prefix.t
+
+type origination = { per_neighbor : Asn.t -> As_path.t option }
+
+type t = {
+  self : Asn.t;
+  config : Policy.config;
+  neighbor_rel : (Asn.t, Relationship.t) Hashtbl.t;
+  neighbor_list : (Asn.t * Relationship.t) list ref;
+  peers_of_self : Asn.Set.t ref;
+  down_sessions : (Asn.t, unit) Hashtbl.t;
+  adj_in : (Prefix.t, (Asn.t, Route.entry) Hashtbl.t) Hashtbl.t;
+      (** prefix -> (neighbor -> candidate route) *)
+  locals : (Prefix.t, origination) Hashtbl.t;
+  best_table : (Prefix.t, Route.entry) Hashtbl.t;
+  mutable fib : Route.entry Prefix_trie.t;
+  adj_out : (Asn.t * Prefix.t, Route.announcement) Hashtbl.t;
+  mutable on_best_change : (now:float -> Prefix.t -> Route.entry option -> unit) option;
+  mutable fib_commit : (Prefix.t -> Route.entry option -> unit) option;
+  damp : (Prefix.t * Asn.t, damp_state) Hashtbl.t;
+  mutable reuse_scheduler : (delay:float -> Prefix.t -> unit) option;
+}
+
+and damp_state = { mutable penalty : float; mutable last : float; mutable suppressed : bool }
+
+let create ~asn ~config ~neighbors =
+  let neighbor_rel = Hashtbl.create 16 in
+  List.iter (fun (n, rel) -> Hashtbl.replace neighbor_rel n rel) neighbors;
+  let peers =
+    List.fold_left
+      (fun acc (n, rel) ->
+        if Relationship.equal rel Relationship.Peer then Asn.Set.add n acc else acc)
+      Asn.Set.empty neighbors
+  in
+  {
+    self = asn;
+    config;
+    neighbor_rel;
+    neighbor_list = ref neighbors;
+    peers_of_self = ref peers;
+    down_sessions = Hashtbl.create 4;
+    adj_in = Hashtbl.create 64;
+    locals = Hashtbl.create 4;
+    best_table = Hashtbl.create 16;
+    fib = Prefix_trie.empty;
+    adj_out = Hashtbl.create 64;
+    on_best_change = None;
+    fib_commit = None;
+    damp = Hashtbl.create 16;
+    reuse_scheduler = None;
+  }
+
+let asn t = t.self
+let config t = t.config
+let neighbors t = !(t.neighbor_list)
+let set_on_best_change t f = t.on_best_change <- Some f
+let set_reuse_scheduler t f = t.reuse_scheduler <- Some f
+let set_fib_commit_hook t f = t.fib_commit <- Some f
+
+(* --- Route-flap damping (RFC 2439, simplified) --- *)
+
+let decayed_penalty (cfg : Policy.damping) state ~now =
+  let dt = now -. state.last in
+  if dt <= 0.0 then state.penalty
+  else state.penalty *. (0.5 ** (dt /. cfg.Policy.half_life))
+
+(* Record one flap of (prefix, neighbor); returns true when the route
+   just crossed into suppression. *)
+let note_flap t ~now prefix neighbor =
+  match t.config.Policy.damping with
+  | None -> false
+  | Some cfg ->
+      let key = (prefix, neighbor) in
+      let state =
+        match Hashtbl.find_opt t.damp key with
+        | Some s -> s
+        | None ->
+            let s = { penalty = 0.0; last = now; suppressed = false } in
+            Hashtbl.replace t.damp key s;
+            s
+      in
+      state.penalty <- decayed_penalty cfg state ~now +. cfg.Policy.penalty_per_flap;
+      state.last <- now;
+      if (not state.suppressed) && state.penalty >= cfg.Policy.suppress_threshold then begin
+        state.suppressed <- true;
+        (* Ask for a wake-up when the penalty will have decayed to the
+           reuse threshold. *)
+        (match t.reuse_scheduler with
+        | Some schedule ->
+            let ratio = state.penalty /. cfg.Policy.reuse_threshold in
+            let delay = cfg.Policy.half_life *. (log ratio /. log 2.0) in
+            schedule ~delay:(Float.max 1.0 delay) prefix
+        | None -> ());
+        true
+      end
+      else false
+
+(* Lazily lift suppression once the penalty has decayed. *)
+let is_suppressed t ~now prefix neighbor =
+  match t.config.Policy.damping with
+  | None -> false
+  | Some cfg -> begin
+      match Hashtbl.find_opt t.damp (prefix, neighbor) with
+      | None -> false
+      | Some state ->
+          if not state.suppressed then false
+          else begin
+            let p = decayed_penalty cfg state ~now in
+            if p < cfg.Policy.reuse_threshold then begin
+              state.penalty <- p;
+              state.last <- now;
+              state.suppressed <- false;
+              false
+            end
+            else true
+          end
+    end
+
+let install_fib t prefix entry =
+  match entry with
+  | Some e -> t.fib <- Prefix_trie.add prefix e t.fib
+  | None -> t.fib <- Prefix_trie.remove prefix t.fib
+
+let session_is_down t n = Hashtbl.mem t.down_sessions n
+
+let rel_of t n =
+  match Hashtbl.find_opt t.neighbor_rel n with
+  | Some rel -> rel
+  | None -> invalid_arg (Printf.sprintf "Speaker %s: unknown neighbor %s"
+                           (Asn.to_string t.self) (Asn.to_string n))
+
+let adj_in_table t prefix =
+  match Hashtbl.find_opt t.adj_in prefix with
+  | Some table -> table
+  | None ->
+      let table = Hashtbl.create 8 in
+      Hashtbl.replace t.adj_in prefix table;
+      table
+
+(* The loc-RIB best for a prefix: a local origination wins outright;
+   otherwise the decision process over the adj-RIB-in candidates. *)
+let compute_best t ~now prefix =
+  if Hashtbl.mem t.locals prefix then
+    Some (Route.local_entry ~prefix ~self:t.self ~path:(As_path.plain ~origin:t.self) ~now)
+  else begin
+    match Hashtbl.find_opt t.adj_in prefix with
+    | None -> None
+    | Some table ->
+        if Hashtbl.length t.damp = 0 then
+          Decision.best_in_table ~salt:(Asn.to_int t.self) table
+        else begin
+          (* Damped candidates are ineligible until their penalty decays. *)
+          let eligible =
+            Hashtbl.fold
+              (fun neighbor entry acc ->
+                if is_suppressed t ~now prefix neighbor then acc else entry :: acc)
+              table []
+          in
+          Decision.best ~salt:(Asn.to_int t.self) eligible
+        end
+  end
+
+(* Desired announcement toward one neighbor for a prefix, or None. *)
+let desired_export t prefix neighbor =
+  if session_is_down t neighbor then None
+  else begin
+    match Hashtbl.find_opt t.locals prefix with
+    | Some { per_neighbor } -> begin
+        match per_neighbor neighbor with
+        | Some path -> Some (Route.announcement ~prefix ~path ())
+        | None -> None
+      end
+    | None -> begin
+        match Hashtbl.find_opt t.best_table prefix with
+        | None -> None
+        | Some entry ->
+            Policy.export t.config ~self:t.self ~entry ~to_neighbor:neighbor
+              ~to_rel:(rel_of t neighbor)
+      end
+  end
+
+(* Diff desired exports against adj-RIB-out; mutate adj-RIB-out and return
+   the updates to put on the wire. *)
+let sync_exports t prefix =
+  List.filter_map
+    (fun (n, _) ->
+      let key = (n, prefix) in
+      let desired = desired_export t prefix n in
+      let current = Hashtbl.find_opt t.adj_out key in
+      match (desired, current) with
+      | None, None -> None
+      | Some d, Some c when Route.announcement_equal d c -> None
+      | Some d, _ ->
+          Hashtbl.replace t.adj_out key d;
+          Some (n, Announce d)
+      | None, Some _ ->
+          Hashtbl.remove t.adj_out key;
+          Some (n, Withdraw prefix))
+    (neighbors t)
+
+let refresh_best t ~now prefix =
+  let old_best = Hashtbl.find_opt t.best_table prefix in
+  let new_best = compute_best t ~now prefix in
+  let changed =
+    match (old_best, new_best) with
+    | None, None -> false
+    | Some a, Some b ->
+        not (Route.announcement_equal a.Route.ann b.Route.ann)
+        || not (Asn.equal a.Route.neighbor b.Route.neighbor)
+    | _ -> true
+  in
+  if changed then begin
+    (match new_best with
+    | Some e -> Hashtbl.replace t.best_table prefix e
+    | None -> Hashtbl.remove t.best_table prefix);
+    (match t.fib_commit with
+    | Some commit -> commit prefix new_best
+    | None -> install_fib t prefix new_best);
+    match t.on_best_change with
+    | Some f -> f ~now prefix new_best
+    | None -> ()
+  end;
+  (* Exports are resynced even when the best is unchanged: a session
+     coming back up or an origination change may alter per-neighbor
+     desired state without moving the loc-RIB. *)
+  sync_exports t prefix
+
+let originate t ~now ~prefix ~per_neighbor =
+  Hashtbl.replace t.locals prefix { per_neighbor };
+  refresh_best t ~now prefix
+
+let stop_originating t ~now ~prefix =
+  Hashtbl.remove t.locals prefix;
+  refresh_best t ~now prefix
+
+let receive t ~now ~from action =
+  if session_is_down t from then []
+  else begin
+    match action with
+    | Withdraw prefix ->
+        if Hashtbl.mem (adj_in_table t prefix) from then
+          ignore (note_flap t ~now prefix from);
+        Hashtbl.remove (adj_in_table t prefix) from;
+        refresh_best t ~now prefix
+    | Announce ann -> begin
+        let prefix = ann.Route.prefix in
+        (* A changed announcement from a neighbor that already had a route
+           is a flap. *)
+        (match Hashtbl.find_opt (adj_in_table t prefix) from with
+        | Some previous
+          when not (Route.announcement_equal previous.Route.ann ann) ->
+            ignore (note_flap t ~now prefix from)
+        | Some _ | None -> ());
+        let rel = rel_of t from in
+        match
+          Policy.import t.config ~self:t.self ~peers_of_self:!(t.peers_of_self)
+            ~neighbor:from ~rel ann
+        with
+        | Policy.Rejected _ ->
+            (* An update that fails import replaces (removes) whatever this
+               neighbor previously announced for the prefix. *)
+            Hashtbl.remove (adj_in_table t prefix) from;
+            refresh_best t ~now prefix
+        | Policy.Accepted local_pref ->
+            Hashtbl.replace (adj_in_table t prefix) from
+              { Route.ann; neighbor = from; rel; local_pref; learned_at = now };
+            refresh_best t ~now prefix
+      end
+  end
+
+let affected_prefixes t neighbor =
+  let from_adj =
+    Hashtbl.fold
+      (fun p table acc -> if Hashtbl.mem table neighbor then Prefix.Set.add p acc else acc)
+      t.adj_in Prefix.Set.empty
+  in
+  Hashtbl.fold (fun p _ acc -> Prefix.Set.add p acc) t.locals from_adj
+
+let session_down t ~now ~neighbor =
+  if session_is_down t neighbor then []
+  else begin
+    Hashtbl.replace t.down_sessions neighbor ();
+    let affected = affected_prefixes t neighbor in
+    Prefix.Set.iter (fun p -> Hashtbl.remove (adj_in_table t p) neighbor) affected;
+    (* Clear adj-RIB-out toward the dead session so a later session_up
+       re-announces from scratch. *)
+    Hashtbl.iter
+      (fun p _ -> Hashtbl.remove t.adj_out (neighbor, p))
+      t.best_table;
+    Hashtbl.iter (fun p _ -> Hashtbl.remove t.adj_out (neighbor, p)) t.locals;
+    Prefix.Set.fold (fun p acc -> acc @ refresh_best t ~now p) affected []
+  end
+
+let session_up t ~now ~neighbor =
+  if not (session_is_down t neighbor) then []
+  else begin
+    Hashtbl.remove t.down_sessions neighbor;
+    (* Re-announce current state for every known prefix to this
+       neighbor. *)
+    let all =
+      Hashtbl.fold (fun p _ acc -> Prefix.Set.add p acc) t.best_table Prefix.Set.empty
+      |> fun s -> Hashtbl.fold (fun p _ acc -> Prefix.Set.add p acc) t.locals s
+    in
+    Prefix.Set.fold (fun p acc -> acc @ refresh_best t ~now p) all []
+  end
+
+let best t prefix = Hashtbl.find_opt t.best_table prefix
+let fib_lookup t ip = Prefix_trie.lookup ip t.fib
+
+let prefixes t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.best_table [] |> List.sort_uniq Prefix.compare
+
+let originated t =
+  Hashtbl.fold (fun p _ acc -> p :: acc) t.locals [] |> List.sort_uniq Prefix.compare
+
+let adj_in_size t = Hashtbl.fold (fun _ table acc -> acc + Hashtbl.length table) t.adj_in 0
+let reevaluate t ~now prefix = refresh_best t ~now prefix
+
+let suppressed_candidates t prefix =
+  Hashtbl.fold
+    (fun (p, neighbor) state acc ->
+      if Prefix.equal p prefix && state.suppressed then neighbor :: acc else acc)
+    t.damp []
+  |> List.sort Asn.compare

@@ -1,0 +1,85 @@
+(** A single BGP speaker (one AS).
+
+    Pure protocol state machine: it holds the adj-RIB-in, loc-RIB, FIB and
+    adj-RIB-out for its AS and, given an incoming update or a local
+    origination change, returns the updates that should be sent to
+    neighbors. Delivery timing (link delays, MRAI pacing) is the
+    {!Network}'s job, which keeps this module synchronously testable. *)
+
+open Net
+open Topology
+
+type t
+
+type action = Announce of Route.announcement | Withdraw of Prefix.t
+(** An update destined to one neighbor. *)
+
+val create : asn:Asn.t -> config:Policy.config -> neighbors:(Asn.t * Relationship.t) list -> t
+(** A speaker for [asn] with the given neighbor sessions. *)
+
+val asn : t -> Asn.t
+val config : t -> Policy.config
+val neighbors : t -> (Asn.t * Relationship.t) list
+
+val originate :
+  t -> now:float -> prefix:Prefix.t -> per_neighbor:(Asn.t -> As_path.t option) -> (Asn.t * action) list
+(** Start (or change) originating [prefix]. [per_neighbor] gives the AS
+    path announced to each neighbor — [Some [asn]] for a plain
+    announcement, a poisoned or prepended path for remediation, or [None]
+    to withhold the prefix from that neighbor (selective advertising /
+    selective poisoning). Returns the updates to send. *)
+
+val stop_originating : t -> now:float -> prefix:Prefix.t -> (Asn.t * action) list
+(** Withdraw a locally-originated prefix everywhere. *)
+
+val receive : t -> now:float -> from:Asn.t -> action -> (Asn.t * action) list
+(** Process one update from a neighbor: import policy, loc-RIB decision,
+    and the resulting exports. A rejected announcement acts as an implicit
+    withdraw of that neighbor's previous route. *)
+
+val session_down : t -> now:float -> neighbor:Asn.t -> (Asn.t * action) list
+(** Drop every route learned from [neighbor] and stop exporting to it
+    until {!session_up}. *)
+
+val session_up : t -> now:float -> neighbor:Asn.t -> (Asn.t * action) list
+(** Re-enable the session and produce the full-table advertisement for
+    that neighbor. *)
+
+val best : t -> Prefix.t -> Route.entry option
+(** Current loc-RIB best route for exactly this prefix. *)
+
+val fib_lookup : t -> Ipv4.t -> (Prefix.t * Route.entry) option
+(** Longest-prefix match against the FIB — the data plane's view. By
+    default the FIB tracks the loc-RIB atomically; a FIB-commit hook (set
+    by the {!Network} when modeling RIB-to-FIB install latency) can delay
+    the data plane behind the control plane, the window in which real
+    routers blackhole or loop packets during convergence. *)
+
+val set_fib_commit_hook : t -> (Prefix.t -> Route.entry option -> unit) -> unit
+(** Divert FIB installs: when set, loc-RIB changes invoke the hook
+    instead of updating the FIB; the hook (or anyone) must eventually
+    call {!install_fib}. *)
+
+val install_fib : t -> Prefix.t -> Route.entry option -> unit
+(** Install (or remove, on [None]) the data-plane entry for a prefix. *)
+
+val prefixes : t -> Prefix.t list
+(** All prefixes with a loc-RIB entry. *)
+
+val originated : t -> Prefix.t list
+val adj_in_size : t -> int
+val set_on_best_change : t -> (now:float -> Prefix.t -> Route.entry option -> unit) -> unit
+(** Hook invoked after every loc-RIB change (used by route collectors and
+    convergence instrumentation). *)
+
+val set_reuse_scheduler : t -> (delay:float -> Prefix.t -> unit) -> unit
+(** When route-flap damping suppresses a candidate, the speaker asks this
+    hook to schedule a {!reevaluate} once the penalty will have decayed
+    below the reuse threshold. Wired by the {!Network}. *)
+
+val reevaluate : t -> now:float -> Prefix.t -> (Asn.t * action) list
+(** Re-run the decision process for a prefix (e.g. after a damping
+    penalty decays); returns the updates to send. *)
+
+val suppressed_candidates : t -> Prefix.t -> Asn.t list
+(** Neighbors whose route for this prefix is currently damped. *)

@@ -1,0 +1,1 @@
+lib/core/lifeguard.ml: Decide Isolation Load_model Orchestrator Remediate

@@ -1,0 +1,1 @@
+lib/core/decide.ml: Array Asn Format Isolation List Net Printf Splice Stats Topology

@@ -1,0 +1,1 @@
+lib/core/decide.mli: As_graph Asn Format Isolation Net Topology

@@ -1,0 +1,1 @@
+lib/core/isolation.ml: Asn Dataplane Format Ipv4 List Measurement Net

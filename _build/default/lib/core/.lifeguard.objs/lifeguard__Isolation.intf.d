@@ -1,0 +1,1 @@
+lib/core/isolation.mli: Asn Dataplane Format Ipv4 Measurement Net

@@ -1,0 +1,1 @@
+lib/core/load_model.mli:

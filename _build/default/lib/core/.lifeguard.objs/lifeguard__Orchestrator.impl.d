@@ -1,0 +1,1 @@
+lib/core/orchestrator.ml: Asn Bgp Dataplane Decide Format Hashtbl Isolation List Logs Measurement Net Prefix Remediate Sim Topology

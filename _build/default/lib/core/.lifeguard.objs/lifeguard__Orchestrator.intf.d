@@ -1,0 +1,1 @@
+lib/core/orchestrator.mli: Asn Dataplane Decide Format Isolation Measurement Net Remediate

@@ -1,0 +1,1 @@
+lib/core/remediate.ml: Asn Bgp Dataplane List Net Prefix

@@ -1,0 +1,1 @@
+lib/core/remediate.mli: Asn Bgp Dataplane Ipv4 Net Prefix

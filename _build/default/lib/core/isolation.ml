@@ -1,0 +1,335 @@
+open Net
+
+type direction =
+  | Forward_failure
+  | Reverse_failure
+  | Bidirectional
+  | Destination_unreachable
+  | No_failure
+
+let direction_to_string = function
+  | Forward_failure -> "forward"
+  | Reverse_failure -> "reverse"
+  | Bidirectional -> "bidirectional"
+  | Destination_unreachable -> "destination-unreachable"
+  | No_failure -> "no-failure"
+
+let pp_direction fmt d = Format.pp_print_string fmt (direction_to_string d)
+
+type blame = Blamed_as of Asn.t | Blamed_link of Asn.t * Asn.t | Unlocated
+
+let pp_blame fmt = function
+  | Blamed_as a -> Asn.pp fmt a
+  | Blamed_link (near, far) -> Format.fprintf fmt "link %a-%a" Asn.pp near Asn.pp far
+  | Unlocated -> Format.pp_print_string fmt "unlocated"
+
+let blamed_as = function
+  | Blamed_as a -> Some a
+  | Blamed_link (_, far) -> Some far
+  | Unlocated -> None
+
+type hop_status = Reachable_from_src | Reachable_elsewhere | Unreachable | Silent
+
+type diagnosis = {
+  src : Asn.t;
+  dst : Asn.t;
+  direction : direction;
+  blame : blame;
+  suspects : (Asn.t * hop_status) list;
+  working_path : Asn.t list option;
+  traceroute_blame : Asn.t option;
+  probes_used : int;
+  elapsed : float;
+}
+
+let pp_diagnosis fmt d =
+  Format.fprintf fmt "%a -> %a: %a failure, blame %a (%d probes, %.0fs)" Asn.pp d.src Asn.pp
+    d.dst pp_direction d.direction pp_blame d.blame d.probes_used d.elapsed
+
+type context = {
+  env : Dataplane.Probe.env;
+  atlas : Measurement.Atlas.t;
+  responsiveness : Measurement.Responsiveness.t;
+  vantage_points : Asn.t list;
+  source_overrides : (Asn.t * Ipv4.t) list;
+}
+
+let source_of ctx asn =
+  match List.find_opt (fun (a, _) -> Asn.equal a asn) ctx.source_overrides with
+  | Some (_, ip) -> ip
+  | None -> Dataplane.Forward.probe_address ctx.env.Dataplane.Probe.net asn
+
+(* Wall-clock latency model: a confirmation round plus rate-limited
+   probing. Calibrated so a typical reverse isolation (~280 probes)
+   lands near the paper's reported 140 s average. *)
+let elapsed_of_probes probes = 30.0 +. (0.4 *. float_of_int probes)
+
+let exists_vp vps f = List.exists f vps
+
+(* Step 1: direction isolation with spoofed pings (§4.1.2). *)
+let isolate_direction ctx ~src ~dst_addr vps =
+  let env = ctx.env in
+  let net = env.Dataplane.Probe.net in
+  let src_addr = source_of ctx src in
+  let forward_ok =
+    exists_vp vps (fun vp ->
+        Dataplane.Probe.spoofed_ping env ~sender:src
+          ~spoof_src:(Dataplane.Forward.probe_address net vp)
+          ~dst:dst_addr)
+  in
+  let reverse_ok =
+    exists_vp vps (fun vp ->
+        Dataplane.Probe.spoofed_ping env ~sender:vp ~spoof_src:src_addr ~dst:dst_addr)
+  in
+  let dst_alive = exists_vp vps (fun vp -> Dataplane.Probe.ping env ~src:vp ~dst:dst_addr) in
+  match (forward_ok, reverse_ok) with
+  | true, false -> Reverse_failure
+  | false, true -> Forward_failure
+  | true, true -> No_failure
+  | false, false -> if dst_alive then Bidirectional else Destination_unreachable
+
+(* Step 2: measure the working direction. *)
+let measure_working_path ctx ~src ~dst ~dst_addr ~direction vps =
+  let env = ctx.env in
+  let net = env.Dataplane.Probe.net in
+  match direction with
+  | Reverse_failure -> begin
+      (* Spoofed traceroute: probes flow src -> dst, TTL replies to a
+         vantage point that can hear them. *)
+      let receiver =
+        List.find_opt
+          (fun vp ->
+            Dataplane.Probe.spoofed_ping env ~sender:src
+              ~spoof_src:(Dataplane.Forward.probe_address net vp)
+              ~dst:dst_addr)
+          vps
+      in
+      match receiver with
+      | None -> None
+      | Some vp ->
+          let trace =
+            Dataplane.Probe.spoofed_traceroute env ~sender:src
+              ~spoof_src:(Dataplane.Forward.probe_address net vp)
+              ~dst:dst_addr
+          in
+          Some (Dataplane.Probe.visible_path trace)
+    end
+  | Forward_failure -> begin
+      let to_ip = source_of ctx src in
+      match Dataplane.Probe.reverse_traceroute env ~vantage_points:vps ~from_:dst ~to_ip with
+      | Some trace -> Some (Dataplane.Probe.visible_path trace)
+      | None -> None
+    end
+  | Bidirectional | Destination_unreachable | No_failure -> None
+
+(* Step 3: probe the candidate hops of historical (and working-direction)
+   paths and classify each AS's reachability evidence. *)
+let classify_hops ctx ~src ~candidates vps =
+  let env = ctx.env in
+  let net = env.Dataplane.Probe.net in
+  Asn.Set.fold
+    (fun hop acc ->
+      if Asn.equal hop src then acc
+      else begin
+        let address = Dataplane.Forward.probe_address net hop in
+        let status =
+          if not (Measurement.Responsiveness.expect_response ctx.responsiveness address) then
+            Silent
+          else if Dataplane.Probe.ping_from env ~src ~src_ip:(source_of ctx src) ~dst:address
+          then Reachable_from_src
+          else if exists_vp vps (fun vp -> Dataplane.Probe.ping env ~src:vp ~dst:address) then
+            Reachable_elsewhere
+          else Unreachable
+        in
+        (hop, status) :: acc
+      end)
+    candidates []
+  |> List.sort (fun (a, _) (b, _) -> Asn.compare a b)
+
+let status_of suspects hop =
+  match List.assoc_opt hop suspects with
+  | Some s -> s
+  | None -> Silent
+
+(* Step 4: find the reachability horizon along a historical path ordered
+   from the source side outward, and blame the first hop past it. *)
+let blame_along_path ~suspects path_from_src_side =
+  let rec scan prev_reachable = function
+    | [] -> None
+    | hop :: rest -> begin
+        match status_of suspects hop with
+        | Reachable_from_src -> scan (Some hop) rest
+        | Silent -> scan prev_reachable rest
+        | Reachable_elsewhere | Unreachable -> Some (prev_reachable, hop)
+      end
+  in
+  scan None path_from_src_side
+
+let drop_src src path =
+  match path with
+  | hd :: rest when Asn.equal hd src -> rest
+  | _ -> path
+
+(* Reverse / bidirectional blame: walk historical reverse paths from the
+   source side and blame the first hop past the reachability horizon.
+   The paper's validated granularity is the AS ([Blamed_link] comes from
+   operator input for selective-poisoning plans, not from isolation). *)
+let locate_reverse ctx ~src ~dst ~suspects =
+  let snapshots_reverse = Measurement.Atlas.reverse_history ctx.atlas ~vp:src ~dst in
+  let paths = List.map (fun s -> List.rev s.Measurement.Atlas.path) snapshots_reverse in
+  let rec first_blame = function
+    | [] -> Unlocated
+    | path :: rest -> begin
+        match blame_along_path ~suspects (drop_src src path) with
+        | Some (_, hop) -> Blamed_as hop
+        | None -> first_blame rest
+      end
+  in
+  first_blame paths
+
+(* Forward / bidirectional blame: the failure sits between the last hop
+   the traceroute toward the destination reached and the next hop of the
+   historical forward path — blame that next hop, skipping routers that
+   never answer probes (their silence is not evidence). *)
+let locate_forward ctx ~src ~dst ~forward_reached =
+  let net = ctx.env.Dataplane.Probe.net in
+  let snapshots_forward = Measurement.Atlas.forward_history ctx.atlas ~vp:src ~dst in
+  let expected hop =
+    Measurement.Responsiveness.expect_response ctx.responsiveness
+      (Dataplane.Forward.probe_address net hop)
+  in
+  let rec scan = function
+    | [] -> None
+    | hop :: rest ->
+        if Asn.Set.mem hop forward_reached then scan rest
+        else if expected hop then Some hop
+        else scan rest
+  in
+  let rec first_blame = function
+    | [] -> Unlocated
+    | snapshot :: rest -> begin
+        match scan (drop_src src snapshot.Measurement.Atlas.path) with
+        | Some hop -> Blamed_as hop
+        | None -> first_blame rest
+      end
+  in
+  first_blame snapshots_forward
+
+(* What a traceroute-only operator would conclude: the AS just past the
+   last responsive hop on the known (historical) forward path, defaulting
+   to the last responsive AS itself. *)
+let traceroute_only_view ctx ~src ~dst ~dst_addr =
+  let env = ctx.env in
+  (* Equivalent to a traceroute whose replies are addressed to the
+     source's (possibly overridden) probe address. *)
+  let trace =
+    Dataplane.Probe.spoofed_traceroute env ~sender:src ~spoof_src:(source_of ctx src)
+      ~dst:dst_addr
+  in
+  match Dataplane.Probe.last_responsive_as trace with
+  | None -> None
+  | Some last -> begin
+      match Measurement.Atlas.latest_forward ctx.atlas ~vp:src ~dst () with
+      | None -> Some last
+      | Some snap -> begin
+          let rec after = function
+            | a :: (b :: _ as rest) ->
+                if Asn.equal a last then Some b else after rest
+            | _ -> None
+          in
+          match after snap.Measurement.Atlas.path with
+          | Some next -> Some next
+          | None -> Some last
+        end
+    end
+
+let isolate ctx ~src ~dst =
+  let env = ctx.env in
+  let net = env.Dataplane.Probe.net in
+  let start_probes = env.Dataplane.Probe.probes_sent in
+  let dst_addr = Dataplane.Forward.probe_address net dst in
+  let vps = List.filter (fun v -> not (Asn.equal v src)) ctx.vantage_points in
+  let finish ~direction ~blame ~suspects ~working_path ~traceroute_blame =
+    let probes_used = env.Dataplane.Probe.probes_sent - start_probes in
+    {
+      src;
+      dst;
+      direction;
+      blame;
+      suspects;
+      working_path;
+      traceroute_blame;
+      probes_used;
+      elapsed = elapsed_of_probes probes_used;
+    }
+  in
+  if Dataplane.Probe.ping_from env ~src ~src_ip:(source_of ctx src) ~dst:dst_addr then
+    finish ~direction:No_failure ~blame:Unlocated ~suspects:[] ~working_path:None
+      ~traceroute_blame:None
+  else begin
+    let direction = isolate_direction ctx ~src ~dst_addr vps in
+    match direction with
+    | No_failure | Destination_unreachable ->
+        finish ~direction ~blame:Unlocated ~suspects:[] ~working_path:None
+          ~traceroute_blame:None
+    | Forward_failure | Reverse_failure | Bidirectional ->
+        let working_path = measure_working_path ctx ~src ~dst ~dst_addr ~direction vps in
+        let candidates =
+          let from_atlas = Measurement.Atlas.candidate_hops ctx.atlas ~vp:src ~dst in
+          let with_working =
+            match working_path with
+            | Some path -> List.fold_left (fun acc a -> Asn.Set.add a acc) from_atlas path
+            | None -> from_atlas
+          in
+          Asn.Set.add dst with_working
+        in
+        let suspects = classify_hops ctx ~src ~candidates vps in
+        (* For hops still reachable from the source during a reverse
+           failure, LIFEGUARD measures their current reverse paths — the
+           dominant share of its probing budget (§5.4). *)
+        (match direction with
+        | Reverse_failure ->
+            List.iter
+              (fun (hop, status) ->
+                if status = Reachable_from_src then
+                  ignore
+                    (Dataplane.Probe.reverse_traceroute env ~vantage_points:(src :: vps)
+                       ~from_:hop ~to_ip:(source_of ctx src)))
+              suspects
+        | Forward_failure | Bidirectional | Destination_unreachable | No_failure -> ());
+        let blame =
+          match direction with
+          | Reverse_failure -> locate_reverse ctx ~src ~dst ~suspects
+          | Forward_failure | Bidirectional ->
+              (* Which hops does the forward path still reach? Replies are
+                 collected both at the source and at a vantage point so a
+                 broken reply direction cannot hide forward progress. *)
+              let reached_via reply_to =
+                let trace =
+                  Dataplane.Probe.spoofed_traceroute env ~sender:src ~spoof_src:reply_to
+                    ~dst:dst_addr
+                in
+                List.fold_left
+                  (fun acc th ->
+                    if th.Dataplane.Probe.responded then
+                      Asn.Set.add th.Dataplane.Probe.hop.Dataplane.Forward.asn acc
+                    else acc)
+                  Asn.Set.empty trace.Dataplane.Probe.hops
+              in
+              let reached = reached_via (source_of ctx src) in
+              let reached =
+                match vps with
+                | vp :: _ ->
+                    Asn.Set.union reached
+                      (reached_via (Dataplane.Forward.probe_address net vp))
+                | [] -> reached
+              in
+              let by_trace = locate_forward ctx ~src ~dst ~forward_reached:reached in
+              (match by_trace with
+              | Unlocated -> locate_reverse ctx ~src ~dst ~suspects
+              | located -> located)
+          | Destination_unreachable | No_failure -> Unlocated
+        in
+        let traceroute_blame = traceroute_only_view ctx ~src ~dst ~dst_addr in
+        finish ~direction ~blame ~suspects ~working_path ~traceroute_blame
+  end

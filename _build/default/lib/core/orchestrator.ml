@@ -1,0 +1,194 @@
+open Net
+
+type config = {
+  decide : Decide.config;
+  recheck_interval : float;
+  monitor_interval : float;
+}
+
+let default_config =
+  { decide = Decide.default_config; recheck_interval = 120.0; monitor_interval = 30.0 }
+
+type event =
+  | Outage_detected of { vp : Asn.t; target : Asn.t }
+  | Diagnosed of Isolation.diagnosis
+  | Decision of Decide.verdict
+  | Poison_announced of Asn.t
+  | Recovery_detected of Asn.t
+  | Unpoisoned
+  | Gave_up of string
+
+let pp_event fmt = function
+  | Outage_detected { vp; target } ->
+      Format.fprintf fmt "outage detected: %a cannot reach %a" Asn.pp target Asn.pp vp
+  | Diagnosed d -> Format.fprintf fmt "diagnosed: %a" Isolation.pp_diagnosis d
+  | Decision v -> Format.fprintf fmt "decision: %a" Decide.pp_verdict v
+  | Poison_announced a -> Format.fprintf fmt "poisoned %a" Asn.pp a
+  | Recovery_detected a -> Format.fprintf fmt "recovery detected through %a" Asn.pp a
+  | Unpoisoned -> Format.pp_print_string fmt "unpoisoned: back to baseline"
+  | Gave_up reason -> Format.fprintf fmt "gave up: %s" reason
+
+type state = Idle | Isolating | Poisoned of Asn.t
+
+let log_src = Logs.Src.create "lifeguard.orchestrator" ~doc:"LIFEGUARD control loop"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type t = {
+  config : config;
+  env : Dataplane.Probe.env;
+  atlas : Measurement.Atlas.t;
+  responsiveness : Measurement.Responsiveness.t;
+  plan : Remediate.plan;
+  vantage_points : Asn.t list;
+  mutable state : state;
+  mutable events : (float * event) list;  (** newest first *)
+  mutable monitors : Measurement.Monitor.t list;
+  outage_started : (Asn.t, float) Hashtbl.t;
+      (** First-failure estimate per target, persisted across isolation
+          rounds so the age gate measures the true outage age. *)
+}
+
+let engine t = Bgp.Network.engine t.env.Dataplane.Probe.net
+let now t = Sim.Engine.now (engine t)
+let log t event =
+  Log.info (fun m -> m "t=%.0f %a" (now t) pp_event event);
+  t.events <- (now t, event) :: t.events
+
+let create ?(config = default_config) ~env ~atlas ~responsiveness ~plan ~vantage_points () =
+  Remediate.announce_baseline env.Dataplane.Probe.net plan;
+  {
+    config;
+    env;
+    atlas;
+    responsiveness;
+    plan;
+    vantage_points;
+    state = Idle;
+    events = [];
+    monitors = [];
+    outage_started = Hashtbl.create 8;
+  }
+
+(* The origin's probes are sourced from its production prefix: reverse
+   failures scoped to the announced space must be visible to them. *)
+let origin_source t = Prefix.nth_address t.plan.Remediate.production 1
+
+let isolation_context t =
+  {
+    Isolation.env = t.env;
+    atlas = t.atlas;
+    responsiveness = t.responsiveness;
+    vantage_points = t.vantage_points;
+    source_overrides = [ (t.plan.Remediate.origin, origin_source t) ];
+  }
+
+let target_address t target = Dataplane.Forward.probe_address t.env.Dataplane.Probe.net target
+
+(* While poisoned, test the sentinel periodically; unpoison on repair. *)
+let rec schedule_recovery_checks t ~target ~affected =
+  Sim.Engine.schedule_after (engine t) ~delay:t.config.recheck_interval (fun () ->
+      match t.state with
+      | Poisoned poisoned when Asn.equal poisoned target ->
+          if Remediate.is_recovered t.env t.plan ~through:target ~targets:affected then begin
+            log t (Recovery_detected target);
+            Remediate.unpoison t.env.Dataplane.Probe.net t.plan;
+            t.state <- Idle;
+            log t Unpoisoned
+          end
+          else schedule_recovery_checks t ~target ~affected
+      | Idle | Isolating | Poisoned _ -> ())
+
+let apply_poison t ~target ~poison_target =
+  Remediate.poison t.env.Dataplane.Probe.net t.plan ~target:poison_target;
+  t.state <- Poisoned poison_target;
+  log t (Poison_announced poison_target);
+  schedule_recovery_checks t ~target:poison_target ~affected:[ target ]
+
+let stand_down t ~target reason =
+  Hashtbl.remove t.outage_started target;
+  t.state <- Idle;
+  log t (Gave_up reason)
+
+let run_pipeline t ~vp ~target ~outage_started =
+  let diagnosis = Isolation.isolate (isolation_context t) ~src:vp ~dst:target in
+  log t (Diagnosed diagnosis);
+  let graph = Bgp.Network.graph t.env.Dataplane.Probe.net in
+  let decide_now () =
+    let outage_age = now t -. outage_started in
+    let verdict =
+      Decide.decide t.config.decide graph ~origin:t.plan.Remediate.origin ~diagnosis
+        ~outage_age
+    in
+    log t (Decision verdict);
+    verdict
+  in
+  (* While the verdict is Wait, keep rechecking: stand down if the outage
+     resolves on its own, poison once it has aged past the gate. *)
+  let rec decide_and_act () =
+    match decide_now () with
+    | Decide.Poison poison_target ->
+        Hashtbl.remove t.outage_started target;
+        apply_poison t ~target ~poison_target
+    | Decide.Hopeless reason -> stand_down t ~target reason
+    | Decide.Wait _ ->
+        Sim.Engine.schedule_after (engine t) ~delay:t.config.recheck_interval (fun () ->
+            if
+              Dataplane.Probe.ping_from t.env ~src:vp ~src_ip:(origin_source t)
+                ~dst:(target_address t target)
+            then stand_down t ~target "outage resolved on its own"
+            else decide_and_act ())
+  in
+  (* The decision happens once isolation completes; model its latency by
+     scheduling the decision (and any poisoning) after [elapsed]. *)
+  Sim.Engine.schedule_after (engine t) ~delay:diagnosis.Isolation.elapsed decide_and_act
+
+let notify_outage t ~vp ~target =
+  match t.state with
+  | Isolating | Poisoned _ -> ()
+  | Idle ->
+      t.state <- Isolating;
+      log t (Outage_detected { vp; target });
+      (* The monitor crossed its threshold after several failed rounds;
+         the outage began roughly threshold x interval earlier — unless a
+         previous isolation round already pinned the start time. *)
+      let outage_started =
+        match Hashtbl.find_opt t.outage_started target with
+        | Some started -> started
+        | None ->
+            let started = now t -. (4.0 *. t.config.monitor_interval) in
+            Hashtbl.replace t.outage_started target started;
+            started
+      in
+      run_pipeline t ~vp ~target ~outage_started
+
+let watch t ~targets =
+  let origin = t.plan.Remediate.origin in
+  Measurement.Atlas.refresh_all t.atlas t.env ~vps:[ origin ] ~dsts:targets ~now:(now t);
+  let monitor =
+    Measurement.Monitor.create ~env:t.env ~engine:(engine t)
+      ~interval:t.config.monitor_interval ~responsiveness:t.responsiveness
+      ~on_outage:(fun outage ->
+        match
+          Bgp.Network.owner_of_address t.env.Dataplane.Probe.net
+            outage.Measurement.Monitor.target
+        with
+        | Some (_, target_as) -> notify_outage t ~vp:origin ~target:target_as
+        | None -> begin
+            match
+              Topology.As_graph.owner_of_address
+                (Bgp.Network.graph t.env.Dataplane.Probe.net)
+                outage.Measurement.Monitor.target
+            with
+            | Some target_as -> notify_outage t ~vp:origin ~target:target_as
+            | None -> ()
+          end)
+      ~src_ip:(origin_source t) ~vp:origin
+      ~targets:(List.map (target_address t) targets)
+      ()
+  in
+  t.monitors <- monitor :: t.monitors
+
+let state t = t.state
+let events t = List.rev t.events
+let plan t = t.plan

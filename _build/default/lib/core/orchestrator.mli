@@ -1,0 +1,63 @@
+(** The LIFEGUARD control loop, end to end.
+
+    Wires the pieces together on the simulation clock: monitors detect an
+    outage on a path to the origin's prefix, isolation locates the failing
+    AS, the decision gate waits out young outages and checks that an
+    alternate path exists, remediation poisons, and sentinel probes detect
+    the repair and trigger unpoisoning. This is the per-prefix state
+    machine a deployment runs (§4, §6's case study). *)
+
+open Net
+
+type config = {
+  decide : Decide.config;
+  recheck_interval : float;  (** How often to re-test the sentinel while poisoned (s). *)
+  monitor_interval : float;  (** Ping-pair period for the built-in monitors (s). *)
+}
+
+val default_config : config
+
+(** Lifecycle events, recorded with their simulation time. *)
+type event =
+  | Outage_detected of { vp : Asn.t; target : Asn.t }
+  | Diagnosed of Isolation.diagnosis
+  | Decision of Decide.verdict
+  | Poison_announced of Asn.t
+  | Recovery_detected of Asn.t  (** The poisoned AS works again. *)
+  | Unpoisoned
+  | Gave_up of string
+
+val pp_event : Format.formatter -> event -> unit
+
+type state = Idle | Isolating | Poisoned of Asn.t
+(** Current position in the per-prefix state machine. *)
+
+type t
+
+val create :
+  ?config:config ->
+  env:Dataplane.Probe.env ->
+  atlas:Measurement.Atlas.t ->
+  responsiveness:Measurement.Responsiveness.t ->
+  plan:Remediate.plan ->
+  vantage_points:Asn.t list ->
+  unit ->
+  t
+(** Announce the plan's baseline and stand ready. The caller drives the
+    engine; LIFEGUARD schedules its own follow-ups on it. *)
+
+val watch : t -> targets:Asn.t list -> unit
+(** Start monitors from the origin toward each target's infrastructure
+    address, refreshing the atlas first so isolation has history. *)
+
+val notify_outage : t -> vp:Asn.t -> target:Asn.t -> unit
+(** Report an externally-detected outage on the reverse path from
+    [target] back to the origin (e.g. from a monitor owned by the
+    caller). Triggers the isolate/decide/poison pipeline at the current
+    simulation time. *)
+
+val state : t -> state
+val events : t -> (float * event) list
+(** Timestamped event log, oldest first. *)
+
+val plan : t -> Remediate.plan

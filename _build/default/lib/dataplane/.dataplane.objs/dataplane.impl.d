@@ -1,0 +1,1 @@
+lib/dataplane/dataplane.ml: Failure Forward Probe

@@ -1,0 +1,1 @@
+lib/dataplane/failure.ml: Asn Bgp Format List Net Option Prefix

@@ -1,0 +1,1 @@
+lib/dataplane/failure.mli: Asn Bgp Format Ipv4 Net Prefix

@@ -1,0 +1,1 @@
+lib/dataplane/forward.ml: Array As_graph Asn Bgp Failure Format Hashtbl Ipv4 List Net Prefix String Topology

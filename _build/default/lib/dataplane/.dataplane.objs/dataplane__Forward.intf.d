@@ -1,0 +1,1 @@
+lib/dataplane/forward.mli: Asn Bgp Failure Format Ipv4 Net Prefix

@@ -1,0 +1,1 @@
+lib/dataplane/probe.ml: As_graph Asn Bgp Failure Forward List Net Option Topology

@@ -1,0 +1,1 @@
+lib/dataplane/probe.mli: Asn Bgp Failure Forward Ipv4 Net

@@ -1,0 +1,99 @@
+open Net
+open Topology
+
+type hop = { asn : Asn.t; address : Ipv4.t }
+
+type outcome =
+  | Delivered
+  | No_route of Asn.t
+  | Loop
+  | Dropped of { at : Asn.t; by : Failure.spec }
+
+type walk = { hops : hop list; outcome : outcome }
+
+let pp_outcome fmt = function
+  | Delivered -> Format.pp_print_string fmt "delivered"
+  | No_route a -> Format.fprintf fmt "no route at %a" Asn.pp a
+  | Loop -> Format.pp_print_string fmt "loop"
+  | Dropped { at; by } -> Format.fprintf fmt "dropped at %a by %a" Asn.pp at Failure.pp_spec by
+
+let pp_walk fmt w =
+  Format.fprintf fmt "[%s] %a"
+    (String.concat " -> " (List.map (fun h -> Asn.to_string h.asn) w.hops))
+    pp_outcome w.outcome
+
+(* The border router of [asn] that answers for a given flow: picked by a
+   hash of the destination so multi-router ASes expose several addresses
+   in traces, deterministically per destination. *)
+let responding_router graph asn ~dst =
+  let routers = As_graph.routers graph asn in
+  let n = Array.length routers in
+  let i = if n = 1 then 0 else Hashtbl.hash (Asn.to_int asn, Ipv4.to_int32 dst) mod n in
+  routers.(i).As_graph.address
+
+let walk net failures ~src ~dst ?(max_hops = 64) () =
+  let graph = Bgp.Network.graph net in
+  let hop_of asn = { asn; address = responding_router graph asn ~dst } in
+  match Failure.blocks_source failures src ~dst with
+  | Some by -> { hops = [ hop_of src ]; outcome = Dropped { at = src; by } }
+  | None ->
+      let rec go current visited hops_rev steps =
+        if steps > max_hops then { hops = List.rev hops_rev; outcome = Loop }
+        else begin
+          let next_hop =
+            match Bgp.Network.fib_lookup net current dst with
+            | Some (_, entry) ->
+                if Bgp.Route.is_local entry then `Deliver else `Forward entry.Bgp.Route.neighbor
+            | None -> begin
+                (* Stub default route: forward unmatched traffic to the
+                   configured provider. *)
+                match
+                  (Bgp.Speaker.config (Bgp.Network.speaker net current)).Bgp.Policy
+                  .default_provider
+                with
+                | Some p when not (Asn.equal p current) -> `Forward p
+                | _ -> `No_route
+              end
+          in
+          match next_hop with
+          | `Deliver -> { hops = List.rev hops_rev; outcome = Delivered }
+          | `No_route -> { hops = List.rev hops_rev; outcome = No_route current }
+          | `Forward next ->
+              if Asn.Set.mem next visited then { hops = List.rev hops_rev; outcome = Loop }
+              else begin
+                match Failure.blocks_hop failures ~from_:current ~to_:next ~dst with
+                | Some by ->
+                    { hops = List.rev (hop_of next :: hops_rev);
+                      outcome = Dropped { at = next; by } }
+                | None ->
+                    go next (Asn.Set.add next visited) (hop_of next :: hops_rev) (steps + 1)
+              end
+        end
+      in
+      go src (Asn.Set.singleton src) [ hop_of src ] 0
+
+let delivers net failures ~src ~dst =
+  match (walk net failures ~src ~dst ()).outcome with
+  | Delivered -> true
+  | No_route _ | Loop | Dropped _ -> false
+
+let as_path_of_walk w =
+  let rec dedup = function
+    | a :: (b :: _ as rest) -> if Asn.equal a.asn b.asn then dedup rest else a.asn :: dedup rest
+    | [ a ] -> [ a.asn ]
+    | [] -> []
+  in
+  dedup w.hops
+
+let infrastructure_prefix asn =
+  let n = Asn.to_int asn in
+  if n > 0xFFFF then invalid_arg "Forward.infrastructure_prefix: ASN too large";
+  Prefix.make (Ipv4.of_octets 10 ((n lsr 8) land 0xFF) (n land 0xFF) 0) 24
+
+let announce_infrastructure net =
+  let graph = Bgp.Network.graph net in
+  List.iter
+    (fun asn -> Bgp.Network.announce net ~origin:asn ~prefix:(infrastructure_prefix asn) ())
+    (As_graph.as_list graph)
+
+let probe_address net asn = As_graph.router_address (Bgp.Network.graph net) asn 0

@@ -1,0 +1,50 @@
+(** Hop-by-hop data-plane forwarding.
+
+    A packet walk starts at a source AS and repeatedly applies the current
+    AS's FIB (longest-prefix match over its loc-RIB) to pick the next AS,
+    until the destination's originating AS delivers it, no route exists, a
+    forwarding loop is detected, or an injected failure drops it. This is
+    the substrate for every probe primitive: what the paper measures with
+    pings and traceroutes, this module computes from simulator state. *)
+
+open Net
+
+type hop = { asn : Asn.t; address : Ipv4.t }
+(** One AS-level hop; [address] is the responding border router. *)
+
+type outcome =
+  | Delivered  (** Reached the AS originating the destination's prefix. *)
+  | No_route of Asn.t  (** An AS had no FIB entry (and no default). *)
+  | Loop  (** The walk revisited an AS: a forwarding loop. *)
+  | Dropped of { at : Asn.t; by : Failure.spec }
+      (** An injected failure consumed the packet at [at]. *)
+
+type walk = { hops : hop list; outcome : outcome }
+(** [hops] lists the traversed ASes in order, starting with the source. *)
+
+val pp_walk : Format.formatter -> walk -> unit
+
+val walk :
+  Bgp.Network.t -> Failure.set -> src:Asn.t -> dst:Ipv4.t -> ?max_hops:int -> unit -> walk
+(** Forward a packet from [src] toward [dst]. [max_hops] (default 64)
+    bounds the walk; exceeding it reports [Loop]. Stub ASes with a
+    configured default provider forward unmatched packets there. *)
+
+val delivers : Bgp.Network.t -> Failure.set -> src:Asn.t -> dst:Ipv4.t -> bool
+(** Whether the walk outcome is [Delivered]. *)
+
+val as_path_of_walk : walk -> Asn.t list
+(** The AS-level path traversed (source first, duplicates collapsed). *)
+
+val infrastructure_prefix : Asn.t -> Prefix.t
+(** The /24 covering an AS's router addresses (10.x.y.0/24 derived from
+    the ASN). Announcing it makes the AS's routers pingable — every
+    experiment topology announces one per AS. *)
+
+val announce_infrastructure : Bgp.Network.t -> unit
+(** Originate every AS's infrastructure prefix (plain, unpoisoned). Run
+    the network to convergence afterwards. *)
+
+val probe_address : Bgp.Network.t -> Asn.t -> Ipv4.t
+(** The address probes from this AS use as their source (its first router
+    address, which lies inside its infrastructure prefix). *)

@@ -1,0 +1,129 @@
+open Net
+open Topology
+
+type env = { net : Bgp.Network.t; failures : Failure.set; mutable probes_sent : int }
+
+let env net failures = { net; failures; probes_sent = 0 }
+let reset_probe_count t = t.probes_sent <- 0
+let count t n = t.probes_sent <- t.probes_sent + n
+
+let responder t ip =
+  match As_graph.owner_of_address (Bgp.Network.graph t.net) ip with
+  | Some asn -> Some asn
+  | None ->
+      (* Addresses inside production/sentinel prefixes rather than router
+         space: the originating AS answers. *)
+      Option.map snd (Bgp.Network.owner_of_address t.net ip)
+
+let reply_delivers t ~from_ ~to_ip =
+  Forward.delivers t.net t.failures ~src:from_ ~dst:to_ip
+
+let ping_from t ~src ~src_ip ~dst =
+  count t 1;
+  let request = Forward.walk t.net t.failures ~src ~dst () in
+  match request.Forward.outcome with
+  | Forward.Delivered -> begin
+      match responder t dst with
+      | Some responder_as -> reply_delivers t ~from_:responder_as ~to_ip:src_ip
+      | None -> false
+    end
+  | Forward.No_route _ | Forward.Loop | Forward.Dropped _ -> false
+
+let ping t ~src ~dst = ping_from t ~src ~src_ip:(Forward.probe_address t.net src) ~dst
+
+let spoofed_ping t ~sender ~spoof_src ~dst =
+  count t 1;
+  let request = Forward.walk t.net t.failures ~src:sender ~dst () in
+  match request.Forward.outcome with
+  | Forward.Delivered -> begin
+      match responder t dst with
+      | Some responder_as -> reply_delivers t ~from_:responder_as ~to_ip:spoof_src
+      | None -> false
+    end
+  | Forward.No_route _ | Forward.Loop | Forward.Dropped _ -> false
+
+type trace_hop = { hop : Forward.hop; responded : bool }
+
+type trace = {
+  hops : trace_hop list;
+  reached : bool;
+  outcome : Forward.outcome;
+}
+
+let last_responsive_as trace =
+  List.fold_left
+    (fun acc th -> if th.responded then Some th.hop.Forward.asn else acc)
+    None trace.hops
+
+let visible_path trace =
+  let rec take acc = function
+    | [] -> List.rev acc
+    | th :: rest -> if th.responded then take (th.hop.Forward.asn :: acc) rest else take acc rest
+  in
+  (* Hops whose replies were lost appear as '*' in real traceroute output;
+     the visible AS path is the responsive subsequence. *)
+  take [] trace.hops
+
+let trace_with_replies t ~src ~reply_to ~dst =
+  let walk = Forward.walk t.net t.failures ~src ~dst () in
+  count t (List.length walk.Forward.hops);
+  (* The hop a failure consumed the packet at never saw it with a live
+     TTL, so it cannot answer. *)
+  let dropped_at =
+    match walk.Forward.outcome with
+    | Forward.Dropped { at; _ } -> Some at
+    | Forward.Delivered | Forward.No_route _ | Forward.Loop -> None
+  in
+  let hops =
+    List.map
+      (fun (h : Forward.hop) ->
+        let responded =
+          (* The source hop trivially "responds"; other hops' TTL-expired
+             replies must route back to the measuring address. *)
+          (match dropped_at with
+          | Some at when Asn.equal at h.Forward.asn -> false
+          | Some _ | None ->
+              Asn.equal h.Forward.asn src
+              || reply_delivers t ~from_:h.Forward.asn ~to_ip:reply_to)
+        in
+        { hop = h; responded })
+      walk.Forward.hops
+  in
+  let reached =
+    match walk.Forward.outcome with
+    | Forward.Delivered -> begin
+        match responder t dst with
+        | Some responder_as -> reply_delivers t ~from_:responder_as ~to_ip:reply_to
+        | None -> false
+      end
+    | Forward.No_route _ | Forward.Loop | Forward.Dropped _ -> false
+  in
+  { hops; reached; outcome = walk.Forward.outcome }
+
+let traceroute t ~src ~dst =
+  trace_with_replies t ~src ~reply_to:(Forward.probe_address t.net src) ~dst
+
+let spoofed_traceroute t ~sender ~spoof_src ~dst =
+  trace_with_replies t ~src:sender ~reply_to:spoof_src ~dst
+
+let reverse_traceroute t ~vantage_points ~from_ ~to_ip =
+  let target_address = Forward.probe_address t.net from_ in
+  let some_vp_reaches =
+    List.exists
+      (fun vp -> Forward.delivers t.net t.failures ~src:vp ~dst:target_address)
+      vantage_points
+  in
+  if not some_vp_reaches then None
+  else begin
+    (* Amortized cost from the paper's atlas accounting: ~10 IP-option
+       probes plus ~2 supporting traceroutes of ~8 hops. *)
+    count t (10 + 16);
+    let walk = Forward.walk t.net t.failures ~src:from_ ~dst:to_ip () in
+    let hops = List.map (fun h -> { hop = h; responded = true }) walk.Forward.hops in
+    let reached =
+      match walk.Forward.outcome with
+      | Forward.Delivered -> true
+      | Forward.No_route _ | Forward.Loop | Forward.Dropped _ -> false
+    in
+    Some { hops; reached; outcome = walk.Forward.outcome }
+  end

@@ -1,0 +1,75 @@
+(** Measurement probes over the simulated data plane.
+
+    The vocabulary of §4.1: pings, traceroutes, their {e spoofed} variants
+    (send with someone else's source address so the reply takes — and
+    therefore tests — a different direction than the request), and an
+    emulated reverse traceroute. Each primitive also accrues a probe-packet
+    count in the environment, feeding the paper's §5.4 overhead
+    accounting. *)
+
+open Net
+
+type env = { net : Bgp.Network.t; failures : Failure.set; mutable probes_sent : int }
+(** A probing context: the control plane, the active failures and a
+    running count of probe packets. *)
+
+val env : Bgp.Network.t -> Failure.set -> env
+val reset_probe_count : env -> unit
+
+val responder : env -> Ipv4.t -> Asn.t option
+(** The AS that would answer probes to this address: the owner of the
+    router address, or the AS originating the covering prefix. *)
+
+val ping : env -> src:Asn.t -> dst:Ipv4.t -> bool
+(** Echo request from [src]'s first router to [dst] and reply back to
+    [src]'s infrastructure address. True iff both directions deliver. *)
+
+val ping_from : env -> src:Asn.t -> src_ip:Ipv4.t -> dst:Ipv4.t -> bool
+(** Like {!ping} but the reply is routed to [src_ip] — how LIFEGUARD's
+    sentinel tests repairs: probes sourced from the sentinel's unused
+    sub-prefix draw their replies over the unpoisoned sentinel route. *)
+
+val spoofed_ping : env -> sender:Asn.t -> spoof_src:Ipv4.t -> dst:Ipv4.t -> bool
+(** [sender] probes [dst] with source address [spoof_src]; true iff the
+    request delivers and the reply delivers to [spoof_src]'s owner. With
+    [spoof_src] at a vantage point this tests the forward direction
+    [sender -> dst] in isolation; with the roles swapped it isolates the
+    reverse direction. *)
+
+type trace_hop = { hop : Forward.hop; responded : bool }
+(** A traceroute hop: [responded] means the hop's TTL-expired reply
+    actually made it back to wherever replies were addressed. *)
+
+type trace = {
+  hops : trace_hop list;  (** Forward hops, source first. *)
+  reached : bool;  (** The destination answered (forward + reply ok). *)
+  outcome : Forward.outcome;  (** The raw forward-walk outcome. *)
+}
+
+val last_responsive_as : trace -> Asn.t option
+(** The AS of the last hop that responded — what an operator reading the
+    traceroute would blame (possibly wrongly, cf. §5.3). *)
+
+val visible_path : trace -> Asn.t list
+(** AS path as the measuring host sees it: hops up to and including the
+    last responsive one. *)
+
+val traceroute : env -> src:Asn.t -> dst:Ipv4.t -> trace
+(** Classic traceroute: forward hops probe by TTL; each hop's reply must
+    travel back to [src]. Unidirectional reverse failures make hops appear
+    silent even though the forward path works — the misleading case
+    motivating LIFEGUARD's isolation. *)
+
+val spoofed_traceroute : env -> sender:Asn.t -> spoof_src:Ipv4.t -> dst:Ipv4.t -> trace
+(** Traceroute whose replies flow to [spoof_src]'s owner instead of the
+    sender, measuring the forward path even when the sender's reverse
+    direction is broken. *)
+
+val reverse_traceroute :
+  env -> vantage_points:Asn.t list -> from_:Asn.t -> to_ip:Ipv4.t -> trace option
+(** Emulation of reverse traceroute [19]: measure the path {e from}
+    [from_] back to [to_ip]. Requires at least one vantage point with a
+    working forward path to [from_] (to deliver the spoofed stimuli);
+    costs ~10 option probes plus 2 traceroutes (per the paper's §5.4
+    amortized figures). Returns the hop-annotated walk, truncated where
+    the reverse path fails. *)

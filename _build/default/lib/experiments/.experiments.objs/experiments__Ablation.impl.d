@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Array Asn Bgp Dataplane List Net Prefix Prng Scenarios Sim Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/case_study.ml: Asn Bgp Dataplane Format Lifeguard List Measurement Net Prefix Scenarios Sim Stats String Workloads

@@ -1,0 +1,1 @@
+lib/experiments/damping.ml: Asn Bgp Dataplane Lifeguard List Net Scenarios Sim Stats Topology Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig1_durations.ml: Array List Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig5_residual.ml: Array Lifeguard List Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/fig6_convergence.ml: Array Asn Bgp Lifeguard List Net Option Printf Prng Scenarios Sim Stats Workloads

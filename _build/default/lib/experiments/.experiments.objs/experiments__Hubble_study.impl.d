@@ -1,0 +1,1 @@
+lib/experiments/hubble_study.ml: Dataplane List Measurement Outage_gen Prng Scenarios Sim Stats Workloads

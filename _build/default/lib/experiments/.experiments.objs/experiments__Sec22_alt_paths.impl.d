@@ -1,0 +1,1 @@
+lib/experiments/sec22_alt_paths.ml: Array Asn Dataplane List Net Outage_gen Prng Scenarios Stats Topology Workloads

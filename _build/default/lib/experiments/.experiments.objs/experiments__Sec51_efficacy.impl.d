@@ -1,0 +1,1 @@
+lib/experiments/sec51_efficacy.ml: Array Asn Bgp Lifeguard List Net Printf Prng Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/sec52_loss.ml: Array Asn Bgp Dataplane Float Hashtbl Lifeguard List Net Option Prefix Prng Scenarios Sim Stats Topology Workloads

@@ -1,0 +1,1 @@
+lib/experiments/sec52_selective.ml: Asn Bgp Dataplane Lifeguard List Net Scenarios Stats Topology Workloads

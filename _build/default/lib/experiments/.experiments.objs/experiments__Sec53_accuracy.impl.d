@@ -1,0 +1,1 @@
+lib/experiments/sec53_accuracy.ml: Array Asn Dataplane Lifeguard List Measurement Net Outage_gen Printf Prng Scenarios Stats Workloads

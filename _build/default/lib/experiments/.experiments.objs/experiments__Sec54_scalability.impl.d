@@ -1,0 +1,1 @@
+lib/experiments/sec54_scalability.ml: Array Dataplane List Measurement Scenarios Sec53_accuracy Stats Workloads

@@ -1,0 +1,1 @@
+lib/experiments/sec71_anomalies.ml: Array As_graph Asn Bgp Dataplane List Net Printf Prng Relationship Sim Stats Topo_gen Topology Workloads

@@ -1,0 +1,1 @@
+lib/experiments/sec72_sentinel.ml: As_graph Asn Bgp Dataplane List Net Prefix Relationship Sim Stats Topology

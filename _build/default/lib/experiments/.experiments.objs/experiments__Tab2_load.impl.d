@@ -1,0 +1,1 @@
+lib/experiments/tab2_load.ml: Lifeguard List Stats Workloads

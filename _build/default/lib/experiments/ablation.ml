@@ -1,0 +1,151 @@
+(** Ablations of the design choices the paper motivates.
+
+    Three knobs, each varied in isolation on the same poisoning workload:
+
+    - {b Baseline prepending} (the §3.1.1 insight): poisoning from a plain
+      [O] baseline vs the [O-O-O] baseline. Measured by the share of
+      unaffected collector peers that reconverge instantly and the mean
+      updates per peer.
+    - {b MRAI}: the min-route-advertisement interval drives convergence
+      time; halving it speeds convergence at the cost of more updates.
+    - {b RIB-to-FIB install latency}: with slower FIB installs the data
+      plane lags the control plane longer, lengthening the window where
+      convergence can drop packets (§5.2's loss).
+
+    Each row reports medians over the same set of poisonings. *)
+
+open Net
+open Workloads
+
+type row = {
+  label : string;
+  instant_unaffected : float;  (** Fraction of unaffected peers converging instantly. *)
+  mean_updates : float;
+  global_median : float;  (** Median global convergence time (s). *)
+  structural_loss : float;  (** Mean structural loss rate across poisonings. *)
+}
+
+type result = { rows : row list }
+
+let production = Scenarios.production_prefix
+
+(* One configuration: build a fresh mux world and poison [n] targets,
+   measuring convergence and data-plane loss. *)
+let measure ~label ~seed ~ases ~n ~mrai ~fib_install_delay ~prepend =
+  let mux = Scenarios.bgpmux ~ases ~mrai ~fib_install_delay ~seed () in
+  let bed = mux.Scenarios.bed in
+  let net = bed.Scenarios.net in
+  let engine = bed.Scenarios.engine in
+  let origin = mux.Scenarios.origin in
+  let baseline =
+    if prepend then Bgp.As_path.prepended ~origin ~copies:3
+    else Bgp.As_path.plain ~origin
+  in
+  Bgp.Network.announce net ~origin ~prefix:production
+    ~per_neighbor:(fun _ -> Some baseline)
+    ();
+  Bgp.Network.run_until_quiet net;
+  let harvest = Scenarios.harvest_on_path_ases mux in
+  let rng = Prng.create ~seed:(seed + 9) in
+  let targets =
+    let arr = Array.of_list harvest in
+    Prng.shuffle rng arr;
+    Array.to_list (Array.sub arr 0 (min n (Array.length arr)))
+  in
+  let samplers = bed.Scenarios.vantage_points in
+  let instants = ref [] and updates = ref [] and globals = ref [] and losses = ref [] in
+  List.iter
+    (fun target ->
+      Bgp.Network.announce net ~origin ~prefix:production
+        ~per_neighbor:(fun _ -> Some baseline)
+        ();
+      Bgp.Network.run_until_quiet net;
+      Scenarios.settle bed ~seconds:(2.0 *. mrai +. 60.0);
+      let affected =
+        List.fold_left
+          (fun acc peer ->
+            match Bgp.Network.best_route net peer production with
+            | Some e when Bgp.As_path.traverses ~origin ~target e.Bgp.Route.ann.Bgp.Route.path
+              ->
+                Asn.Set.add peer acc
+            | Some _ | None -> acc)
+          Asn.Set.empty mux.Scenarios.feeds
+      in
+      Bgp.Network.Collector.clear mux.Scenarios.collector;
+      let t0 = Sim.Engine.now engine in
+      (* Sample the data plane every 2 s through convergence. *)
+      let lost = ref 0 and total = ref 0 in
+      Sim.Engine.schedule_every engine ~every:2.0 ~until:(t0 +. 120.0) (fun _ ->
+          List.iter
+            (fun vp ->
+              incr total;
+              if
+                not
+                  (Dataplane.Forward.delivers net bed.Scenarios.failures ~src:vp
+                     ~dst:(Prefix.nth_address production 1))
+              then incr lost)
+            samplers;
+          `Continue);
+      Bgp.Network.announce net ~origin ~prefix:production
+        ~per_neighbor:(fun _ -> Some (Bgp.As_path.poisoned ~origin ~poison:target))
+        ();
+      Bgp.Network.run_until_quiet net;
+      Sim.Engine.run ~until:(t0 +. 121.0) engine;
+      let reports =
+        Bgp.Convergence.analyze mux.Scenarios.collector ~event_time:t0 ~prefix:production
+          ~affected:(fun p -> Asn.Set.mem p affected)
+        |> List.filter (fun r -> r.Bgp.Convergence.has_final_route)
+      in
+      let unaffected = List.filter (fun r -> not r.Bgp.Convergence.affected) reports in
+      if unaffected <> [] then
+        instants := Bgp.Convergence.fraction_instant unaffected :: !instants;
+      if reports <> [] then updates := Bgp.Convergence.mean_updates reports :: !updates;
+      (match Bgp.Convergence.global_convergence_time reports with
+      | Some g -> globals := g :: !globals
+      | None -> ());
+      if !total > 0 then
+        losses := (float_of_int !lost /. float_of_int !total) :: !losses)
+    targets;
+  let mean l = if l = [] then 0.0 else Stats.Descriptive.mean (Array.of_list l) in
+  let median l = if l = [] then 0.0 else Stats.Descriptive.median (Array.of_list l) in
+  {
+    label;
+    instant_unaffected = mean !instants;
+    mean_updates = mean !updates;
+    global_median = median !globals;
+    structural_loss = mean !losses;
+  }
+
+let run ?(ases = 200) ?(poisons = 8) ~seed () =
+  let m = measure ~seed ~ases ~n:poisons in
+  {
+    rows =
+      [
+        m ~label:"baseline: prepend, MRAI 30, FIB instant" ~mrai:30.0 ~fib_install_delay:0.0
+          ~prepend:true;
+        m ~label:"no prepending" ~mrai:30.0 ~fib_install_delay:0.0 ~prepend:false;
+        m ~label:"MRAI 15 s" ~mrai:15.0 ~fib_install_delay:0.0 ~prepend:true;
+        m ~label:"MRAI 5 s" ~mrai:5.0 ~fib_install_delay:0.0 ~prepend:true;
+        m ~label:"FIB install lag 6 s" ~mrai:30.0 ~fib_install_delay:6.0 ~prepend:true;
+        m ~label:"no prepend + FIB lag 6 s" ~mrai:30.0 ~fib_install_delay:6.0 ~prepend:false;
+      ];
+  }
+
+let to_tables r =
+  let t =
+    Stats.Table.create ~title:"Ablation: prepending, MRAI, FIB install latency"
+      ~columns:
+        [ "configuration"; "instant (unaffected)"; "updates/peer"; "global median (s)"; "loss" ]
+  in
+  List.iter
+    (fun row ->
+      Stats.Table.add_row t
+        [
+          row.label;
+          Stats.Table.cell_pct row.instant_unaffected;
+          Stats.Table.cell_float row.mean_updates;
+          Stats.Table.cell_float ~decimals:0 row.global_median;
+          Stats.Table.cell_pct ~decimals:2 row.structural_loss;
+        ])
+    r.rows;
+  [ t ]

@@ -1,0 +1,212 @@
+(** Figure 6 and §5.2: convergence behaviour after poisoned announcements.
+
+    For each harvested AS the paper poisoned twice — once from a plain
+    baseline [O] and once from the prepended baseline [O-O-O] — and
+    measured, per route-collector peer, the time from its first update to
+    its stable post-poison route. Peers are split by whether they had been
+    routing through the poisoned AS ("change" vs "no change"). Anchors:
+    with prepending, >95% of unaffected peers converge instantly and 97%
+    make a single update; without prepending only ~70% converge instantly
+    and 64% make one update. Global convergence medians: 91 s with
+    prepending vs 133 s without. *)
+
+open Net
+open Workloads
+
+type series = {
+  label : string;
+  samples : float array;  (** Per-peer convergence times, seconds. *)
+  instant : float;  (** Fraction converging with a single first=last update. *)
+  single_update : float;
+  within_50s : float;
+}
+
+type result = {
+  series : series list;  (** prepend/no-prepend x change/no-change. *)
+  global_median_prepend : float;
+  global_p90_prepend : float;
+  global_median_noprepend : float;
+  global_p90_noprepend : float;
+  poisons : int;
+  u_affected : float;
+      (** Mean loc-RIB changes per poisoning for routers that had been
+          routing via the poisoned AS; the paper's U = 2.03. *)
+  u_unaffected : float;  (** Same for the rest; paper: 1.07. *)
+}
+
+let paper =
+  [
+    ("prepend, no change: instant", 0.95);
+    ("no prepend, no change: instant", 0.70);
+    ("prepend: single update", 0.97);
+    ("no prepend: single update", 0.64);
+  ]
+
+let mk_series label reports =
+  let samples =
+    Array.of_list (List.map (fun r -> r.Bgp.Convergence.convergence_time) reports)
+  in
+  {
+    label;
+    samples;
+    instant = Bgp.Convergence.fraction_instant reports;
+    single_update = Bgp.Convergence.fraction_single_update reports;
+    within_50s =
+      Stats.Descriptive.fraction (fun t -> t <= 50.0) samples;
+  }
+
+(* One poisoning round: set the baseline, converge, snapshot who routes
+   through the target, poison, measure per-peer convergence from the
+   collector feed. *)
+let poison_round mux ~baseline ~target =
+  let bed = mux.Scenarios.bed in
+  let net = bed.Scenarios.net in
+  let prefix = Scenarios.production_prefix in
+  let origin = mux.Scenarios.origin in
+  Bgp.Network.announce net ~origin ~prefix ~per_neighbor:(fun _ -> Some baseline) ();
+  Bgp.Network.run_until_quiet net;
+  (* The paper spaced announcements 90 minutes apart to avoid flap
+     dampening; at minimum every MRAI window must expire so the poison
+     propagates like a fresh event. *)
+  Scenarios.settle bed ~seconds:120.0;
+  let affected_set =
+    List.fold_left
+      (fun acc peer ->
+        match Bgp.Network.best_route net peer prefix with
+        | Some entry
+          when Bgp.As_path.traverses ~origin ~target entry.Bgp.Route.ann.Bgp.Route.path ->
+            Asn.Set.add peer acc
+        | Some _ | None -> acc)
+      Asn.Set.empty mux.Scenarios.feeds
+  in
+  Bgp.Network.Collector.clear mux.Scenarios.collector;
+  let event_time = Sim.Engine.now bed.Scenarios.engine in
+  let poisoned = Bgp.As_path.poisoned ~origin ~poison:target in
+  Bgp.Network.announce net ~origin ~prefix ~per_neighbor:(fun _ -> Some poisoned) ();
+  Bgp.Network.run_until_quiet net;
+  let reports =
+    Bgp.Convergence.analyze mux.Scenarios.collector ~event_time ~prefix
+      ~affected:(fun peer -> Asn.Set.mem peer affected_set)
+  in
+  (* Peers with no post-poison route (captives) are excluded, as in the
+     paper's measurement. *)
+  let reports = List.filter (fun r -> r.Bgp.Convergence.has_final_route) reports in
+  let global = Bgp.Convergence.global_convergence_time reports in
+  (reports, global)
+
+let run ?(ases = 318) ?(max_poisons = 25) ~seed () =
+  let mux = Scenarios.bgpmux ~ases ~seed () in
+  let net = mux.Scenarios.bed.Scenarios.net in
+  let origin = mux.Scenarios.origin in
+  Lifeguard.Remediate.announce_baseline net mux.Scenarios.plan;
+  Bgp.Network.run_until_quiet net;
+  let harvest = Scenarios.harvest_on_path_ases mux in
+  let rng = Prng.create ~seed:(seed + 2) in
+  let targets =
+    let arr = Array.of_list harvest in
+    Prng.shuffle rng arr;
+    Array.to_list (Array.sub arr 0 (min max_poisons (Array.length arr)))
+  in
+  let plain_baseline = Bgp.As_path.plain ~origin in
+  let prepended_baseline = Bgp.As_path.prepended ~origin ~copies:3 in
+  let collect baseline =
+    List.fold_left
+      (fun (acc_reports, acc_globals) target ->
+        let reports, global = poison_round mux ~baseline ~target in
+        (reports @ acc_reports, Option.to_list global @ acc_globals))
+      ([], []) targets
+  in
+  let prepend_reports, prepend_globals = collect prepended_baseline in
+  let noprepend_reports, noprepend_globals = collect plain_baseline in
+  let split which reports =
+    List.filter (fun r -> r.Bgp.Convergence.affected = which) reports
+  in
+  let pct arr p =
+    if arr = [] then 0.0 else Stats.Descriptive.percentile (Array.of_list arr) p
+  in
+  let mean_updates_of which =
+    Bgp.Convergence.mean_updates (split which prepend_reports)
+  in
+  {
+    series =
+      [
+        mk_series "Prepend, no change" (split false prepend_reports);
+        mk_series "No prepend, no change" (split false noprepend_reports);
+        mk_series "Prepend, change" (split true prepend_reports);
+        mk_series "No prepend, change" (split true noprepend_reports);
+      ];
+    u_affected = mean_updates_of true;
+    u_unaffected = mean_updates_of false;
+    global_median_prepend = pct prepend_globals 50.0;
+    global_p90_prepend = pct prepend_globals 90.0;
+    global_median_noprepend = pct noprepend_globals 50.0;
+    global_p90_noprepend = pct noprepend_globals 90.0;
+    poisons = List.length targets;
+  }
+
+let cdf_thresholds = [ 0.; 1.; 5.; 10.; 30.; 50.; 100.; 150.; 200.; 300.; 500. ]
+
+let to_tables r =
+  let anchors =
+    Stats.Table.create ~title:"Fig. 6 anchors (paper vs measured)"
+      ~columns:[ "metric"; "paper"; "measured" ]
+  in
+  let find label = List.find (fun s -> s.label = label) r.series in
+  let p_nc = find "Prepend, no change" in
+  let np_nc = find "No prepend, no change" in
+  Stats.Table.add_rows anchors
+    [
+      [
+        "prepend, no change: instant";
+        Stats.Table.cell_pct (List.assoc "prepend, no change: instant" paper);
+        Stats.Table.cell_pct p_nc.instant;
+      ];
+      [
+        "no prepend, no change: instant";
+        Stats.Table.cell_pct (List.assoc "no prepend, no change: instant" paper);
+        Stats.Table.cell_pct np_nc.instant;
+      ];
+      [
+        "prepend: single update (unaffected)";
+        Stats.Table.cell_pct (List.assoc "prepend: single update" paper);
+        Stats.Table.cell_pct p_nc.single_update;
+      ];
+      [
+        "no prepend: single update (unaffected)";
+        Stats.Table.cell_pct (List.assoc "no prepend: single update" paper);
+        Stats.Table.cell_pct np_nc.single_update;
+      ];
+      [
+        "global convergence median (s)";
+        "91 vs 133";
+        Printf.sprintf "%.0f vs %.0f" r.global_median_prepend r.global_median_noprepend;
+      ];
+      [
+        "global convergence p90 (s)";
+        "200 vs 226";
+        Printf.sprintf "%.0f vs %.0f" r.global_p90_prepend r.global_p90_noprepend;
+      ];
+      [
+        "updates per poison, affected / unaffected routers (U)";
+        "2.03 / 1.07";
+        Printf.sprintf "%.2f / %.2f" r.u_affected r.u_unaffected;
+      ];
+    ];
+  let curve =
+    Stats.Table.create ~title:"Fig. 6 series: CDF of peer convergence time"
+      ~columns:("seconds" :: List.map (fun s -> s.label) r.series)
+  in
+  List.iter
+    (fun threshold ->
+      let cells =
+        List.map
+          (fun s ->
+            if Array.length s.samples = 0 then "-"
+            else
+              Stats.Table.cell_float ~decimals:3
+                (Stats.Descriptive.fraction (fun t -> t <= threshold) s.samples))
+          r.series
+      in
+      Stats.Table.add_row curve (Stats.Table.cell_float ~decimals:0 threshold :: cells))
+    cdf_thresholds;
+  [ anchors; curve ]

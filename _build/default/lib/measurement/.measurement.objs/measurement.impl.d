@@ -1,0 +1,1 @@
+lib/measurement/measurement.ml: Atlas Hubble Monitor Responsiveness Reverse_traceroute

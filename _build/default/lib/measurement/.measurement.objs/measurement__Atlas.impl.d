@@ -1,0 +1,1 @@
+lib/measurement/atlas.ml: Asn Dataplane Hashtbl List Net

@@ -1,0 +1,1 @@
+lib/measurement/atlas.mli: Asn Dataplane Net

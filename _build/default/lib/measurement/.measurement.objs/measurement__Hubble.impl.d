@@ -1,0 +1,1 @@
+lib/measurement/hubble.ml: Asn Dataplane Ipv4 List Net Sim

@@ -1,0 +1,1 @@
+lib/measurement/hubble.mli: Asn Dataplane Net Sim

@@ -1,0 +1,1 @@
+lib/measurement/monitor.ml: Asn Dataplane Ipv4 List Net Responsiveness Sim

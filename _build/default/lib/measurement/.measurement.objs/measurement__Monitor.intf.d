@@ -1,0 +1,1 @@
+lib/measurement/monitor.mli: Asn Dataplane Ipv4 Net Responsiveness Sim

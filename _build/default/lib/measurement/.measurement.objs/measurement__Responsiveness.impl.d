@@ -1,0 +1,1 @@
+lib/measurement/responsiveness.ml: Array As_graph Hashtbl Ipv4 List Net Prng Topology

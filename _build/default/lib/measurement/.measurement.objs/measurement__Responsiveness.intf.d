@@ -1,0 +1,1 @@
+lib/measurement/responsiveness.mli: Ipv4 Net Prng Topology

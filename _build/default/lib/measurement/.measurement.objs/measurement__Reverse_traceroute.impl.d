@@ -1,0 +1,1 @@
+lib/measurement/reverse_traceroute.ml: Asn Bgp Dataplane Hashtbl Ipv4 List Net Option

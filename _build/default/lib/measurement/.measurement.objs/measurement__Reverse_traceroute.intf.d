@@ -1,0 +1,1 @@
+lib/measurement/reverse_traceroute.mli: Asn Dataplane Ipv4 Net

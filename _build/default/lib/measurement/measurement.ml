@@ -1,0 +1,9 @@
+(** Measurement infrastructure: the historical path atlas, reachability
+    monitors with outage detection, and the router-responsiveness
+    database isolation consults to tell silence from unreachability. *)
+
+module Atlas = Atlas
+module Monitor = Monitor
+module Responsiveness = Responsiveness
+module Reverse_traceroute = Reverse_traceroute
+module Hubble = Hubble

@@ -1,0 +1,115 @@
+open Net
+
+type outage = {
+  vp : Asn.t;
+  target : Ipv4.t;
+  started_at : float;
+  detected_at : float;
+  mutable ended_at : float option;
+}
+
+let duration o ~now =
+  match o.ended_at with
+  | Some ended -> ended -. o.started_at
+  | None -> now -. o.started_at
+
+type target_state = {
+  address : Ipv4.t;
+  mutable consecutive_failures : int;
+  mutable first_failure_at : float;
+  mutable current : outage option;
+}
+
+type t = {
+  env : Dataplane.Probe.env;
+  engine : Sim.Engine.t;
+  interval : float;
+  fail_threshold : int;
+  on_outage : outage -> unit;
+  on_recovery : outage -> unit;
+  responsiveness : Responsiveness.t option;
+  src_ip : Ipv4.t option;
+  vp : Asn.t;
+  targets : target_state list;
+  mutable stopped : bool;
+  mutable history : outage list;  (** newest first *)
+  mutable pairs_sent : int;
+}
+
+let probe_target t state now =
+  t.pairs_sent <- t.pairs_sent + 1;
+  (* A "pair" of pings: in the simulator both probes of a pair see the
+     same network state, so one delivery check decides the pair. *)
+  let ok =
+    match t.src_ip with
+    | Some src_ip -> Dataplane.Probe.ping_from t.env ~src:t.vp ~src_ip ~dst:state.address
+    | None -> Dataplane.Probe.ping t.env ~src:t.vp ~dst:state.address
+  in
+  (match t.responsiveness with
+  | Some db -> Responsiveness.note db state.address ~now ok
+  | None -> ());
+  if ok then begin
+    (match state.current with
+    | Some o ->
+        o.ended_at <- Some now;
+        t.on_recovery o
+    | None -> ());
+    state.current <- None;
+    state.consecutive_failures <- 0
+  end
+  else begin
+    if state.consecutive_failures = 0 then state.first_failure_at <- now;
+    state.consecutive_failures <- state.consecutive_failures + 1;
+    if state.consecutive_failures = t.fail_threshold && state.current = None then begin
+      let o =
+        {
+          vp = t.vp;
+          target = state.address;
+          started_at = state.first_failure_at;
+          detected_at = now;
+          ended_at = None;
+        }
+      in
+      state.current <- Some o;
+      t.history <- o :: t.history;
+      t.on_outage o
+    end
+  end
+
+let create ~env ~engine ?(interval = 30.0) ?(fail_threshold = 4) ?(on_outage = ignore)
+    ?(on_recovery = ignore) ?responsiveness ?src_ip ~vp ~targets () =
+  if interval <= 0.0 then invalid_arg "Monitor.create: interval must be positive";
+  if fail_threshold < 1 then invalid_arg "Monitor.create: threshold must be >= 1";
+  let t =
+    {
+      env;
+      engine;
+      interval;
+      fail_threshold;
+      on_outage;
+      on_recovery;
+      responsiveness;
+      src_ip;
+      vp;
+      targets =
+        List.map
+          (fun address ->
+            { address; consecutive_failures = 0; first_failure_at = 0.0; current = None })
+          targets;
+      stopped = false;
+      history = [];
+      pairs_sent = 0;
+    }
+  in
+  Sim.Engine.schedule_every engine ~every:interval (fun now ->
+      if t.stopped then `Stop
+      else begin
+        List.iter (fun state -> probe_target t state now) t.targets;
+        `Continue
+      end);
+  t
+
+let stop t = t.stopped <- true
+let outages t = List.rev t.history
+let open_outages t = List.filter (fun o -> o.ended_at = None) (outages t)
+let probe_count t = t.pairs_sent

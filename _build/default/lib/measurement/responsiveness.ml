@@ -1,0 +1,53 @@
+open Net
+open Topology
+
+type record = { mutable successes : int; mutable failures : int; mutable last : float }
+
+type t = {
+  silent : (int32, unit) Hashtbl.t;
+  history : (int32, record) Hashtbl.t;
+  mutable observations : int;
+}
+
+let create () = { silent = Hashtbl.create 64; history = Hashtbl.create 256; observations = 0 }
+let configure_silent t ip = Hashtbl.replace t.silent (Ipv4.to_int32 ip) ()
+
+let configure_silent_fraction t rng graph ~fraction =
+  List.iter
+    (fun asn ->
+      Array.iter
+        (fun r ->
+          if Prng.bernoulli rng ~p:fraction then configure_silent t r.As_graph.address)
+        (As_graph.routers graph asn))
+    (As_graph.as_list graph)
+
+let is_silent t ip = Hashtbl.mem t.silent (Ipv4.to_int32 ip)
+
+let note t ip ~now success =
+  t.observations <- t.observations + 1;
+  let key = Ipv4.to_int32 ip in
+  let r =
+    match Hashtbl.find_opt t.history key with
+    | Some r -> r
+    | None ->
+        let r = { successes = 0; failures = 0; last = now } in
+        Hashtbl.replace t.history key r;
+        r
+  in
+  if success then r.successes <- r.successes + 1 else r.failures <- r.failures + 1;
+  r.last <- now
+
+let ever_responded t ip =
+  match Hashtbl.find_opt t.history (Ipv4.to_int32 ip) with
+  | Some r -> r.successes > 0
+  | None -> false
+
+let expect_response t ip =
+  if is_silent t ip then false
+  else begin
+    match Hashtbl.find_opt t.history (Ipv4.to_int32 ip) with
+    | Some r -> r.successes > 0
+    | None -> true
+  end
+
+let observation_count t = t.observations

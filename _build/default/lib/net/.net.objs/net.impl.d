@@ -1,0 +1,1 @@
+lib/net/net.ml: Asn Ipv4 Prefix Prefix_trie

@@ -1,0 +1,1 @@
+lib/net/asn.ml: Format Hashtbl Int Map Set

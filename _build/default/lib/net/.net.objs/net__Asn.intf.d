@@ -1,0 +1,1 @@
+lib/net/asn.mli: Format Hashtbl Map Set

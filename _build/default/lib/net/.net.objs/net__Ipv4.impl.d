@@ -1,0 +1,1 @@
+lib/net/ipv4.ml: Format Int32 Map Printf Set String

@@ -1,0 +1,1 @@
+lib/net/prefix.ml: Format Int Int32 Ipv4 Map Printf Set String

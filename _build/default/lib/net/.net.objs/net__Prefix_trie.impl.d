@@ -1,0 +1,1 @@
+lib/net/prefix_trie.ml: Int32 Ipv4 List Prefix

@@ -1,0 +1,16 @@
+type t = int
+
+let of_int n =
+  if n < 0 then invalid_arg "Asn.of_int: negative ASN";
+  n
+
+let to_int t = t
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let pp fmt t = Format.fprintf fmt "AS%d" t
+let to_string t = "AS" ^ string_of_int t
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)
+module Table = Hashtbl.Make (Int)

@@ -1,0 +1,7 @@
+(** Internet addressing primitives: AS numbers, IPv4 addresses, CIDR
+    prefixes and a longest-prefix-match trie. *)
+
+module Asn = Asn
+module Ipv4 = Ipv4
+module Prefix = Prefix
+module Prefix_trie = Prefix_trie

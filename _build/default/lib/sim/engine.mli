@@ -1,0 +1,40 @@
+(** Discrete-event simulation engine.
+
+    The BGP network, the monitoring loops and LIFEGUARD's orchestrator all
+    run on a single shared clock: events are closures scheduled at absolute
+    times and executed in time order (FIFO among equal times). Time is in
+    seconds as a float. *)
+
+type t
+
+val create : ?now:float -> unit -> t
+(** A fresh engine whose clock starts at [now] (default 0). *)
+
+val now : t -> float
+(** Current simulation time. *)
+
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** [schedule t ~at f] runs [f] when the clock reaches [at]. Scheduling in
+    the past raises [Invalid_argument]. Events at equal times run in
+    scheduling order. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> unit
+(** [schedule_after t ~delay f] = [schedule t ~at:(now t +. delay) f];
+    [delay] must be non-negative. *)
+
+val schedule_every :
+  t -> every:float -> ?until:float -> (float -> [ `Continue | `Stop ]) -> unit
+(** [schedule_every t ~every f] runs [f now] at the current time plus
+    [every], then repeatedly every [every] seconds while it returns
+    [`Continue] (and, if [until] is given, while the clock is before it). *)
+
+val run : ?until:float -> t -> unit
+(** Execute events in order until the queue empties, or until the clock
+    would pass [until] (remaining events stay queued and the clock is left
+    at [until]). *)
+
+val step : t -> bool
+(** Execute the single next event; [false] if the queue is empty. *)
+
+val pending : t -> int
+(** Number of queued events. *)

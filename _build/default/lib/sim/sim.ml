@@ -1,0 +1,4 @@
+(** Discrete-event simulation: a single shared clock driving the BGP
+    network, monitoring loops and LIFEGUARD's control loop. *)
+
+module Engine = Engine

@@ -1,0 +1,1 @@
+lib/stats/stats.ml: Descriptive Ecdf Table

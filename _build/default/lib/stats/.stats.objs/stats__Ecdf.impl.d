@@ -1,0 +1,1 @@
+lib/stats/ecdf.ml: Array List

@@ -1,0 +1,7 @@
+(** Statistics toolkit for the LIFEGUARD reproduction: descriptive
+    statistics, empirical CDFs (plain and mass-weighted) and plain-text
+    table rendering for experiment output. *)
+
+module Descriptive = Descriptive
+module Ecdf = Ecdf
+module Table = Table

@@ -1,0 +1,43 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list; (* stored in reverse order *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count does not match columns";
+  t.rows <- row :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let all = t.columns :: rows in
+  let ncols = List.length t.columns in
+  let widths = Array.make ncols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let pad i cell = cell ^ String.make (widths.(i) - String.length cell) ' ' in
+  let render_row row = String.concat "  " (List.mapi pad row) in
+  let sep =
+    String.concat "  " (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf ("== " ^ t.title ^ " ==\n");
+  Buffer.add_string buf (render_row t.columns ^ "\n");
+  Buffer.add_string buf (sep ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
+  Buffer.contents buf
+
+let print t =
+  print_string (render t);
+  print_newline ()
+
+let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
+let cell_pct ?(decimals = 1) x = Printf.sprintf "%.*f%%" decimals (100.0 *. x)
+let cell_int n = string_of_int n

@@ -1,0 +1,1 @@
+lib/topology/topology.ml: As_graph Relationship Splice Topo_gen

@@ -1,0 +1,1 @@
+lib/topology/as_graph.ml: Array Asn Format Hashtbl Int Ipv4 List Net Option Printf Relationship String

@@ -1,0 +1,1 @@
+lib/topology/as_graph.mli: Asn Format Ipv4 Net Relationship

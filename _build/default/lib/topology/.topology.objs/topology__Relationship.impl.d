@@ -1,0 +1,1 @@
+lib/topology/relationship.ml: Format

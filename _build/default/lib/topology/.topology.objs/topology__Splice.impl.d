@@ -1,0 +1,1 @@
+lib/topology/splice.ml: Array As_graph Asn Hashtbl List Net Queue Relationship

@@ -1,0 +1,1 @@
+lib/topology/splice.mli: As_graph Asn Net

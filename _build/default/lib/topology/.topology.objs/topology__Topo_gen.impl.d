@@ -1,0 +1,1 @@
+lib/topology/topo_gen.ml: Array As_graph Asn List Net Prng Relationship

@@ -1,0 +1,1 @@
+lib/topology/topo_gen.mli: As_graph Asn Net

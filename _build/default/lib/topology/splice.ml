@@ -1,0 +1,174 @@
+open Net
+
+(* Valley-free check: walk the path tracking whether we are still allowed
+   to go "up" (customer->provider) or sideways (one peer edge), after which
+   only "down" (provider->customer) edges are legal. *)
+let valley_free graph path =
+  let rec go can_go_up = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> begin
+        match As_graph.relationship graph ~a ~b with
+        | None -> false
+        | Some rel -> begin
+            match rel with
+            | Relationship.Provider -> can_go_up && go true rest
+            | Relationship.Peer -> can_go_up && go false rest
+            | Relationship.Customer -> go false rest
+            | Relationship.Sibling -> go can_go_up rest
+          end
+      end
+  in
+  go true path
+
+(* Two-phase BFS. State = (asn, phase) where phase Up means we may still
+   traverse provider/peer edges; Down means only customer edges remain.
+   Predecessors are recorded to materialize paths. *)
+type phase = Up | Down
+
+let search graph ~src ~dst ~avoiding =
+  if Asn.Set.mem src avoiding || Asn.Set.mem dst avoiding then None
+  else if Asn.equal src dst then Some [ src ]
+  else begin
+    let key asn phase = (Asn.to_int asn * 2) + match phase with Up -> 0 | Down -> 1 in
+    let visited = Hashtbl.create 1024 in
+    let queue = Queue.create () in
+    let pred = Hashtbl.create 1024 in
+    Hashtbl.replace visited (key src Up) ();
+    Queue.push (src, Up) queue;
+    let found = ref None in
+    let visit (asn, phase) (next, next_phase) =
+      let k = key next next_phase in
+      if (not (Hashtbl.mem visited k)) && not (Asn.Set.mem next avoiding) then begin
+        Hashtbl.replace visited k ();
+        Hashtbl.replace pred k (asn, phase);
+        if Asn.equal next dst then found := Some (next, next_phase)
+        else Queue.push (next, next_phase) queue
+      end
+    in
+    while !found = None && not (Queue.is_empty queue) do
+      let ((asn, phase) as state) = Queue.pop queue in
+      let step (next, rel) =
+        match (phase, (rel : Relationship.t)) with
+        | Up, Provider -> visit state (next, Up)
+        | Up, Peer -> visit state (next, Down)
+        | _, Customer -> visit state (next, Down)
+        | _, Sibling -> visit state (next, phase)
+        | Down, (Provider | Peer) -> ()
+      in
+      List.iter step (As_graph.neighbors graph asn)
+    done;
+    match !found with
+    | None -> None
+    | Some (asn, phase) ->
+        let rec unwind acc (asn, phase) =
+          if Asn.equal asn src && phase = Up then src :: acc
+          else begin
+            match Hashtbl.find_opt pred (key asn phase) with
+            | Some prev -> unwind (asn :: acc) prev
+            | None -> asn :: acc
+          end
+        in
+        Some (unwind [] (asn, phase))
+  end
+
+let policy_path graph ~src ~dst ~avoiding = search graph ~src ~dst ~avoiding
+let policy_reachable graph ~src ~dst ~avoiding = search graph ~src ~dst ~avoiding <> None
+
+module Tuples = struct
+  (* Keys are (a,b,c) triples of raw ASN ints, stored in both orientations
+     so that reverse traversals also count as observed. *)
+  type t = (int * int * int, unit) Hashtbl.t
+
+  let wildcard = -1
+
+  let add t a b c =
+    Hashtbl.replace t (a, b, c) ();
+    Hashtbl.replace t (c, b, a) ()
+
+  let of_paths paths =
+    let t = Hashtbl.create 4096 in
+    let add_path path =
+      let arr = Array.of_list (List.map Asn.to_int path) in
+      let n = Array.length arr in
+      for i = 0 to n - 3 do
+        add t arr.(i) arr.(i + 1) arr.(i + 2)
+      done;
+      (* Path-end pairs: an AS at the end of an observed path has been seen
+         exporting to/importing from its neighbor, recorded with a
+         wildcard third element. *)
+      if n >= 2 then begin
+        add t wildcard arr.(0) arr.(1);
+        add t arr.(n - 2) arr.(n - 1) wildcard
+      end
+    in
+    List.iter add_path paths;
+    t
+
+  let observed t a b c =
+    let a = Asn.to_int a and b = Asn.to_int b and c = Asn.to_int c in
+    Hashtbl.mem t (a, b, c)
+    || Hashtbl.mem t (wildcard, b, c)
+    || Hashtbl.mem t (a, b, wildcard)
+end
+
+let splice_around ~from_src ~to_dst ~tuples ~avoid ~dst =
+  (* Index positions of each AS in the destination-bound paths. *)
+  let suffix_at path asn =
+    let rec go = function
+      | [] -> None
+      | hd :: _ as rest when Asn.equal hd asn -> Some rest
+      | _ :: rest -> go rest
+    in
+    go path
+  in
+  let path_avoids path = not (List.exists (Asn.equal avoid) path) in
+  let try_pair src_path dst_path =
+    (* Walk the source path hop by hop; at each hop, attempt to continue
+       along the destination-bound path from that hop. *)
+    let rec go prefix_rev before = function
+      | [] -> None
+      | hop :: rest -> begin
+          let candidate =
+            if Asn.equal hop avoid then None
+            else begin
+              match suffix_at dst_path hop with
+              | None -> None
+              | Some suffix -> begin
+                  let joined = List.rev_append prefix_rev suffix in
+                  if (not (path_avoids joined)) || not (List.exists (Asn.equal dst) suffix)
+                  then None
+                  else begin
+                    (* Three-tuple check at the splice point: the subpath
+                       (before, hop, after) must have been observed. *)
+                    let after =
+                      match suffix with
+                      | _ :: next :: _ -> Some next
+                      | _ -> None
+                    in
+                    match (before, after) with
+                    | Some b, Some a ->
+                        if Asn.equal b a || Tuples.observed tuples b hop a then Some joined
+                        else None
+                    | _ -> Some joined
+                  end
+                end
+            end
+          in
+          match candidate with
+          | Some _ as found -> found
+          | None ->
+              if Asn.equal hop avoid then None
+              else go (hop :: prefix_rev) (Some hop) rest
+        end
+    in
+    go [] None src_path
+  in
+  let rec first_some f = function
+    | [] -> None
+    | x :: rest -> begin
+        match f x with
+        | Some _ as found -> found
+        | None -> first_some f rest
+      end
+  in
+  first_some (fun sp -> first_some (fun dp -> try_pair sp dp) to_dst) from_src

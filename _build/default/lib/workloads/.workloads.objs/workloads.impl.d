@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Outage_gen Scenarios

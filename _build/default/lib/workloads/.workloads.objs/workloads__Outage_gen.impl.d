@@ -1,0 +1,1 @@
+lib/workloads/outage_gen.ml: Array Float Prng Stats

@@ -1,0 +1,1 @@
+lib/workloads/scenarios.ml: Array As_graph Asn Bgp Dataplane Int Lifeguard List Net Outage_gen Prefix Prng Relationship Sim Topo_gen Topology

@@ -1,0 +1,1 @@
+lib/workloads/scenarios.mli: As_graph Asn Bgp Dataplane Lifeguard Net Outage_gen Prefix Prng Sim Topo_gen Topology

@@ -1,0 +1,53 @@
+type params = {
+  short_weight : float;
+  short_mean : float;
+  long_shape : float;
+  long_scale : float;
+  floor : float;
+  cap : float;
+}
+
+let default_params =
+  {
+    short_weight = 0.88;
+    short_mean = 40.0;
+    long_shape = 0.70;
+    long_scale = 150.0;
+    floor = 90.0;
+    cap = 259200.0 (* three days *);
+  }
+
+let duration ?(params = default_params) rng =
+  let raw =
+    if Prng.bernoulli rng ~p:params.short_weight then
+      Prng.Dist.exponential rng ~mean:params.short_mean
+    else Prng.Dist.pareto rng ~shape:params.long_shape ~scale:params.long_scale
+  in
+  Float.min (params.floor +. raw) params.cap
+
+let durations ?params ~seed ~n () =
+  let rng = Prng.create ~seed in
+  Array.init n (fun _ -> duration ?params rng)
+
+type direction = Forward | Reverse | Bidirectional
+
+type shape = { direction : direction; on_link : bool; duration : float }
+
+let shape ?params rng =
+  let direction =
+    let u = Prng.float rng in
+    if u < 0.40 then Reverse else if u < 0.80 then Forward else Bidirectional
+  in
+  { direction; on_link = Prng.bernoulli rng ~p:0.38; duration = duration ?params rng }
+
+let total_unavailability = Stats.Descriptive.sum
+
+let unavailability_share_above ds ~threshold =
+  let total = total_unavailability ds in
+  if total <= 0.0 then 0.0
+  else begin
+    let above =
+      Array.fold_left (fun acc d -> if d > threshold then acc +. d else acc) 0.0 ds
+    in
+    above /. total
+  end

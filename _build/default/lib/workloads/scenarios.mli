@@ -1,0 +1,128 @@
+(** Experiment scenario builders: the simulated counterparts of the
+    paper's testbeds.
+
+    {!planetlab} stands in for the PlanetLab mesh (vantage points in edge
+    networks probing each other and routers in large transit ASes);
+    {!bgpmux} for the BGP-Mux deployment (an origin AS multi-homed to
+    five university providers, with a route-collector feed); and
+    {!case_study} for §6's fixed topology (a Taiwanese site whose reverse
+    path silently dies inside a commercial transit). *)
+
+open Net
+open Topology
+
+type testbed = {
+  engine : Sim.Engine.t;
+  graph : As_graph.t;
+  gen : Topo_gen.t option;  (** The generator output, when synthetic. *)
+  net : Bgp.Network.t;
+  failures : Dataplane.Failure.set;
+  probe : Dataplane.Probe.env;
+  vantage_points : Asn.t list;
+  targets : Asn.t list;
+}
+
+val settle : testbed -> seconds:float -> unit
+(** Advance the simulation clock with no traffic — letting MRAI windows
+    expire so the next announcement propagates like the paper's
+    experiments, which spaced announcements 90 minutes apart. *)
+
+val planetlab :
+  ?ases:int -> ?sites:int -> ?target_count:int -> ?mrai:float -> seed:int -> unit -> testbed
+(** A synthetic Internet of roughly [ases] ASes (default 318) with
+    infrastructure prefixes announced and converged. [sites] (default 20)
+    stub ASes act as PlanetLab vantage points; [target_count] (default
+    25) targets are drawn from the highest-degree transit ASes, echoing
+    the EC2 study's "five routers each from the 50 highest-degree
+    ASes". *)
+
+val production_prefix : Prefix.t
+(** The /24 carrying "real" traffic in mux scenarios (203.0.113.0/24). *)
+
+val sentinel_prefix : Prefix.t
+(** Its covering /23 sentinel (203.0.112.0/23); the low half is unused
+    address space for repair probes. *)
+
+type mux = {
+  bed : testbed;
+  origin : Asn.t;  (** The LIFEGUARD AS (BGP-Mux AS). *)
+  providers : Asn.t list;  (** Its university muxes. *)
+  plan : Lifeguard.Remediate.plan;
+  collector : Bgp.Network.Collector.t;
+  feeds : Asn.t list;  (** Route-collector peer ASes. *)
+}
+
+val bgpmux :
+  ?ases:int ->
+  ?provider_count:int ->
+  ?feed_count:int ->
+  ?mrai:float ->
+  ?prepend_copies:int ->
+  ?fib_install_delay:float ->
+  seed:int ->
+  unit ->
+  mux
+(** A {!planetlab}-style Internet plus a multi-homed origin attached to
+    [provider_count] (default 5) distinct transit providers, a production
+    /24 with covering /23 sentinel, and a collector fed by [feed_count]
+    (default 40) ASes across tiers. The baseline is {e not} announced —
+    each experiment controls its own announcements. *)
+
+val harvest_on_path_ases : mux -> Asn.t list
+(** The transit ASes appearing on collector peers' current paths to the
+    production prefix, excluding the origin, its direct providers and
+    tier-1s — the paper's §5 harvesting step that chooses which ASes to
+    poison. Requires the production prefix to be announced and the
+    network converged. *)
+
+(** The fixed topology of the paper's §6 case study. *)
+module Case_study : sig
+  type t = {
+    bed : testbed;
+    origin : Asn.t;  (** The LIFEGUARD AS announcing via UWisc. *)
+    uwisc : Asn.t;
+    wiscnet : Asn.t;
+    internet2 : Asn.t;
+    apan : Asn.t;
+    tanet : Asn.t;
+    taiwan : Asn.t;  (** The National Tsing Hua University site. *)
+    twgate : Asn.t;
+    uunet : Asn.t;
+    level3 : Asn.t;
+    plan : Lifeguard.Remediate.plan;
+  }
+
+  val build : unit -> t
+  (** Converged, infrastructure announced; the Taiwanese site initially
+      routes to the origin through TWGate -> UUNET -> Level3 -> UWisc
+      (shorter than the academic TANet -> APAN -> I2 -> WiscNet chain).
+      No failure injected yet. *)
+
+  val uunet_failure : t -> Dataplane.Failure.spec
+  (** The silent failure of §6: UUNET keeps announcing but drops packets
+      destined to the origin's address space (scoped to the sentinel, so
+      production, sentinel and repair probes all see it). *)
+end
+
+(** Placing a synthetic failure on the live path between two ASes. *)
+module Placement : sig
+  type placed = {
+    spec : Dataplane.Failure.spec;
+    location : Asn.t;  (** The AS at (or nearest) the failure. *)
+    far_side : Asn.t option;  (** The other end for link failures. *)
+  }
+
+  val on_path :
+    Prng.t ->
+    testbed ->
+    src:Asn.t ->
+    dst:Asn.t ->
+    shape:Outage_gen.shape ->
+    placed option
+  (** Choose a transit AS (or inter-AS link) on the current data-plane
+      path matching [shape]: reverse failures sit on the [dst -> src]
+      path and are scoped toward [src]'s infrastructure prefix, forward
+      failures on the [src -> dst] path toward [dst]'s, bidirectional
+      failures are unscoped. Returns [None] when the path has no transit
+      hops to break. *)
+end

@@ -1,0 +1,6 @@
+(** Workload generation: outage datasets calibrated to the paper's EC2
+    measurements and scenario builders standing in for its testbeds
+    (PlanetLab mesh, BGP-Mux deployment, the §6 case study). *)
+
+module Outage_gen = Outage_gen
+module Scenarios = Scenarios

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest As_graph Asn Bgp Dataplane List Net Prefix Relationship Sim Topology

@@ -1,0 +1,1 @@
+test/test_behaviors.ml: Alcotest As_graph Asn Bgp Dataplane Helpers Lifeguard List Measurement Net Prefix Relationship Sim Topology

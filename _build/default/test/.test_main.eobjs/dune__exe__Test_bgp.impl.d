@@ -1,0 +1,1 @@
+test/test_bgp.ml: Alcotest As_graph Asn Bgp Dataplane Helpers List Net Prefix Printf Relationship Topology

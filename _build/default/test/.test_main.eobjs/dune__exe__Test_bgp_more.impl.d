@@ -1,0 +1,1 @@
+test/test_bgp_more.ml: Alcotest As_graph Asn Bgp Helpers List Net Printf QCheck QCheck_alcotest Relationship Sim Topology

@@ -1,0 +1,1 @@
+test/test_dataplane.ml: Alcotest Asn Bgp Dataplane Helpers List Net Prefix

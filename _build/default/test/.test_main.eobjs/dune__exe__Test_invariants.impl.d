@@ -1,0 +1,1 @@
+test/test_invariants.ml: Array As_graph Asn Bgp Dataplane Lifeguard List Net Prefix Prng QCheck QCheck_alcotest Relationship Sim Splice Topo_gen Topology

@@ -1,0 +1,1 @@
+test/test_lifeguard.ml: Alcotest As_graph Asn Bgp Dataplane Helpers Lifeguard List Measurement Net Prefix Printf Relationship Sim Topology Workloads

@@ -1,0 +1,1 @@
+test/test_measurement.ml: Alcotest Array Asn Bgp Dataplane Helpers Ipv4 List Measurement Net Prefix Printf Prng Sim Topology

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Int Ipv4 List Net Option Prefix Prefix_trie QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Float List Printf Prng QCheck QCheck_alcotest Stats

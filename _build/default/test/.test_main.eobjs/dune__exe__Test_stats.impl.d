@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float List Printf QCheck QCheck_alcotest Stats String

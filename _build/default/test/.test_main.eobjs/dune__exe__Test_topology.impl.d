@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Array As_graph Asn Ipv4 List Net Printf Prng QCheck QCheck_alcotest Relationship Splice Topo_gen Topology

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Asn Bgp Dataplane Float Lifeguard List Net Outage_gen Printf Prng QCheck QCheck_alcotest Scenarios Sim Stats Topology Workloads

@@ -1,0 +1,212 @@
+(* Forwarding, failure injection and the probe vocabulary — including the
+   paper's misleading-traceroute scenario. *)
+
+open Net
+open Helpers
+
+let ready_world () =
+  let w = fig2_world () in
+  announce_all_infrastructure w;
+  Bgp.Network.announce w.net ~origin:o ~prefix:production ();
+  converge w;
+  w
+
+let infra = Dataplane.Forward.infrastructure_prefix
+let addr w x = Dataplane.Forward.probe_address w.net x
+
+let test_basic_delivery () =
+  let w = ready_world () in
+  let walk = Dataplane.Forward.walk w.net w.failures ~src:e ~dst:(addr w o) () in
+  Alcotest.(check bool) "delivered" true (walk.Dataplane.Forward.outcome = Dataplane.Forward.Delivered);
+  Alcotest.(check (list int)) "AS-level path" [ 60; 30; 20; 10 ]
+    (List.map Asn.to_int (Dataplane.Forward.as_path_of_walk walk));
+  Alcotest.(check bool) "delivers convenience" true
+    (Dataplane.Forward.delivers w.net w.failures ~src:e ~dst:(addr w o))
+
+let test_no_route () =
+  let w = fig2_world () in
+  (* Nothing announced: no FIB entries anywhere. *)
+  let walk = Dataplane.Forward.walk w.net w.failures ~src:e ~dst:(addr w o) () in
+  match walk.Dataplane.Forward.outcome with
+  | Dataplane.Forward.No_route at -> Alcotest.(check int) "stops at source" 60 (Asn.to_int at)
+  | _ -> Alcotest.fail "expected No_route"
+
+let test_node_failure_blocks () =
+  let w = ready_world () in
+  Dataplane.Failure.add w.failures (Dataplane.Failure.spec (Dataplane.Failure.Node a));
+  let walk = Dataplane.Forward.walk w.net w.failures ~src:e ~dst:(addr w o) () in
+  (match walk.Dataplane.Forward.outcome with
+  | Dataplane.Forward.Dropped { at; _ } -> Alcotest.(check int) "dropped at A" 30 (Asn.to_int at)
+  | _ -> Alcotest.fail "expected Dropped");
+  Dataplane.Failure.clear w.failures;
+  Alcotest.(check bool) "clear heals" true
+    (Dataplane.Forward.delivers w.net w.failures ~src:e ~dst:(addr w o))
+
+let test_directional_link_failure () =
+  let w = ready_world () in
+  Dataplane.Failure.add w.failures
+    (Dataplane.Failure.spec (Dataplane.Failure.Link_dir (e, a)));
+  Alcotest.(check bool) "e->a traversal dies" false
+    (Dataplane.Forward.delivers w.net w.failures ~src:e ~dst:(addr w o));
+  Alcotest.(check bool) "a->e traversal fine" true
+    (Dataplane.Forward.delivers w.net w.failures ~src:o ~dst:(addr w e))
+
+let test_toward_scoping () =
+  let w = ready_world () in
+  (* A drops only packets toward O's infrastructure space. *)
+  Dataplane.Failure.add w.failures
+    (Dataplane.Failure.spec ~toward:(infra o) (Dataplane.Failure.Node a));
+  Alcotest.(check bool) "toward O dies" false
+    (Dataplane.Forward.delivers w.net w.failures ~src:e ~dst:(addr w o));
+  Alcotest.(check bool) "toward F unaffected (also through A)" true
+    (Dataplane.Forward.delivers w.net w.failures ~src:e ~dst:(addr w f))
+
+let test_source_blocked_by_own_failure () =
+  let w = ready_world () in
+  Dataplane.Failure.add w.failures
+    (Dataplane.Failure.spec ~toward:(infra o) (Dataplane.Failure.Node a));
+  (* A itself cannot reach O: its packets die on departure. *)
+  Alcotest.(check bool) "A cannot reach O" false
+    (Dataplane.Forward.delivers w.net w.failures ~src:a ~dst:(addr w o))
+
+let test_ping_requires_both_directions () =
+  let w = ready_world () in
+  (* Reverse-only failure: traffic toward O's infra dies inside A. Pings
+     from O to E fail (reply crosses A), pings from O to D succeed (D's
+     path back avoids A). *)
+  Dataplane.Failure.add w.failures
+    (Dataplane.Failure.spec ~toward:(infra o) (Dataplane.Failure.Node a));
+  Alcotest.(check bool) "ping O->E fails on the reply" false
+    (Dataplane.Probe.ping w.probe ~src:o ~dst:(addr w e));
+  Alcotest.(check bool) "ping O->D fine" true (Dataplane.Probe.ping w.probe ~src:o ~dst:(addr w d));
+  (* Forward direction from O still works: a spoofed ping sourced at O
+     with D's address draws the reply to D instead. *)
+  Alcotest.(check bool) "spoofed ping O->E (reply to D)" true
+    (Dataplane.Probe.spoofed_ping w.probe ~sender:o ~spoof_src:(addr w d) ~dst:(addr w e))
+
+let test_misleading_traceroute () =
+  (* The Fig. 4 situation, transplanted onto Fig. 2's topology: O pings E;
+     the reverse path E->A->...->O fails inside A. O's own traceroute
+     toward E shows hops up to... every hop whose reply crosses A is
+     silent, so the trace *looks* like a forward problem near the horizon
+     even though the forward path is fine. *)
+  let w = ready_world () in
+  Dataplane.Failure.add w.failures
+    (Dataplane.Failure.spec ~toward:(infra o) (Dataplane.Failure.Node a));
+  let trace = Dataplane.Probe.traceroute w.probe ~src:o ~dst:(addr w e) in
+  Alcotest.(check bool) "forward walk completed" true
+    (trace.Dataplane.Probe.outcome = Dataplane.Forward.Delivered);
+  Alcotest.(check bool) "but destination seems unreachable" false trace.Dataplane.Probe.reached;
+  (* Hops before A respond; A and E (reply via A) do not. *)
+  let responded_ases =
+    List.filter_map
+      (fun th ->
+        if th.Dataplane.Probe.responded then
+          Some (Asn.to_int th.Dataplane.Probe.hop.Dataplane.Forward.asn)
+        else None)
+      trace.Dataplane.Probe.hops
+  in
+  Alcotest.(check (list int)) "only O and B respond" [ 10; 20 ] responded_ases;
+  Alcotest.(check bool) "last responsive AS is B" true
+    (Dataplane.Probe.last_responsive_as trace = Some b);
+  Alcotest.(check (list int)) "visible path" [ 10; 20 ] (List.map Asn.to_int (Dataplane.Probe.visible_path trace))
+
+let test_dropped_hop_does_not_respond () =
+  let w = ready_world () in
+  (* Hard forward failure at A for traffic toward E: the trace stops at A
+     and A itself cannot have answered. *)
+  Dataplane.Failure.add w.failures
+    (Dataplane.Failure.spec ~toward:(infra e) (Dataplane.Failure.Node a));
+  let trace = Dataplane.Probe.traceroute w.probe ~src:o ~dst:(addr w e) in
+  (match trace.Dataplane.Probe.outcome with
+  | Dataplane.Forward.Dropped { at; _ } -> Alcotest.(check int) "dropped at A" 30 (Asn.to_int at)
+  | _ -> Alcotest.fail "expected drop");
+  let last = List.rev trace.Dataplane.Probe.hops |> List.hd in
+  Alcotest.(check bool) "dying hop is silent" false last.Dataplane.Probe.responded
+
+let test_ping_from_sentinel_space () =
+  let w = ready_world () in
+  Bgp.Network.announce w.net ~origin:o ~prefix:sentinel ();
+  converge w;
+  let sentinel_src = Prefix.nth_address sentinel 1 in
+  Alcotest.(check bool) "replies can route to the sentinel" true
+    (Dataplane.Probe.ping_from w.probe ~src:o ~src_ip:sentinel_src ~dst:(addr w e))
+
+let test_reverse_traceroute () =
+  let w = ready_world () in
+  (* Measure E's path back to O, helped by vantage point D. *)
+  (match
+     Dataplane.Probe.reverse_traceroute w.probe ~vantage_points:[ d ] ~from_:e
+       ~to_ip:(addr w o)
+   with
+  | Some trace ->
+      Alcotest.(check bool) "reached" true trace.Dataplane.Probe.reached;
+      Alcotest.(check (list int)) "reverse path" [ 60; 30; 20; 10 ]
+        (List.map
+           (fun th -> Asn.to_int th.Dataplane.Probe.hop.Dataplane.Forward.asn)
+           trace.Dataplane.Probe.hops)
+  | None -> Alcotest.fail "reverse traceroute should be feasible");
+  (* Without any vantage point able to reach E, it is infeasible. *)
+  Dataplane.Failure.add w.failures
+    (Dataplane.Failure.spec ~toward:(infra e) (Dataplane.Failure.Node a));
+  Alcotest.(check bool) "infeasible when no VP reaches the target" true
+    (Dataplane.Probe.reverse_traceroute w.probe ~vantage_points:[ o; f ] ~from_:e
+       ~to_ip:(addr w o)
+    = None)
+
+let test_probe_accounting () =
+  let w = ready_world () in
+  Dataplane.Probe.reset_probe_count w.probe;
+  ignore (Dataplane.Probe.ping w.probe ~src:o ~dst:(addr w e));
+  Alcotest.(check int) "ping costs 1" 1 w.probe.Dataplane.Probe.probes_sent;
+  ignore (Dataplane.Probe.traceroute w.probe ~src:o ~dst:(addr w e));
+  Alcotest.(check bool) "traceroute costs per hop" true (w.probe.Dataplane.Probe.probes_sent > 2)
+
+let test_failure_spec_equality_and_heal () =
+  let w = ready_world () in
+  let spec = Dataplane.Failure.spec ~toward:(infra o) (Dataplane.Failure.Link (a, e)) in
+  Dataplane.Failure.inject w.net w.failures spec;
+  Alcotest.(check bool) "active" false
+    (Dataplane.Forward.delivers w.net w.failures ~src:e ~dst:(addr w o));
+  (* Link scope is undirected for identity: removing with flipped
+     endpoints works. *)
+  Dataplane.Failure.heal w.net w.failures
+    (Dataplane.Failure.spec ~toward:(infra o) (Dataplane.Failure.Link (e, a)));
+  Alcotest.(check bool) "healed" true
+    (Dataplane.Forward.delivers w.net w.failures ~src:e ~dst:(addr w o))
+
+let test_control_and_data_failure () =
+  let w = ready_world () in
+  let spec =
+    Dataplane.Failure.spec ~mode:Dataplane.Failure.Control_and_data
+      (Dataplane.Failure.Link (e, a))
+  in
+  Dataplane.Failure.inject w.net w.failures spec;
+  converge w;
+  (* BGP saw the failure: E reroutes via D and the data plane follows. *)
+  check_path "E reroutes" [ 50; 40; 20; 10 ]
+    (path_of_best (Bgp.Network.best_route w.net e production));
+  Alcotest.(check bool) "data plane delivers on the new path" true
+    (Dataplane.Forward.delivers w.net w.failures ~src:e ~dst:(addr w o));
+  Dataplane.Failure.heal w.net w.failures spec;
+  converge w;
+  check_path "E back on the short path" [ 30; 20; 10 ]
+    (path_of_best (Bgp.Network.best_route w.net e production))
+
+let suite =
+  [
+    Alcotest.test_case "basic delivery" `Quick test_basic_delivery;
+    Alcotest.test_case "no route" `Quick test_no_route;
+    Alcotest.test_case "node failure blocks" `Quick test_node_failure_blocks;
+    Alcotest.test_case "directional link failure" `Quick test_directional_link_failure;
+    Alcotest.test_case "toward scoping" `Quick test_toward_scoping;
+    Alcotest.test_case "source blocked by own failure" `Quick test_source_blocked_by_own_failure;
+    Alcotest.test_case "ping needs both directions" `Quick test_ping_requires_both_directions;
+    Alcotest.test_case "misleading traceroute (Fig. 4)" `Quick test_misleading_traceroute;
+    Alcotest.test_case "dropped hop is silent" `Quick test_dropped_hop_does_not_respond;
+    Alcotest.test_case "ping from sentinel space" `Quick test_ping_from_sentinel_space;
+    Alcotest.test_case "reverse traceroute" `Quick test_reverse_traceroute;
+    Alcotest.test_case "probe accounting" `Quick test_probe_accounting;
+    Alcotest.test_case "failure equality / heal" `Quick test_failure_spec_equality_and_heal;
+    Alcotest.test_case "control+data failure" `Quick test_control_and_data_failure;
+  ]

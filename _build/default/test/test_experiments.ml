@@ -1,0 +1,196 @@
+(* End-to-end experiment drivers at reduced scale: the assertions check
+   shape (who wins, directionally), not the paper's absolute numbers. *)
+
+let in_unit x = x >= 0.0 && x <= 1.0
+
+let test_fig1 () =
+  let r = Experiments.Fig1_durations.run ~n:3000 ~seed:42 () in
+  Alcotest.(check bool) "most events are short" true (r.Experiments.Fig1_durations.fraction_events_le_10min > 0.85);
+  Alcotest.(check bool) "long events dominate unavailability" true
+    (r.Experiments.Fig1_durations.unavailability_share_gt_10min > 0.5);
+  Alcotest.(check bool) "the two CDFs cross the right way" true
+    (r.Experiments.Fig1_durations.fraction_events_le_10min
+    > 1.0 -. r.Experiments.Fig1_durations.unavailability_share_gt_10min);
+  Alcotest.(check int) "series lengths match" (List.length r.Experiments.Fig1_durations.events_cdf)
+    (List.length r.Experiments.Fig1_durations.unavailability_cdf);
+  (* Rendering must not raise. *)
+  ignore (Experiments.Fig1_durations.to_tables r)
+
+let test_fig5 () =
+  let r = Experiments.Fig5_residual.run ~n:3000 ~seed:42 () in
+  Alcotest.(check bool) "5+5 survival near half" true
+    (r.Experiments.Fig5_residual.survival_5_plus_5 > 0.35
+    && r.Experiments.Fig5_residual.survival_5_plus_5 < 0.65);
+  Alcotest.(check bool) "most unavailability is repairable" true
+    (r.Experiments.Fig5_residual.repairable_share > 0.45);
+  (* Residual mean must grow with elapsed time (the paper's key point). *)
+  let means =
+    List.map
+      (fun p -> p.Experiments.Fig5_residual.mean_residual_min)
+      r.Experiments.Fig5_residual.points
+  in
+  (match (means, List.rev means) with
+  | first :: _, last :: _ -> Alcotest.(check bool) "hazard decreases" true (last > first)
+  | _ -> Alcotest.fail "no points");
+  ignore (Experiments.Fig5_residual.to_tables r)
+
+let test_tab2 () =
+  let r = Experiments.Tab2_load.run ~n:3000 ~seed:42 () in
+  Alcotest.(check bool) "anchor near 275" true
+    (r.Experiments.Tab2_load.reference_cell > 200.0 && r.Experiments.Tab2_load.reference_cell < 350.0);
+  Alcotest.(check bool) "small deployments are cheap" true
+    (r.Experiments.Tab2_load.overhead_small_deploy < 0.10);
+  Alcotest.(check int) "full grid" 18 (List.length r.Experiments.Tab2_load.rows);
+  ignore (Experiments.Tab2_load.to_tables r)
+
+let test_efficacy () =
+  let r = Experiments.Sec51_efficacy.run ~ases:150 ~max_poisons:10 ~seed:42 () in
+  Alcotest.(check bool) "some poisonings observed" true (r.Experiments.Sec51_efficacy.cases > 0);
+  Alcotest.(check bool) "fractions in unit range" true
+    (in_unit r.Experiments.Sec51_efficacy.fraction_rerouted
+    && in_unit r.Experiments.Sec51_efficacy.fraction_sim);
+  Alcotest.(check bool) "simulation strongly predicts live outcomes" true
+    (r.Experiments.Sec51_efficacy.agreement > 0.8);
+  ignore (Experiments.Sec51_efficacy.to_tables r)
+
+let test_fig6 () =
+  let r = Experiments.Fig6_convergence.run ~ases:150 ~max_poisons:6 ~seed:42 () in
+  let find label =
+    List.find (fun s -> s.Experiments.Fig6_convergence.label = label)
+      r.Experiments.Fig6_convergence.series
+  in
+  let p_nc = find "Prepend, no change" in
+  let np_nc = find "No prepend, no change" in
+  (* The paper's headline: prepending makes unaffected peers converge
+     instantly far more often. *)
+  Alcotest.(check bool) "prepending helps" true
+    (p_nc.Experiments.Fig6_convergence.instant >= np_nc.Experiments.Fig6_convergence.instant);
+  Alcotest.(check bool) "prepend instant is near-total" true
+    (p_nc.Experiments.Fig6_convergence.instant > 0.9);
+  ignore (Experiments.Fig6_convergence.to_tables r)
+
+let test_case_study () =
+  let r = Experiments.Case_study.run () in
+  Alcotest.(check bool) "blames UUNET" true r.Experiments.Case_study.diagnosis_blames_uunet;
+  Alcotest.(check bool) "repaired" true r.Experiments.Case_study.repaired;
+  Alcotest.(check bool) "unpoisoned after repair" true
+    r.Experiments.Case_study.unpoisoned_after_repair;
+  (* The connectivity story: down after injection, up after reaction. *)
+  let phase label =
+    List.find (fun c -> c.Experiments.Case_study.label = label) r.Experiments.Case_study.checks
+  in
+  Alcotest.(check bool) "up before" true (phase "before failure").Experiments.Case_study.reachable;
+  Alcotest.(check bool) "down during" false
+    (phase "failure injected").Experiments.Case_study.reachable;
+  Alcotest.(check bool) "up after reaction" true
+    (phase "after LIFEGUARD reacts").Experiments.Case_study.reachable;
+  Alcotest.(check bool) "up after unpoison" true
+    (phase "after repair + unpoison").Experiments.Case_study.reachable;
+  ignore (Experiments.Case_study.to_tables r)
+
+let test_accuracy_small () =
+  let r = Experiments.Sec53_accuracy.run ~ases:150 ~failure_count:25 ~seed:42 () in
+  Alcotest.(check bool) "isolates most failures" true (r.Experiments.Sec53_accuracy.isolated > 10);
+  Alcotest.(check bool) "consistency is high" true
+    (r.Experiments.Sec53_accuracy.fraction_consistent > 0.7);
+  Alcotest.(check bool) "nonzero probing cost" true (r.Experiments.Sec53_accuracy.mean_probes > 0.0);
+  ignore (Experiments.Sec53_accuracy.to_tables r)
+
+let test_alt_paths_small () =
+  let r = Experiments.Sec22_alt_paths.run ~ases:150 ~outage_count:60 ~seed:42 () in
+  Alcotest.(check bool) "alternates found for some outages" true
+    (r.Experiments.Sec22_alt_paths.fraction_all > 0.2);
+  Alcotest.(check bool) "fractions in range" true
+    (in_unit r.Experiments.Sec22_alt_paths.fraction_all
+    && in_unit r.Experiments.Sec22_alt_paths.fraction_long
+    && in_unit r.Experiments.Sec22_alt_paths.persistence);
+  ignore (Experiments.Sec22_alt_paths.to_tables r)
+
+let test_sentinel_variants () =
+  let r = Experiments.Sec72_sentinel.run () in
+  let row v =
+    List.find (fun x -> x.Experiments.Sec72_sentinel.variant = v) r.Experiments.Sec72_sentinel.rows
+  in
+  let covering = row Experiments.Sec72_sentinel.Covering_less_specific in
+  Alcotest.(check bool) "covering: captive kept" true
+    covering.Experiments.Sec72_sentinel.captive_has_route;
+  Alcotest.(check bool) "covering: repair detectable" true
+    covering.Experiments.Sec72_sentinel.repair_detectable;
+  let disjoint = row Experiments.Sec72_sentinel.Disjoint_unused in
+  Alcotest.(check bool) "disjoint: captive cut off" false
+    disjoint.Experiments.Sec72_sentinel.captive_has_route;
+  Alcotest.(check bool) "disjoint: repair detectable" true
+    disjoint.Experiments.Sec72_sentinel.repair_detectable;
+  let none = row Experiments.Sec72_sentinel.No_sentinel in
+  Alcotest.(check bool) "none: captive cut off" false
+    none.Experiments.Sec72_sentinel.captive_has_route;
+  Alcotest.(check bool) "none: repair invisible" false
+    none.Experiments.Sec72_sentinel.repair_detectable;
+  ignore (Experiments.Sec72_sentinel.to_tables r)
+
+let test_anomalies () =
+  let r = Experiments.Sec71_anomalies.run ~ases:120 ~seed:42 () in
+  Alcotest.(check bool) "some relaxed ASes probed" true
+    (r.Experiments.Sec71_anomalies.relaxed_ases > 0);
+  Alcotest.(check int) "single poison never takes on relaxed ASes"
+    r.Experiments.Sec71_anomalies.relaxed_ases
+    r.Experiments.Sec71_anomalies.single_poison_ineffective;
+  Alcotest.(check int) "doubling the ASN always takes"
+    r.Experiments.Sec71_anomalies.single_poison_ineffective
+    r.Experiments.Sec71_anomalies.double_poison_effective;
+  Alcotest.(check bool) "filtered branch propagates less" true
+    (r.Experiments.Sec71_anomalies.tier1_poison_via_filter_reached
+    < r.Experiments.Sec71_anomalies.tier1_poison_via_clean_reached);
+  ignore (Experiments.Sec71_anomalies.to_tables r)
+
+let test_ablation () =
+  let r = Experiments.Ablation.run ~ases:120 ~poisons:4 ~seed:42 () in
+  let find label =
+    List.find (fun row -> row.Experiments.Ablation.label = label) r.Experiments.Ablation.rows
+  in
+  let base = find "baseline: prepend, MRAI 30, FIB instant" in
+  let noprep = find "no prepending" in
+  Alcotest.(check bool) "prepending never hurts instant convergence" true
+    (base.Experiments.Ablation.instant_unaffected
+    >= noprep.Experiments.Ablation.instant_unaffected);
+  Alcotest.(check bool) "prepending shortens global convergence" true
+    (base.Experiments.Ablation.global_median <= noprep.Experiments.Ablation.global_median);
+  let fast = find "MRAI 5 s" in
+  Alcotest.(check bool) "smaller MRAI converges faster" true
+    (fast.Experiments.Ablation.global_median <= base.Experiments.Ablation.global_median);
+  ignore (Experiments.Ablation.to_tables r)
+
+let test_hubble () =
+  let r = Experiments.Hubble_study.run ~ases:120 ~days:2.0 ~failures_per_day:20.0 ~seed:42 () in
+  Alcotest.(check bool) "failures injected" true (r.Experiments.Hubble_study.injected > 10);
+  Alcotest.(check bool) "incidents detected" true (r.Experiments.Hubble_study.detected > 0);
+  Alcotest.(check bool) "H(d) decreasing in d" true
+    (r.Experiments.Hubble_study.h5 >= r.Experiments.Hubble_study.h15
+    && r.Experiments.Hubble_study.h15 >= r.Experiments.Hubble_study.h60);
+  ignore (Experiments.Hubble_study.to_tables r)
+
+let test_damping () =
+  let r = Experiments.Damping.run ~ases:120 ~seed:42 () in
+  Alcotest.(check bool) "rapid flapping trips suppression" true
+    (r.Experiments.Damping.rapid_suppressors > 0);
+  Alcotest.(check int) "spaced announcements never do" 0
+    r.Experiments.Damping.spaced_suppressors;
+  Alcotest.(check int) "nobody cut off when spaced" 0 r.Experiments.Damping.spaced_cutoff;
+  ignore (Experiments.Damping.to_tables r)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 shape" `Quick test_fig1;
+    Alcotest.test_case "fig5 shape" `Quick test_fig5;
+    Alcotest.test_case "table2 anchor" `Quick test_tab2;
+    Alcotest.test_case "efficacy shape" `Slow test_efficacy;
+    Alcotest.test_case "fig6 shape" `Slow test_fig6;
+    Alcotest.test_case "case study end-to-end" `Slow test_case_study;
+    Alcotest.test_case "accuracy shape" `Slow test_accuracy_small;
+    Alcotest.test_case "alt-paths shape" `Slow test_alt_paths_small;
+    Alcotest.test_case "sentinel variants (sec 7.2)" `Quick test_sentinel_variants;
+    Alcotest.test_case "poisoning anomalies (sec 7.1)" `Slow test_anomalies;
+    Alcotest.test_case "ablation directions" `Slow test_ablation;
+    Alcotest.test_case "hubble H(d) derivation" `Slow test_hubble;
+    Alcotest.test_case "flap damping vs spacing" `Slow test_damping;
+  ]

@@ -1,0 +1,278 @@
+(* LIFEGUARD's core: isolation, decision, remediation, load model and the
+   orchestrator state machine. *)
+
+open Net
+open Helpers
+
+let infra = Dataplane.Forward.infrastructure_prefix
+let addr w x = Dataplane.Forward.probe_address w.net x
+
+(* A fig2 world where O runs LIFEGUARD: infrastructure + production +
+   sentinel announced, atlas populated, E monitored. *)
+let lifeguard_world () =
+  let w = fig2_world () in
+  announce_all_infrastructure w;
+  let plan =
+    Lifeguard.Remediate.plan ~sentinel ~origin:o ~production ()
+  in
+  Lifeguard.Remediate.announce_baseline w.net plan;
+  converge w;
+  let atlas = Measurement.Atlas.create () in
+  Measurement.Atlas.refresh_all atlas w.probe ~vps:[ o ] ~dsts:[ e; d; f ] ~now:0.0;
+  let responsiveness = Measurement.Responsiveness.create () in
+  let ctx =
+    {
+      Lifeguard.Isolation.env = w.probe;
+      atlas;
+      responsiveness;
+      vantage_points = [ o; d; c ];
+      source_overrides = [ (o, Prefix.nth_address production 1) ];
+    }
+  in
+  (w, plan, ctx, atlas)
+
+(* The paper's target scenario: A silently drops traffic toward O's
+   announced space; the E -> O reverse path dies while O -> E works. *)
+let reverse_failure_spec = Dataplane.Failure.spec ~toward:sentinel (Dataplane.Failure.Node a)
+
+let test_isolation_reverse_failure () =
+  let w, _plan, ctx, _ = lifeguard_world () in
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  let d' = Lifeguard.Isolation.isolate ctx ~src:o ~dst:e in
+  Alcotest.(check string) "direction" "reverse"
+    (Lifeguard.Isolation.direction_to_string d'.Lifeguard.Isolation.direction);
+  Alcotest.(check bool) "blames A" true
+    (Lifeguard.Isolation.blamed_as d'.Lifeguard.Isolation.blame = Some a);
+  Alcotest.(check bool) "used probes" true (d'.Lifeguard.Isolation.probes_used > 0);
+  Alcotest.(check bool) "latency model positive" true (d'.Lifeguard.Isolation.elapsed > 0.0)
+
+let test_isolation_no_failure () =
+  let w, _plan, ctx, _ = lifeguard_world () in
+  ignore w;
+  let d' = Lifeguard.Isolation.isolate ctx ~src:o ~dst:e in
+  Alcotest.(check string) "no failure" "no-failure"
+    (Lifeguard.Isolation.direction_to_string d'.Lifeguard.Isolation.direction)
+
+let test_isolation_forward_failure () =
+  let w, _plan, ctx, _ = lifeguard_world () in
+  (* A drops traffic toward E's space: O -> E forward dies, E -> O works. *)
+  Dataplane.Failure.add w.failures
+    (Dataplane.Failure.spec ~toward:(infra e) (Dataplane.Failure.Node a));
+  let d' = Lifeguard.Isolation.isolate ctx ~src:o ~dst:e in
+  Alcotest.(check string) "direction" "forward"
+    (Lifeguard.Isolation.direction_to_string d'.Lifeguard.Isolation.direction);
+  Alcotest.(check bool) "blames A" true
+    (Lifeguard.Isolation.blamed_as d'.Lifeguard.Isolation.blame = Some a)
+
+let test_isolation_destination_unreachable () =
+  let w, _plan, ctx, _ = lifeguard_world () in
+  (* E's only link is through A; kill everything through A toward anyone:
+     no vantage point reaches E at all. *)
+  Dataplane.Failure.add w.failures (Dataplane.Failure.spec (Dataplane.Failure.Node e));
+  let d' = Lifeguard.Isolation.isolate ctx ~src:o ~dst:e in
+  Alcotest.(check string) "destination unreachable" "destination-unreachable"
+    (Lifeguard.Isolation.direction_to_string d'.Lifeguard.Isolation.direction)
+
+let test_decide_gates () =
+  let w, _plan, ctx, _ = lifeguard_world () in
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  let diagnosis = Lifeguard.Isolation.isolate ctx ~src:o ~dst:e in
+  let config = Lifeguard.Decide.default_config in
+  (* Too young. *)
+  (match Lifeguard.Decide.decide config w.graph ~origin:o ~diagnosis ~outage_age:60.0 with
+  | Lifeguard.Decide.Wait _ -> ()
+  | v -> Alcotest.failf "expected Wait, got %a" Lifeguard.Decide.pp_verdict v);
+  (* Old enough: poison A. *)
+  (match Lifeguard.Decide.decide config w.graph ~origin:o ~diagnosis ~outage_age:400.0 with
+  | Lifeguard.Decide.Poison target -> Alcotest.(check int) "poison A" 30 (Asn.to_int target)
+  | v -> Alcotest.failf "expected Poison, got %a" Lifeguard.Decide.pp_verdict v);
+  (* Forward failures are not poisoned. *)
+  let forward_diag =
+    { diagnosis with Lifeguard.Isolation.direction = Lifeguard.Isolation.Forward_failure }
+  in
+  (match Lifeguard.Decide.decide config w.graph ~origin:o ~diagnosis:forward_diag ~outage_age:400.0 with
+  | Lifeguard.Decide.Hopeless _ -> ()
+  | v -> Alcotest.failf "expected Hopeless, got %a" Lifeguard.Decide.pp_verdict v);
+  (* No alternate path: pretend B (O's only provider) is to blame. *)
+  let captive_diag =
+    { diagnosis with Lifeguard.Isolation.blame = Lifeguard.Isolation.Blamed_as b }
+  in
+  match Lifeguard.Decide.decide config w.graph ~origin:o ~diagnosis:captive_diag ~outage_age:400.0 with
+  | Lifeguard.Decide.Hopeless _ -> ()
+  | v -> Alcotest.failf "expected Hopeless (no alternate), got %a" Lifeguard.Decide.pp_verdict v
+
+let test_alternate_path_exists () =
+  let w, _, _, _ = lifeguard_world () in
+  Alcotest.(check bool) "E can avoid A" true
+    (Lifeguard.Decide.alternate_path_exists w.graph ~src:e ~origin:o ~avoid:a);
+  Alcotest.(check bool) "F cannot avoid A" false
+    (Lifeguard.Decide.alternate_path_exists w.graph ~src:f ~origin:o ~avoid:a);
+  Alcotest.(check bool) "nobody avoids B (sole provider)" false
+    (Lifeguard.Decide.alternate_path_exists w.graph ~src:e ~origin:o ~avoid:b)
+
+let test_plan_validation () =
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "sentinel must cover production" true
+    (raises (fun () ->
+         Lifeguard.Remediate.plan ~sentinel:(prefix "198.51.100.0/23") ~origin:o ~production ()));
+  Alcotest.(check bool) "sentinel must be less specific" true
+    (raises (fun () -> Lifeguard.Remediate.plan ~sentinel:production ~origin:o ~production ()));
+  Alcotest.(check bool) "prepend >= 1" true
+    (raises (fun () -> Lifeguard.Remediate.plan ~prepend_copies:0 ~origin:o ~production ()))
+
+let test_sentinel_unused_address () =
+  let plan = Lifeguard.Remediate.plan ~sentinel ~origin:o ~production () in
+  match Lifeguard.Remediate.sentinel_unused_address plan with
+  | Some ip ->
+      Alcotest.(check bool) "inside sentinel" true (Prefix.mem ip sentinel);
+      Alcotest.(check bool) "outside production" false (Prefix.mem ip production)
+  | None -> Alcotest.fail "expected an unused address"
+
+let test_remediation_cycle () =
+  let w, plan, _, _ = lifeguard_world () in
+  (* Baseline: everyone sees O-O-O. *)
+  (match Bgp.Network.best_route w.net e production with
+  | Some entry ->
+      Alcotest.(check int) "baseline length at E" 5
+        (Bgp.As_path.length entry.Bgp.Route.ann.Bgp.Route.path)
+  | None -> Alcotest.fail "no baseline at E");
+  Lifeguard.Remediate.poison w.net plan ~target:a;
+  converge w;
+  Alcotest.(check bool) "A cut off from production" true
+    (Bgp.Network.best_route w.net a production = None);
+  check_path "E rerouted via D" [ 50; 40; 20; 10; 30; 10 ]
+    (path_of_best (Bgp.Network.best_route w.net e production));
+  Alcotest.(check bool) "A keeps the sentinel" true
+    (Bgp.Network.best_route w.net a sentinel <> None);
+  Lifeguard.Remediate.unpoison w.net plan;
+  converge w;
+  check_path "E back on the short path" [ 30; 20; 10; 10; 10 ]
+    (path_of_best (Bgp.Network.best_route w.net e production))
+
+let test_selective_poison_remediation () =
+  (* O dual-homed: poison A via B only; A should keep the unpoisoned
+     route heard through C. *)
+  let g = Topology.As_graph.create () in
+  let open Topology in
+  List.iter (fun n -> As_graph.add_as g (asn n)) [ 1; 2; 3; 9 ];
+  let o' = asn 1 and b' = asn 2 and c' = asn 3 and a' = asn 9 in
+  As_graph.add_link g ~a:o' ~b:b' ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:o' ~b:c' ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:b' ~b:a' ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:c' ~b:a' ~rel:Relationship.Provider;
+  let w = world_of_graph g in
+  let plan = Lifeguard.Remediate.plan ~origin:o' ~production () in
+  Lifeguard.Remediate.announce_baseline w.net plan;
+  converge w;
+  Lifeguard.Remediate.selective_poison w.net plan ~target:a' ~poisoned_via:[ b' ];
+  converge w;
+  (match Bgp.Network.best_route w.net a' production with
+  | Some entry ->
+      Alcotest.(check int) "A ingress forced to C" 3
+        (Asn.to_int entry.Bgp.Route.neighbor)
+  | None -> Alcotest.fail "A lost the route entirely");
+  Lifeguard.Remediate.unpoison w.net plan;
+  converge w
+
+let test_is_recovered () =
+  let w, plan, _, _ = lifeguard_world () in
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  Lifeguard.Remediate.poison w.net plan ~target:a;
+  converge w;
+  Alcotest.(check bool) "not recovered while A is broken" false
+    (Lifeguard.Remediate.is_recovered w.probe plan ~through:a ~targets:[ e ]);
+  Dataplane.Failure.remove w.failures reverse_failure_spec;
+  Alcotest.(check bool) "recovered after heal" true
+    (Lifeguard.Remediate.is_recovered w.probe plan ~through:a ~targets:[ e ])
+
+let test_load_model () =
+  let durations = Workloads.Outage_gen.durations ~seed:42 ~n:10308 () in
+  let params = Lifeguard.Load_model.default_params in
+  let anchor =
+    Lifeguard.Load_model.daily_path_changes params ~durations ~i:0.01 ~t:1.0 ~d_minutes:15.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "anchor ~275 (got %.0f)" anchor)
+    true
+    (anchor > 250.0 && anchor < 300.0);
+  (* Monotonicity: more deployment, more load; longer delay, less load. *)
+  let at ~i ~t ~d = Lifeguard.Load_model.daily_path_changes params ~durations ~i ~t ~d_minutes:d in
+  Alcotest.(check bool) "increasing in I" true (at ~i:0.5 ~t:1.0 ~d:15.0 > at ~i:0.1 ~t:1.0 ~d:15.0);
+  Alcotest.(check bool) "increasing in T" true (at ~i:0.1 ~t:1.0 ~d:15.0 > at ~i:0.1 ~t:0.5 ~d:15.0);
+  Alcotest.(check bool) "decreasing in d" true (at ~i:0.1 ~t:1.0 ~d:5.0 > at ~i:0.1 ~t:1.0 ~d:60.0);
+  Alcotest.(check int) "grid size" 18 (List.length (Lifeguard.Load_model.table2 params ~durations))
+
+let test_residual () =
+  let durations = [| 100.0; 200.0; 400.0; 800.0 |] in
+  (match Lifeguard.Decide.Residual.at ~durations ~elapsed:150.0 with
+  | Some s ->
+      Alcotest.(check int) "survivors" 3 s.Lifeguard.Decide.Residual.count;
+      Alcotest.(check (float 0.001)) "median residual" 250.0 s.Lifeguard.Decide.Residual.median
+  | None -> Alcotest.fail "expected stats");
+  Alcotest.(check bool) "nobody past the max" true
+    (Lifeguard.Decide.Residual.at ~durations ~elapsed:900.0 = None);
+  Alcotest.(check (float 0.001)) "survival fraction" (2.0 /. 3.0)
+    (Lifeguard.Decide.Residual.survival_fraction ~durations ~elapsed:150.0 ~horizon:250.0)
+
+let test_orchestrator_end_to_end () =
+  let w = fig2_world () in
+  announce_all_infrastructure w;
+  let plan = Lifeguard.Remediate.plan ~sentinel ~origin:o ~production () in
+  let atlas = Measurement.Atlas.create () in
+  let responsiveness = Measurement.Responsiveness.create () in
+  let config =
+    {
+      Lifeguard.Orchestrator.default_config with
+      Lifeguard.Orchestrator.decide =
+        { Lifeguard.Decide.default_config with Lifeguard.Decide.min_outage_age = 200.0 };
+    }
+  in
+  let orc =
+    Lifeguard.Orchestrator.create ~config ~env:w.probe ~atlas ~responsiveness ~plan
+      ~vantage_points:[ d; c ] ()
+  in
+  converge w;
+  Lifeguard.Orchestrator.watch orc ~targets:[ e ];
+  Sim.Engine.run ~until:600.0 w.engine;
+  Alcotest.(check bool) "idle while healthy" true (Lifeguard.Orchestrator.state orc = Lifeguard.Orchestrator.Idle);
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  Sim.Engine.run ~until:2400.0 w.engine;
+  (match Lifeguard.Orchestrator.state orc with
+  | Lifeguard.Orchestrator.Poisoned target -> Alcotest.(check int) "poisoned A" 30 (Asn.to_int target)
+  | _ -> Alcotest.fail "expected poisoned state");
+  Alcotest.(check bool) "E's connectivity to production repaired" true
+    (Dataplane.Forward.delivers w.net w.failures ~src:e ~dst:(Prefix.nth_address production 9));
+  (* Heal; the sentinel checks should unpoison. *)
+  Dataplane.Failure.remove w.failures reverse_failure_spec;
+  Sim.Engine.run ~until:3600.0 w.engine;
+  Alcotest.(check bool) "back to idle" true (Lifeguard.Orchestrator.state orc = Lifeguard.Orchestrator.Idle);
+  let events = Lifeguard.Orchestrator.events orc in
+  let has f = List.exists (fun (_, ev) -> f ev) events in
+  Alcotest.(check bool) "outage event" true
+    (has (function Lifeguard.Orchestrator.Outage_detected _ -> true | _ -> false));
+  Alcotest.(check bool) "diagnosis event" true
+    (has (function Lifeguard.Orchestrator.Diagnosed _ -> true | _ -> false));
+  Alcotest.(check bool) "poison event" true
+    (has (function Lifeguard.Orchestrator.Poison_announced _ -> true | _ -> false));
+  Alcotest.(check bool) "unpoison event" true
+    (has (function Lifeguard.Orchestrator.Unpoisoned -> true | _ -> false));
+  ignore (addr w e)
+
+let suite =
+  [
+    Alcotest.test_case "isolation: reverse failure" `Quick test_isolation_reverse_failure;
+    Alcotest.test_case "isolation: no failure" `Quick test_isolation_no_failure;
+    Alcotest.test_case "isolation: forward failure" `Quick test_isolation_forward_failure;
+    Alcotest.test_case "isolation: destination unreachable" `Quick
+      test_isolation_destination_unreachable;
+    Alcotest.test_case "decision gates" `Quick test_decide_gates;
+    Alcotest.test_case "alternate path check" `Quick test_alternate_path_exists;
+    Alcotest.test_case "plan validation" `Quick test_plan_validation;
+    Alcotest.test_case "sentinel unused address" `Quick test_sentinel_unused_address;
+    Alcotest.test_case "remediation cycle" `Quick test_remediation_cycle;
+    Alcotest.test_case "selective poison remediation" `Quick test_selective_poison_remediation;
+    Alcotest.test_case "recovery detection" `Quick test_is_recovered;
+    Alcotest.test_case "load model" `Quick test_load_model;
+    Alcotest.test_case "residual durations" `Quick test_residual;
+    Alcotest.test_case "orchestrator end-to-end" `Quick test_orchestrator_end_to_end;
+  ]

@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "lifeguard"
+    [
+      ("prng", Test_prng.suite);
+      ("stats", Test_stats.suite);
+      ("net", Test_net.suite);
+      ("sim", Test_sim.suite);
+      ("topology", Test_topology.suite);
+      ("bgp", Test_bgp.suite);
+      ("bgp-more", Test_bgp_more.suite);
+      ("dataplane", Test_dataplane.suite);
+      ("measurement", Test_measurement.suite);
+      ("lifeguard", Test_lifeguard.suite);
+      ("workloads", Test_workloads.suite);
+      ("experiments", Test_experiments.suite);
+      ("behaviors", Test_behaviors.suite);
+      ("invariants", Test_invariants.suite);
+    ]

@@ -1,0 +1,138 @@
+(* Determinism and distribution sanity of the PRNG layer. *)
+
+let test_determinism () =
+  let a = Prng.create ~seed:123 and b = Prng.create ~seed:123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.bits64 a) (Prng.bits64 b)
+  done;
+  let c = Prng.create ~seed:124 in
+  Alcotest.(check bool) "different seed, different stream" true
+    (Prng.bits64 (Prng.create ~seed:123) <> Prng.bits64 c)
+
+let test_copy_and_split () =
+  let a = Prng.create ~seed:7 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy resumes identically" (Prng.bits64 a) (Prng.bits64 b);
+  let parent = Prng.create ~seed:9 in
+  let child1 = Prng.split parent in
+  let child2 = Prng.split parent in
+  Alcotest.(check bool) "split children differ" true
+    (Prng.bits64 child1 <> Prng.bits64 child2)
+
+let test_int_bounds () =
+  let rng = Prng.create ~seed:5 in
+  for _ = 1 to 1000 do
+    let x = Prng.int rng 7 in
+    Alcotest.(check bool) "in [0,7)" true (x >= 0 && x < 7)
+  done;
+  Alcotest.(check int) "bound 1 is constant" 0 (Prng.int rng 1);
+  Alcotest.check Alcotest.bool "bound 0 rejected" true
+    (try
+       ignore (Prng.int rng 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_shuffle_is_permutation () =
+  let rng = Prng.create ~seed:11 in
+  let arr = Array.init 50 (fun i -> i) in
+  let shuffled = Array.copy arr in
+  Prng.shuffle rng shuffled;
+  let sorted = Array.copy shuffled in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" arr sorted
+
+let test_sample_without_replacement () =
+  let rng = Prng.create ~seed:13 in
+  let arr = Array.init 20 (fun i -> i) in
+  let sample = Prng.sample_without_replacement rng 8 arr in
+  Alcotest.(check int) "size" 8 (Array.length sample);
+  let distinct = List.sort_uniq compare (Array.to_list sample) in
+  Alcotest.(check int) "distinct" 8 (List.length distinct);
+  let oversized = Prng.sample_without_replacement rng 100 arr in
+  Alcotest.(check int) "clamped to population" 20 (Array.length oversized)
+
+let test_exponential_mean () =
+  let rng = Prng.create ~seed:17 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Prng.Dist.exponential rng ~mean:42.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean ~42 (got %.1f)" mean)
+    true
+    (mean > 39.0 && mean < 45.0)
+
+let test_pareto_support () =
+  let rng = Prng.create ~seed:19 in
+  for _ = 1 to 1000 do
+    let x = Prng.Dist.pareto rng ~shape:1.2 ~scale:10.0 in
+    Alcotest.(check bool) "x >= scale" true (x >= 10.0)
+  done
+
+let test_normal_moments () =
+  let rng = Prng.create ~seed:23 in
+  let n = 20000 in
+  let xs = Array.init n (fun _ -> Prng.Dist.normal rng ~mu:5.0 ~sigma:2.0) in
+  let mean = Stats.Descriptive.mean xs in
+  let sd = Stats.Descriptive.stddev xs in
+  Alcotest.(check bool) "mean ~5" true (Float.abs (mean -. 5.0) < 0.1);
+  Alcotest.(check bool) "sd ~2" true (Float.abs (sd -. 2.0) < 0.1)
+
+let test_zipf_range () =
+  let rng = Prng.create ~seed:29 in
+  for _ = 1 to 500 do
+    let k = Prng.Dist.zipf rng ~n:50 ~s:1.1 in
+    Alcotest.(check bool) "in [1,50]" true (k >= 1 && k <= 50)
+  done
+
+let test_mixture_weights () =
+  let rng = Prng.create ~seed:31 in
+  let n = 10000 in
+  let low = ref 0 in
+  for _ = 1 to n do
+    let x = Prng.Dist.mixture rng [ (0.7, fun _ -> 1.0); (0.3, fun _ -> 2.0) ] in
+    if x = 1.0 then incr low
+  done;
+  let f = float_of_int !low /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "~70%% low component (got %.2f)" f) true
+    (f > 0.66 && f < 0.74)
+
+let prop_float_unit =
+  QCheck.Test.make ~name:"float in [0,1)" ~count:500 QCheck.small_int (fun seed ->
+      let rng = Prng.create ~seed in
+      let x = Prng.float rng in
+      x >= 0.0 && x < 1.0)
+
+let prop_int_uniformish =
+  QCheck.Test.make ~name:"int respects bound" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let rng = Prng.create ~seed in
+      let x = Prng.int rng bound in
+      x >= 0 && x < bound)
+
+let prop_bernoulli_extremes =
+  QCheck.Test.make ~name:"bernoulli 0 and 1 are constant" ~count:200 QCheck.small_int
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      (not (Prng.bernoulli rng ~p:0.0)) && Prng.bernoulli rng ~p:1.0)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "copy and split" `Quick test_copy_and_split;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "sample without replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "pareto support" `Quick test_pareto_support;
+    Alcotest.test_case "normal moments" `Quick test_normal_moments;
+    Alcotest.test_case "zipf range" `Quick test_zipf_range;
+    Alcotest.test_case "mixture weights" `Quick test_mixture_weights;
+    QCheck_alcotest.to_alcotest prop_float_unit;
+    QCheck_alcotest.to_alcotest prop_int_uniformish;
+    QCheck_alcotest.to_alcotest prop_bernoulli_extremes;
+  ]

@@ -1,0 +1,229 @@
+(* AS graph, relationships, generation and valley-free analysis. *)
+
+open Net
+open Topology
+
+let asn = Asn.of_int
+
+let small_graph () =
+  (* stub -> regional -> tier1 <-peer-> tier1' <- regional' <- stub' *)
+  let g = As_graph.create () in
+  List.iter (fun n -> As_graph.add_as g (asn n)) [ 1; 2; 3; 4; 5; 6 ];
+  As_graph.add_link g ~a:(asn 1) ~b:(asn 2) ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:(asn 2) ~b:(asn 3) ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:(asn 3) ~b:(asn 4) ~rel:Relationship.Peer;
+  As_graph.add_link g ~a:(asn 5) ~b:(asn 4) ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:(asn 6) ~b:(asn 5) ~rel:Relationship.Provider;
+  g
+
+let test_relationship_algebra () =
+  Alcotest.(check bool) "invert customer" true
+    (Relationship.equal (Relationship.invert Relationship.Customer) Relationship.Provider);
+  Alcotest.(check bool) "peer symmetric" true
+    (Relationship.equal (Relationship.invert Relationship.Peer) Relationship.Peer);
+  Alcotest.(check bool) "customer routes go everywhere" true
+    (Relationship.export_ok ~learned_from:Relationship.Customer ~to_:Relationship.Peer);
+  Alcotest.(check bool) "peer routes only to customers" false
+    (Relationship.export_ok ~learned_from:Relationship.Peer ~to_:Relationship.Provider);
+  Alcotest.(check bool) "provider routes to customers" true
+    (Relationship.export_ok ~learned_from:Relationship.Provider ~to_:Relationship.Customer);
+  Alcotest.(check bool) "prefer customer" true
+    (Relationship.local_pref Relationship.Customer > Relationship.local_pref Relationship.Peer);
+  Alcotest.(check bool) "prefer peer over provider" true
+    (Relationship.local_pref Relationship.Peer > Relationship.local_pref Relationship.Provider)
+
+let test_graph_basics () =
+  let g = small_graph () in
+  Alcotest.(check int) "as count" 6 (As_graph.as_count g);
+  Alcotest.(check int) "link count" 5 (As_graph.link_count g);
+  Alcotest.(check bool) "relationship from 1's view" true
+    (As_graph.relationship g ~a:(asn 1) ~b:(asn 2) = Some Relationship.Provider);
+  Alcotest.(check bool) "inverted from 2's view" true
+    (As_graph.relationship g ~a:(asn 2) ~b:(asn 1) = Some Relationship.Customer);
+  Alcotest.(check bool) "non-adjacent" true (As_graph.relationship g ~a:(asn 1) ~b:(asn 6) = None);
+  Alcotest.(check (list int)) "providers of 1" [ 2 ]
+    (List.map Asn.to_int (As_graph.providers g (asn 1)));
+  Alcotest.(check (list int)) "customers of 3" [ 2 ]
+    (List.map Asn.to_int (As_graph.customers g (asn 3)));
+  Alcotest.(check (list int)) "peers of 3" [ 4 ] (List.map Asn.to_int (As_graph.peers g (asn 3)));
+  Alcotest.(check bool) "1 is a stub" true (As_graph.is_stub g (asn 1));
+  Alcotest.(check bool) "2 is not" false (As_graph.is_stub g (asn 2));
+  Alcotest.(check int) "degree of 3" 2 (As_graph.degree g (asn 3))
+
+let test_graph_errors () =
+  let g = small_graph () in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "duplicate AS" true (raises (fun () -> As_graph.add_as g (asn 1)));
+  Alcotest.(check bool) "duplicate link" true
+    (raises (fun () -> As_graph.add_link g ~a:(asn 1) ~b:(asn 2) ~rel:Relationship.Peer));
+  Alcotest.(check bool) "self link" true
+    (raises (fun () -> As_graph.add_link g ~a:(asn 1) ~b:(asn 1) ~rel:Relationship.Peer));
+  Alcotest.(check bool) "unknown AS" true (raises (fun () -> ignore (As_graph.neighbors g (asn 99))))
+
+let test_remove_link_and_copy () =
+  let g = small_graph () in
+  let copy = As_graph.copy g in
+  As_graph.remove_link g ~a:(asn 3) ~b:(asn 4);
+  Alcotest.(check int) "link removed" 4 (As_graph.link_count g);
+  Alcotest.(check bool) "no longer adjacent" true
+    (As_graph.relationship g ~a:(asn 3) ~b:(asn 4) = None);
+  Alcotest.(check int) "copy unaffected" 5 (As_graph.link_count copy);
+  Alcotest.(check bool) "copy still adjacent" true
+    (As_graph.relationship copy ~a:(asn 3) ~b:(asn 4) = Some Relationship.Peer)
+
+let test_router_addresses () =
+  let g = As_graph.create () in
+  As_graph.add_as g ~routers:3 (asn 42);
+  let routers = As_graph.routers g (asn 42) in
+  Alcotest.(check int) "router count" 3 (Array.length routers);
+  Alcotest.(check string) "address derivation" "10.0.42.1"
+    (Ipv4.to_string (As_graph.router_address g (asn 42) 0));
+  Alcotest.(check bool) "reverse lookup" true
+    (As_graph.owner_of_address g (Ipv4.of_string_exn "10.0.42.2") = Some (asn 42));
+  Alcotest.(check bool) "unknown address" true
+    (As_graph.owner_of_address g (Ipv4.of_string_exn "10.0.43.1") = None)
+
+let test_valley_free () =
+  let g = small_graph () in
+  let path ns = List.map asn ns in
+  Alcotest.(check bool) "up-peer-down is valid" true
+    (Splice.valley_free g (path [ 1; 2; 3; 4; 5; 6 ]));
+  Alcotest.(check bool) "down then up is a valley" false
+    (Splice.valley_free g (path [ 3; 2; 3 ]));
+  Alcotest.(check bool) "unknown edge invalid" false (Splice.valley_free g (path [ 1; 6 ]));
+  (* Two peer edges in a row: add a second peering and test. *)
+  As_graph.add_as g (asn 7);
+  As_graph.add_link g ~a:(asn 4) ~b:(asn 7) ~rel:Relationship.Peer;
+  Alcotest.(check bool) "two peering edges invalid" false
+    (Splice.valley_free g (path [ 2; 3; 4; 7 ]))
+
+let test_policy_reachable () =
+  let g = small_graph () in
+  let reachable ?(avoiding = []) src dst =
+    Splice.policy_reachable g ~src:(asn src) ~dst:(asn dst)
+      ~avoiding:(Asn.Set.of_list (List.map asn avoiding))
+  in
+  Alcotest.(check bool) "across the peering" true (reachable 1 6);
+  Alcotest.(check bool) "self" true (reachable 1 1);
+  Alcotest.(check bool) "avoiding the only transit fails" false (reachable 1 6 ~avoiding:[ 3 ]);
+  Alcotest.(check bool) "avoiding an endpoint fails" false (reachable 1 6 ~avoiding:[ 6 ]);
+  match Splice.policy_path g ~src:(asn 1) ~dst:(asn 6) ~avoiding:Asn.Set.empty with
+  | Some p -> Alcotest.(check (list int)) "path materializes" [ 1; 2; 3; 4; 5; 6 ] (List.map Asn.to_int p)
+  | None -> Alcotest.fail "no path found"
+
+let test_policy_respects_valley () =
+  (* A "detour" through a customer and back up must not count: 1 and 3
+     both customers of 2; 1 -> 2 -> 3 is provider-down, fine, but
+     3 -> 2 -> 4 with 4 a peer of 2 is an export violation when learned
+     from provider... Construct: s -down?- no: verify the BFS refuses
+     up-after-down. *)
+  let g = As_graph.create () in
+  List.iter (fun n -> As_graph.add_as g (asn n)) [ 1; 2; 3; 4 ];
+  (* 2 is provider of 1 and 3; 4 is provider of 3 only. Path 1..4 must
+     go 1-2-3-4? That is down(2->3) then up(3->4): a valley. *)
+  As_graph.add_link g ~a:(asn 1) ~b:(asn 2) ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:(asn 3) ~b:(asn 2) ~rel:Relationship.Provider;
+  As_graph.add_link g ~a:(asn 3) ~b:(asn 4) ~rel:Relationship.Provider;
+  Alcotest.(check bool) "valley path rejected" false
+    (Splice.policy_reachable g ~src:(asn 1) ~dst:(asn 4) ~avoiding:Asn.Set.empty);
+  Alcotest.(check bool) "but 1 reaches 3" true
+    (Splice.policy_reachable g ~src:(asn 1) ~dst:(asn 3) ~avoiding:Asn.Set.empty)
+
+let test_tuples_and_splice () =
+  let p ns = List.map asn ns in
+  let tuples = Splice.Tuples.of_paths [ p [ 1; 2; 3; 4 ]; p [ 5; 3; 6 ] ] in
+  Alcotest.(check bool) "observed subpath" true (Splice.Tuples.observed tuples (asn 1) (asn 2) (asn 3));
+  Alcotest.(check bool) "reverse observed" true (Splice.Tuples.observed tuples (asn 4) (asn 3) (asn 2));
+  Alcotest.(check bool) "unobserved" false (Splice.Tuples.observed tuples (asn 1) (asn 3) (asn 6));
+  (* Splice: from 1 via 2-3, into destination 6 via 5-3-6, joint at 3;
+     tuple (2,3,6) must be checked. It was never observed, so the splice
+     must fail; after adding a path containing it, the splice succeeds. *)
+  let from_src = [ p [ 1; 2; 3; 4 ] ] in
+  let to_dst = [ p [ 5; 3; 6 ] ] in
+  Alcotest.(check bool) "splice blocked by tuple test" true
+    (Splice.splice_around ~from_src ~to_dst ~tuples ~avoid:(asn 4) ~dst:(asn 6) = None);
+  let tuples' = Splice.Tuples.of_paths [ p [ 1; 2; 3; 4 ]; p [ 5; 3; 6 ]; p [ 2; 3; 6 ] ] in
+  match Splice.splice_around ~from_src ~to_dst ~tuples:tuples' ~avoid:(asn 4) ~dst:(asn 6) with
+  | Some joined -> Alcotest.(check (list int)) "spliced path" [ 1; 2; 3; 6 ] (List.map Asn.to_int joined)
+  | None -> Alcotest.fail "splice should succeed"
+
+let test_generator_structure () =
+  let t = Topo_gen.generate ~seed:99 () in
+  let g = t.Topo_gen.graph in
+  Alcotest.(check int) "tier1 count" 8 (List.length t.Topo_gen.tier1);
+  Alcotest.(check int) "stub count" 200 (List.length t.Topo_gen.stub_list);
+  (* Tier-1 clique. *)
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if not (Asn.equal a b) then
+            Alcotest.(check bool) "tier1s peer" true
+              (As_graph.relationship g ~a ~b = Some Relationship.Peer))
+        t.Topo_gen.tier1)
+    t.Topo_gen.tier1;
+  (* Every stub has at least one provider; every AS policy-reaches a
+     tier-1 (graph connected under valley-free routing). *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "stub has a provider" true (As_graph.providers g s <> []))
+    t.Topo_gen.stub_list;
+  let a_tier1 = List.hd t.Topo_gen.tier1 in
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s reaches tier-1" (Asn.to_string a))
+        true
+        (Splice.policy_reachable g ~src:a ~dst:a_tier1 ~avoiding:Asn.Set.empty))
+    (As_graph.as_list g)
+
+let test_generator_determinism () =
+  let a = Topo_gen.generate ~seed:7 () and b = Topo_gen.generate ~seed:7 () in
+  Alcotest.(check int) "same link count" (As_graph.link_count a.Topo_gen.graph)
+    (As_graph.link_count b.Topo_gen.graph);
+  let la = As_graph.as_list a.Topo_gen.graph and lb = As_graph.as_list b.Topo_gen.graph in
+  Alcotest.(check (list int)) "same ASes" (List.map Asn.to_int la) (List.map Asn.to_int lb);
+  List.iter2
+    (fun x y ->
+      Alcotest.(check (list int)) "same neighbors"
+        (List.map (fun (n, _) -> Asn.to_int n) (As_graph.neighbors a.Topo_gen.graph x))
+        (List.map (fun (n, _) -> Asn.to_int n) (As_graph.neighbors b.Topo_gen.graph y)))
+    la lb
+
+let prop_invert_involutive =
+  let rel =
+    QCheck.oneofl [ Relationship.Customer; Relationship.Provider; Relationship.Peer; Relationship.Sibling ]
+  in
+  QCheck.Test.make ~name:"invert is an involution" ~count:50 rel (fun r ->
+      Relationship.equal (Relationship.invert (Relationship.invert r)) r)
+
+let prop_policy_reachable_symmetric =
+  (* Valley-free reachability is symmetric: reverse a valid path and it is
+     still valid (customer edges become provider edges). *)
+  QCheck.Test.make ~name:"policy reachability is symmetric" ~count:20
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let t = Topo_gen.generate ~params:(Topo_gen.sized 60) ~seed () in
+      let g = t.Topo_gen.graph in
+      let all = Array.of_list (As_graph.as_list g) in
+      let rng = Prng.create ~seed in
+      let a = Prng.pick rng all and b = Prng.pick rng all in
+      Splice.policy_reachable g ~src:a ~dst:b ~avoiding:Asn.Set.empty
+      = Splice.policy_reachable g ~src:b ~dst:a ~avoiding:Asn.Set.empty)
+
+let suite =
+  [
+    Alcotest.test_case "relationship algebra" `Quick test_relationship_algebra;
+    Alcotest.test_case "graph basics" `Quick test_graph_basics;
+    Alcotest.test_case "graph errors" `Quick test_graph_errors;
+    Alcotest.test_case "remove link / copy" `Quick test_remove_link_and_copy;
+    Alcotest.test_case "router addresses" `Quick test_router_addresses;
+    Alcotest.test_case "valley-free check" `Quick test_valley_free;
+    Alcotest.test_case "policy reachability" `Quick test_policy_reachable;
+    Alcotest.test_case "policy respects valleys" `Quick test_policy_respects_valley;
+    Alcotest.test_case "tuples and splice" `Quick test_tuples_and_splice;
+    Alcotest.test_case "generator structure" `Quick test_generator_structure;
+    Alcotest.test_case "generator determinism" `Quick test_generator_determinism;
+    QCheck_alcotest.to_alcotest prop_invert_involutive;
+    QCheck_alcotest.to_alcotest prop_policy_reachable_symmetric;
+  ]

@@ -1,0 +1,153 @@
+(* Outage generator calibration and scenario builders. *)
+
+open Net
+open Workloads
+
+let test_duration_calibration () =
+  let durations = Outage_gen.durations ~seed:42 ~n:10308 () in
+  let median = Stats.Descriptive.median durations in
+  Alcotest.(check bool)
+    (Printf.sprintf "median near the floor (got %.0f)" median)
+    true
+    (median >= 90.0 && median <= 150.0);
+  let le_10min = Stats.Descriptive.fraction (fun d -> d <= 600.0) durations in
+  Alcotest.(check bool)
+    (Printf.sprintf "more than 90%% of events <= 10 min (got %.3f)" le_10min)
+    true (le_10min >= 0.90);
+  let share = Outage_gen.unavailability_share_above durations ~threshold:600.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "long outages dominate unavailability (got %.2f)" share)
+    true
+    (share >= 0.65 && share <= 0.95);
+  let min_d = fst (Stats.Descriptive.min_max durations) in
+  Alcotest.(check bool) "floor respected" true (min_d >= 90.0)
+
+let test_duration_survival () =
+  let durations = Outage_gen.durations ~seed:42 ~n:10308 () in
+  let s55 =
+    Lifeguard.Decide.Residual.survival_fraction ~durations ~elapsed:300.0 ~horizon:300.0
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "of 5-min outages, ~half last 5 more (got %.2f)" s55)
+    true
+    (s55 >= 0.40 && s55 <= 0.62)
+
+let test_shape_mix () =
+  let rng = Prng.create ~seed:17 in
+  let n = 5000 in
+  let shapes = List.init n (fun _ -> Outage_gen.shape rng) in
+  let frac pred = Stats.Descriptive.fraction_list pred shapes in
+  let close msg expected got =
+    Alcotest.(check bool) (Printf.sprintf "%s (expected %.2f, got %.2f)" msg expected got) true
+      (Float.abs (expected -. got) < 0.03)
+  in
+  close "reverse share" 0.40 (frac (fun s -> s.Outage_gen.direction = Outage_gen.Reverse));
+  close "forward share" 0.40 (frac (fun s -> s.Outage_gen.direction = Outage_gen.Forward));
+  close "bidirectional share" 0.20
+    (frac (fun s -> s.Outage_gen.direction = Outage_gen.Bidirectional));
+  close "link share" 0.38 (frac (fun s -> s.Outage_gen.on_link))
+
+let test_planetlab_scenario () =
+  let bed = Scenarios.planetlab ~ases:80 ~sites:6 ~target_count:5 ~seed:7 () in
+  Alcotest.(check int) "sites" 6 (List.length bed.Scenarios.vantage_points);
+  Alcotest.(check int) "targets" 5 (List.length bed.Scenarios.targets);
+  (* All vantage points are stubs; all targets transit. *)
+  List.iter
+    (fun vp ->
+      Alcotest.(check bool) "vp is a stub" true (Topology.As_graph.is_stub bed.Scenarios.graph vp))
+    bed.Scenarios.vantage_points;
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "target is transit" false
+        (Topology.As_graph.is_stub bed.Scenarios.graph t))
+    bed.Scenarios.targets;
+  (* Converged infrastructure: VP pairs can ping each other. *)
+  let vp1 = List.nth bed.Scenarios.vantage_points 0 in
+  let vp2 = List.nth bed.Scenarios.vantage_points 1 in
+  Alcotest.(check bool) "mesh connectivity" true
+    (Dataplane.Probe.ping bed.Scenarios.probe ~src:vp1
+       ~dst:(Dataplane.Forward.probe_address bed.Scenarios.net vp2))
+
+let test_bgpmux_scenario () =
+  let mux = Scenarios.bgpmux ~ases:80 ~provider_count:3 ~feed_count:10 ~seed:7 () in
+  Alcotest.(check int) "providers" 3 (List.length mux.Scenarios.providers);
+  Alcotest.(check int) "feeds" 10 (List.length mux.Scenarios.feeds);
+  Lifeguard.Remediate.announce_baseline mux.Scenarios.bed.Scenarios.net mux.Scenarios.plan;
+  Bgp.Network.run_until_quiet mux.Scenarios.bed.Scenarios.net;
+  (* Every feed can reach the production prefix. *)
+  List.iter
+    (fun feed ->
+      Alcotest.(check bool)
+        (Printf.sprintf "feed %s routed" (Asn.to_string feed))
+        true
+        (Bgp.Network.best_route mux.Scenarios.bed.Scenarios.net feed
+           Scenarios.production_prefix
+        <> None))
+    mux.Scenarios.feeds;
+  let harvest = Scenarios.harvest_on_path_ases mux in
+  Alcotest.(check bool) "harvest nonempty" true (harvest <> []);
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) "harvest excludes providers" false
+        (List.exists (Asn.equal h) mux.Scenarios.providers))
+    harvest
+
+let test_case_study_initial_state () =
+  let cs = Scenarios.Case_study.build () in
+  let open Scenarios.Case_study in
+  Lifeguard.Remediate.announce_baseline cs.bed.Scenarios.net cs.plan;
+  Bgp.Network.run_until_quiet cs.bed.Scenarios.net;
+  (* The Taiwanese site initially prefers the commercial chain through
+     UUNET (shorter), exactly as on Oct 3, 2011, 8:15pm. *)
+  match Bgp.Network.best_route cs.bed.Scenarios.net cs.taiwan Scenarios.production_prefix with
+  | Some entry ->
+      let path = entry.Bgp.Route.ann.Bgp.Route.path in
+      Alcotest.(check bool) "via UUNET" true (Bgp.As_path.contains cs.uunet path);
+      Alcotest.(check bool) "not via the academic chain" false
+        (Bgp.As_path.contains cs.tanet path)
+  | None -> Alcotest.fail "taiwan has no route"
+
+let test_placement () =
+  let bed = Scenarios.planetlab ~ases:80 ~sites:6 ~seed:7 () in
+  let rng = Prng.create ~seed:11 in
+  let src = List.nth bed.Scenarios.vantage_points 0 in
+  let dst = List.nth bed.Scenarios.vantage_points 1 in
+  let shape = { Outage_gen.direction = Outage_gen.Reverse; on_link = false; duration = 600.0 } in
+  match Scenarios.Placement.on_path rng bed ~src ~dst ~shape with
+  | None -> Alcotest.fail "no placement found"
+  | Some placed ->
+      (* The failure must actually break dst -> src while src -> dst
+         still works. *)
+      Dataplane.Failure.add bed.Scenarios.failures placed.Scenarios.Placement.spec;
+      Alcotest.(check bool) "reverse direction broken" false
+        (Dataplane.Forward.delivers bed.Scenarios.net bed.Scenarios.failures ~src:dst
+           ~dst:(Dataplane.Forward.probe_address bed.Scenarios.net src));
+      Alcotest.(check bool) "forward direction intact" true
+        (Dataplane.Forward.delivers bed.Scenarios.net bed.Scenarios.failures ~src
+           ~dst:(Dataplane.Forward.probe_address bed.Scenarios.net dst));
+      Dataplane.Failure.remove bed.Scenarios.failures placed.Scenarios.Placement.spec
+
+let test_settle_advances_clock () =
+  let bed = Scenarios.planetlab ~ases:80 ~sites:4 ~seed:7 () in
+  let before = Sim.Engine.now bed.Scenarios.engine in
+  Scenarios.settle bed ~seconds:100.0;
+  Alcotest.(check bool) "clock advanced" true
+    (Sim.Engine.now bed.Scenarios.engine >= before +. 100.0)
+
+let prop_durations_deterministic =
+  QCheck.Test.make ~name:"outage durations deterministic per seed" ~count:20
+    QCheck.small_int (fun seed ->
+      Outage_gen.durations ~seed ~n:50 () = Outage_gen.durations ~seed ~n:50 ())
+
+let suite =
+  [
+    Alcotest.test_case "duration calibration (Fig. 1 anchors)" `Quick test_duration_calibration;
+    Alcotest.test_case "duration survival (Fig. 5 anchor)" `Quick test_duration_survival;
+    Alcotest.test_case "failure shape mix" `Quick test_shape_mix;
+    Alcotest.test_case "planetlab scenario" `Quick test_planetlab_scenario;
+    Alcotest.test_case "bgpmux scenario" `Quick test_bgpmux_scenario;
+    Alcotest.test_case "case study initial state" `Quick test_case_study_initial_state;
+    Alcotest.test_case "failure placement" `Quick test_placement;
+    Alcotest.test_case "settle advances clock" `Quick test_settle_advances_clock;
+    QCheck_alcotest.to_alcotest prop_durations_deterministic;
+  ]
