@@ -3,14 +3,28 @@
    bechamel micro-benchmarks of the hot code paths.
 
    Usage: main.exe [--quick] [--seed N] [--only NAME[,NAME...]] [--no-micro]
+                   [--jobs N] [--json [PATH]]
    Experiment names: fig1 fig5 alt-paths efficacy fig6 loss selective
    accuracy scalability load hubble anomalies sentinel ablation damping
-   case-study table1. *)
+   case-study table1.
+
+   --jobs N shards experiment trials over N domains (default: the
+   machine's recommended domain count; 1 forces the sequential path).
+   Output tables are identical for every jobs value. --json writes a
+   machine-readable run summary (per-experiment wall-clock, jobs, seed,
+   micro-benchmark medians) to PATH, defaulting to BENCH_<date>.json. *)
 
 let seed = ref 42
 let quick = ref false
 let only : string list ref = ref []
 let run_micro = ref true
+let jobs = ref (Par.Pool.default_jobs ())
+let json_path : string option ref = ref None
+
+let default_json_path () =
+  let tm = Unix.localtime (Unix.time ()) in
+  Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
+    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
 
 let parse_args () =
   let rec go = function
@@ -23,6 +37,16 @@ let parse_args () =
         go rest
     | "--seed" :: n :: rest ->
         seed := int_of_string n;
+        go rest
+    | "--jobs" :: n :: rest ->
+        jobs := max 1 (int_of_string n);
+        go rest
+    | "--json" :: path :: rest when String.length path < 2 || String.sub path 0 2 <> "--"
+      ->
+        json_path := Some path;
+        go rest
+    | "--json" :: rest ->
+        json_path := Some (default_json_path ());
         go rest
     | "--only" :: names :: rest ->
         only := String.split_on_char ',' names;
@@ -41,10 +65,15 @@ let wanted name =
 let banner title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
+(* Wall-clock per experiment, in run order, for the JSON summary. *)
+let timings : (string * float) list ref = ref []
+
 let timed name f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
-  Printf.printf "[%s completed in %.1fs]\n" name (Unix.gettimeofday () -. t0);
+  let dt = Unix.gettimeofday () -. t0 in
+  timings := (name, dt) :: !timings;
+  Printf.printf "[%s completed in %.1fs]\n" name dt;
   result
 
 let print_tables tables = List.iter Stats.Table.print tables
@@ -96,20 +125,19 @@ let micro_benchmarks () =
   let decision_test =
     let entries =
       List.init 8 (fun i ->
-          {
-            Bgp.Route.ann =
-              Bgp.Route.announcement
-                ~prefix:(Net.Prefix.of_string_exn "203.0.113.0/24")
-                ~path:(List.init (3 + (i mod 4)) (fun j -> Net.Asn.of_int (100 + i + j)))
-                ();
-            neighbor = Net.Asn.of_int (100 + i);
-            rel =
+          Bgp.Route.make_entry ~salt:64500
+            ~ann:
+              (Bgp.Route.announcement
+                 ~prefix:(Net.Prefix.of_string_exn "203.0.113.0/24")
+                 ~path:(List.init (3 + (i mod 4)) (fun j -> Net.Asn.of_int (100 + i + j)))
+                 ())
+            ~neighbor:(Net.Asn.of_int (100 + i))
+            ~rel:
               (if i mod 3 = 0 then Topology.Relationship.Customer
                else if i mod 3 = 1 then Topology.Relationship.Peer
-               else Topology.Relationship.Provider);
-            local_pref = Topology.Relationship.local_pref Topology.Relationship.Peer;
-            learned_at = 0.0;
-          })
+               else Topology.Relationship.Provider)
+            ~local_pref:(Topology.Relationship.local_pref Topology.Relationship.Peer)
+            ~learned_at:0.0 ())
     in
     Test.make ~name:"decision: best of 8 candidates"
       (Staged.stage (fun () -> ignore (Bgp.Decision.best entries)))
@@ -196,10 +224,7 @@ let micro_benchmarks () =
     results
   in
   let results = benchmark () in
-  let table =
-    Stats.Table.create ~title:"Micro-benchmarks (bechamel, monotonic clock)"
-      ~columns:[ "benchmark"; "ns/run" ]
-  in
+  let medians = ref [] in
   Hashtbl.iter
     (fun measure_name tbl ->
       if measure_name = Bechamel.Measure.label Bechamel.Toolkit.Instance.monotonic_clock
@@ -208,13 +233,73 @@ let micro_benchmarks () =
           (fun test_name ols ->
             let ns =
               match Bechamel.Analyze.OLS.estimates ols with
-              | Some [ e ] -> Printf.sprintf "%.1f" e
-              | Some _ | None -> "-"
+              | Some [ e ] -> Some e
+              | Some _ | None -> None
             in
-            Stats.Table.add_row table [ test_name; ns ])
+            medians := (test_name, ns) :: !medians)
           tbl)
     results;
-  Stats.Table.print table
+  let table =
+    Stats.Table.create ~title:"Micro-benchmarks (bechamel, monotonic clock)"
+      ~columns:[ "benchmark"; "ns/run" ]
+  in
+  List.iter
+    (fun (test_name, ns) ->
+      let cell = match ns with Some e -> Printf.sprintf "%.1f" e | None -> "-" in
+      Stats.Table.add_row table [ test_name; cell ])
+    !medians;
+  Stats.Table.print table;
+  !medians
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable run summary. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json ~path ~micro =
+  let tm = Unix.localtime (Unix.time ()) in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
+       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday);
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" !seed);
+  Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" !quick);
+  Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
+  Buffer.add_string buf "  \"experiments\": [\n";
+  let rows = List.rev !timings in
+  List.iteri
+    (fun i (name, dt) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    { \"name\": \"%s\", \"seconds\": %.3f }%s\n" (json_escape name)
+           dt
+           (if i < List.length rows - 1 then "," else "")))
+    rows;
+  Buffer.add_string buf "  ],\n";
+  Buffer.add_string buf "  \"micro_ns\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    \"%s\": %s%s\n" (json_escape name)
+           (match ns with Some e -> Printf.sprintf "%.1f" e | None -> "null")
+           (if i < List.length micro - 1 then "," else "")))
+    micro;
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\n[wrote %s]\n" path
 
 (* ------------------------------------------------------------------ *)
 
@@ -251,7 +336,8 @@ let () =
       banner "Section 5.1: poisoning efficacy";
       let r =
         timed "efficacy" (fun () ->
-            Experiments.Sec51_efficacy.run ~ases:s.ases ~max_poisons:s.poisons ~seed ())
+            Experiments.Sec51_efficacy.run ~ases:s.ases ~max_poisons:s.poisons ~jobs:!jobs
+              ~seed ())
       in
       print_tables (Experiments.Sec51_efficacy.to_tables r);
       Some r
@@ -264,7 +350,8 @@ let () =
       banner "Figure 6: convergence after poisoned announcements";
       let r =
         timed "fig6" (fun () ->
-            Experiments.Fig6_convergence.run ~ases:s.ases ~max_poisons:s.poisons ~seed ())
+            Experiments.Fig6_convergence.run ~ases:s.ases ~max_poisons:s.poisons ~jobs:!jobs
+              ~seed ())
       in
       print_tables (Experiments.Fig6_convergence.to_tables r);
       Some r
@@ -277,7 +364,8 @@ let () =
       banner "Section 5.2: loss during convergence";
       let r =
         timed "loss" (fun () ->
-            Experiments.Sec52_loss.run ~ases:s.ases ~max_poisons:s.loss_poisons ~seed ())
+            Experiments.Sec52_loss.run ~ases:s.ases ~max_poisons:s.loss_poisons ~jobs:!jobs
+              ~seed ())
       in
       print_tables (Experiments.Sec52_loss.to_tables r);
       Some r
@@ -290,7 +378,8 @@ let () =
       banner "Section 5.2: selective poisoning + forward diversity";
       let r =
         timed "selective" (fun () ->
-            Experiments.Sec52_selective.run ~ases:s.ases ~max_feeds:s.feeds ~seed ())
+            Experiments.Sec52_selective.run ~ases:s.ases ~max_feeds:s.feeds ~jobs:!jobs
+              ~seed ())
       in
       print_tables (Experiments.Sec52_selective.to_tables r);
       Some r
@@ -303,7 +392,8 @@ let () =
       banner "Section 5.3: isolation accuracy";
       let r =
         timed "accuracy" (fun () ->
-            Experiments.Sec53_accuracy.run ~ases:s.ases ~failure_count:s.failures ~seed ())
+            Experiments.Sec53_accuracy.run ~ases:s.ases ~failure_count:s.failures ~jobs:!jobs
+              ~seed ())
       in
       print_tables (Experiments.Sec53_accuracy.to_tables r);
       Some r
@@ -336,7 +426,7 @@ let () =
       timed "hubble" (fun () ->
           Experiments.Hubble_study.run ~ases:(min s.ases 200)
             ~days:(if !quick then 2.0 else 7.0)
-            ~seed ())
+            ~jobs:!jobs ~seed ())
     in
     print_tables (Experiments.Hubble_study.to_tables r)
   end;
@@ -345,7 +435,7 @@ let () =
     banner "Section 7.1: poisoning anomalies";
     let r =
       timed "anomalies" (fun () ->
-          Experiments.Sec71_anomalies.run ~ases:(min s.ases 200) ~seed ())
+          Experiments.Sec71_anomalies.run ~ases:(min s.ases 200) ~jobs:!jobs ~seed ())
     in
     print_tables (Experiments.Sec71_anomalies.to_tables r)
   end;
@@ -360,7 +450,8 @@ let () =
     banner "Ablation: prepending / MRAI / FIB latency";
     let r =
       timed "ablation" (fun () ->
-          Experiments.Ablation.run ~ases:(min s.ases 200) ~poisons:(min s.poisons 10) ~seed ())
+          Experiments.Ablation.run ~ases:(min s.ases 200) ~poisons:(min s.poisons 10)
+            ~jobs:!jobs ~seed ())
     in
     print_tables (Experiments.Ablation.to_tables r)
   end;
@@ -368,7 +459,8 @@ let () =
   if wanted "damping" then begin
     banner "Route-flap damping: why announcements were spaced 90 minutes";
     let r =
-      timed "damping" (fun () -> Experiments.Damping.run ~ases:(min s.ases 150) ~seed ())
+      timed "damping" (fun () ->
+          Experiments.Damping.run ~ases:(min s.ases 150) ~jobs:!jobs ~seed ())
     in
     print_tables (Experiments.Damping.to_tables r)
   end;
@@ -389,7 +481,13 @@ let () =
       print_tables (Experiments.Tab1_summary.to_tables r)
   | _ -> ());
 
-  if !run_micro && !only = [] then begin
-    banner "Micro-benchmarks";
-    micro_benchmarks ()
-  end
+  let micro =
+    if !run_micro && !only = [] then begin
+      banner "Micro-benchmarks";
+      micro_benchmarks ()
+    end
+    else []
+  in
+  match !json_path with
+  | Some path -> write_json ~path ~micro
+  | None -> ()

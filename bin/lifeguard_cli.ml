@@ -23,6 +23,14 @@ let ases =
   let doc = "Approximate AS count of the synthetic Internet." in
   Arg.(value & opt int 318 & info [ "ases" ] ~docv:"N" ~doc)
 
+let jobs =
+  let doc =
+    "Worker domains for trial-level parallelism (default: the machine's \
+     recommended domain count). Results are identical for every value; \
+     1 forces the sequential path."
+  in
+  Arg.(value & opt int (Par.Pool.default_jobs ()) & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let fig1_cmd =
   let outages =
     Arg.(value & opt int 10308 & info [ "outages" ] ~docv:"N" ~doc:"Dataset size.")
@@ -62,68 +70,69 @@ let poisons_arg =
   Arg.(value & opt int 25 & info [ "poisons" ] ~docv:"N" ~doc:"ASes to poison.")
 
 let efficacy_cmd =
-  let run seed ases poisons =
+  let run seed ases poisons jobs =
     print_tables
       (Experiments.Sec51_efficacy.to_tables
-         (Experiments.Sec51_efficacy.run ~ases ~max_poisons:poisons ~seed ()))
+         (Experiments.Sec51_efficacy.run ~ases ~max_poisons:poisons ~jobs ~seed ()))
   in
   Cmd.v
     (Cmd.info "efficacy" ~doc:"Poisoning efficacy, live + simulated (paper sec. 5.1)")
-    Term.(const run $ seed $ ases $ poisons_arg)
+    Term.(const run $ seed $ ases $ poisons_arg $ jobs)
 
 let fig6_cmd =
-  let run seed ases poisons =
+  let run seed ases poisons jobs =
     print_tables
       (Experiments.Fig6_convergence.to_tables
-         (Experiments.Fig6_convergence.run ~ases ~max_poisons:poisons ~seed ()))
+         (Experiments.Fig6_convergence.run ~ases ~max_poisons:poisons ~jobs ~seed ()))
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Convergence after poisoned announcements (paper Fig. 6)")
-    Term.(const run $ seed $ ases $ poisons_arg)
+    Term.(const run $ seed $ ases $ poisons_arg $ jobs)
 
 let loss_cmd =
-  let run seed ases poisons =
+  let run seed ases poisons jobs =
     print_tables
-      (Experiments.Sec52_loss.to_tables (Experiments.Sec52_loss.run ~ases ~max_poisons:poisons ~seed ()))
+      (Experiments.Sec52_loss.to_tables
+         (Experiments.Sec52_loss.run ~ases ~max_poisons:poisons ~jobs ~seed ()))
   in
   Cmd.v
     (Cmd.info "loss" ~doc:"Packet loss during convergence (paper sec. 5.2)")
-    Term.(const run $ seed $ ases $ poisons_arg)
+    Term.(const run $ seed $ ases $ poisons_arg $ jobs)
 
 let selective_cmd =
   let feeds = Arg.(value & opt int 40 & info [ "feeds" ] ~docv:"N" ~doc:"Feed ASes to test.") in
-  let run seed ases feeds =
+  let run seed ases feeds jobs =
     print_tables
       (Experiments.Sec52_selective.to_tables
-         (Experiments.Sec52_selective.run ~ases ~max_feeds:feeds ~seed ()))
+         (Experiments.Sec52_selective.run ~ases ~max_feeds:feeds ~jobs ~seed ()))
   in
   Cmd.v
     (Cmd.info "selective" ~doc:"Selective poisoning + forward diversity (paper sec. 5.2/2.3)")
-    Term.(const run $ seed $ ases $ feeds)
+    Term.(const run $ seed $ ases $ feeds $ jobs)
 
 let accuracy_cmd =
   let failures =
     Arg.(value & opt int 120 & info [ "failures" ] ~docv:"N" ~doc:"Failures to isolate.")
   in
-  let run seed ases failures =
+  let run seed ases failures jobs =
     print_tables
       (Experiments.Sec53_accuracy.to_tables
-         (Experiments.Sec53_accuracy.run ~ases ~failure_count:failures ~seed ()))
+         (Experiments.Sec53_accuracy.run ~ases ~failure_count:failures ~jobs ~seed ()))
   in
   Cmd.v
     (Cmd.info "accuracy" ~doc:"Failure isolation accuracy (paper sec. 5.3)")
-    Term.(const run $ seed $ ases $ failures)
+    Term.(const run $ seed $ ases $ failures $ jobs)
 
 let scalability_cmd =
-  let run seed ases =
-    let accuracy = Experiments.Sec53_accuracy.run ~ases ~failure_count:60 ~seed () in
+  let run seed ases jobs =
+    let accuracy = Experiments.Sec53_accuracy.run ~ases ~failure_count:60 ~jobs ~seed () in
     print_tables
       (Experiments.Sec54_scalability.to_tables
          (Experiments.Sec54_scalability.run ~ases ~seed ~accuracy ()))
   in
   Cmd.v
     (Cmd.info "scalability" ~doc:"Atlas refresh + isolation overhead (paper sec. 5.4)")
-    Term.(const run $ seed $ ases)
+    Term.(const run $ seed $ ases $ jobs)
 
 let load_cmd =
   let run seed =
@@ -135,24 +144,24 @@ let load_cmd =
 
 let hubble_cmd =
   let days = Arg.(value & opt float 7.0 & info [ "days" ] ~docv:"D" ~doc:"Observation window.") in
-  let run seed ases days =
+  let run seed ases days jobs =
     print_tables
       (Experiments.Hubble_study.to_tables
-         (Experiments.Hubble_study.run ~ases:(min ases 220) ~days ~seed ()))
+         (Experiments.Hubble_study.run ~ases:(min ases 220) ~days ~jobs ~seed ()))
   in
   Cmd.v
     (Cmd.info "hubble" ~doc:"Hubble-style monitoring week: derive H(d) for Table 2")
-    Term.(const run $ seed $ ases $ days)
+    Term.(const run $ seed $ ases $ days $ jobs)
 
 let anomalies_cmd =
-  let run seed ases =
+  let run seed ases jobs =
     print_tables
       (Experiments.Sec71_anomalies.to_tables
-         (Experiments.Sec71_anomalies.run ~ases:(min ases 220) ~seed ()))
+         (Experiments.Sec71_anomalies.run ~ases:(min ases 220) ~jobs ~seed ()))
   in
   Cmd.v
     (Cmd.info "anomalies" ~doc:"Poisoning anomalies: loop-limit + Cogent filters (paper sec. 7.1)")
-    Term.(const run $ seed $ ases)
+    Term.(const run $ seed $ ases $ jobs)
 
 let sentinel_cmd =
   let run () = print_tables (Experiments.Sec72_sentinel.to_tables (Experiments.Sec72_sentinel.run ())) in
@@ -162,21 +171,24 @@ let sentinel_cmd =
 
 let ablation_cmd =
   let poisons = Arg.(value & opt int 8 & info [ "poisons" ] ~docv:"N" ~doc:"Poisonings per row.") in
-  let run seed ases poisons =
+  let run seed ases poisons jobs =
     print_tables
-      (Experiments.Ablation.to_tables (Experiments.Ablation.run ~ases:(min ases 220) ~poisons ~seed ()))
+      (Experiments.Ablation.to_tables
+         (Experiments.Ablation.run ~ases:(min ases 220) ~poisons ~jobs ~seed ()))
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Prepending / MRAI / FIB-latency ablation grid")
-    Term.(const run $ seed $ ases $ poisons)
+    Term.(const run $ seed $ ases $ poisons $ jobs)
 
 let damping_cmd =
-  let run seed ases =
-    print_tables (Experiments.Damping.to_tables (Experiments.Damping.run ~ases:(min ases 150) ~seed ()))
+  let run seed ases jobs =
+    print_tables
+      (Experiments.Damping.to_tables
+         (Experiments.Damping.run ~ases:(min ases 150) ~jobs ~seed ()))
   in
   Cmd.v
     (Cmd.info "damping" ~doc:"Route-flap damping vs announcement spacing")
-    Term.(const run $ seed $ ases)
+    Term.(const run $ seed $ ases $ jobs)
 
 let case_study_cmd =
   let run () = print_tables (Experiments.Case_study.to_tables (Experiments.Case_study.run ())) in

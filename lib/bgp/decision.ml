@@ -6,53 +6,46 @@ let med_value = function
   | Some m -> m
   | None -> 0
 
-let tiebreak_rank salt neighbor =
-  match salt with
-  | None -> 0
-  | Some salt -> Hashtbl.hash (salt, Asn.to_int neighbor, 0x5f3759df) land 0xFFFF
+(* Path length and the salted tiebreak rank are cached in the entry at
+   import time (Route.make_entry); this comparison runs once per
+   candidate per update, so it must not recompute either. *)
+let compare_entries (a : Route.entry) (b : Route.entry) =
+  match Int.compare a.local_pref b.local_pref with
+  | 0 -> begin
+      match Int.compare b.path_len a.path_len with
+      | 0 -> begin
+          let med_cmp =
+            let a_first = As_path.first_hop a.ann.path
+            and b_first = As_path.first_hop b.ann.path in
+            if Option.equal Asn.equal a_first b_first then
+              Int.compare (med_value b.ann.med) (med_value a.ann.med)
+            else 0
+          in
+          match med_cmp with
+          | 0 -> begin
+              match Int.compare b.tiebreak a.tiebreak with
+              | 0 -> Asn.compare b.neighbor a.neighbor
+              | c -> c
+            end
+          | c -> c
+        end
+      | c -> c
+    end
+  | c -> c
 
-let compare_entries ?salt (a : Route.entry) (b : Route.entry) =
-  let cmp =
-    match Int.compare a.local_pref b.local_pref with
-    | 0 -> begin
-        match Int.compare (As_path.length b.ann.path) (As_path.length a.ann.path) with
-        | 0 -> begin
-            let med_cmp =
-              let a_first = As_path.first_hop a.ann.path
-              and b_first = As_path.first_hop b.ann.path in
-              if Option.equal Asn.equal a_first b_first then
-                Int.compare (med_value b.ann.med) (med_value a.ann.med)
-              else 0
-            in
-            match med_cmp with
-            | 0 -> begin
-                match
-                  Int.compare (tiebreak_rank salt b.neighbor) (tiebreak_rank salt a.neighbor)
-                with
-                | 0 -> Asn.compare b.neighbor a.neighbor
-                | c -> c
-              end
-            | c -> c
-          end
-        | c -> c
-      end
-    | c -> c
-  in
-  cmp
-
-let best ?salt entries =
+let best entries =
   match entries with
   | [] -> None
   | first :: rest ->
       Some
         (List.fold_left
-           (fun acc e -> if compare_entries ?salt e acc > 0 then e else acc)
+           (fun acc e -> if compare_entries e acc > 0 then e else acc)
            first rest)
 
-let best_in_table ?salt table =
+let best_in_table table =
   Hashtbl.fold
     (fun _ e acc ->
       match acc with
       | None -> Some e
-      | Some cur -> if compare_entries ?salt e cur > 0 then Some e else acc)
+      | Some cur -> if compare_entries e cur > 0 then Some e else acc)
     table None

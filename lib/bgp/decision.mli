@@ -7,22 +7,26 @@
     for IGP cost / router-id. Two properties the paper leans on emerge
     from this ordering: a poisoned path [O-A-O] ties with the prepended
     baseline [O-O-O] (same length, same preference), so ASes not routing
-    through [A] have no reason to explore alternatives. *)
+    through [A] have no reason to explore alternatives.
+
+    The per-speaker tiebreak salt is no longer a parameter here: it is
+    baked into each entry at import time ([Route.make_entry ?salt]), so
+    comparisons read the cached [path_len] and [tiebreak] fields instead
+    of recomputing path length and a hash per comparison. *)
 
 open Net
 
-val compare_entries : ?salt:int -> Route.entry -> Route.entry -> int
+val compare_entries : Route.entry -> Route.entry -> int
 (** [compare_entries a b > 0] when [a] is preferred over [b]. Total order
-    over candidate entries for one prefix. [salt] perturbs the final
-    tiebreak per speaker (see {!best}). *)
+    over candidate entries for one prefix (entries built with the same
+    salt). *)
 
-val best : ?salt:int -> Route.entry list -> Route.entry option
-(** Most preferred entry, [None] on the empty list. [salt] — typically
-    the deciding AS's number — stands in for the IGP-cost / router-id
-    tiebreaks real routers apply: each AS breaks exact ties in its own
-    idiosyncratic (but deterministic) order, which is what makes real
-    forward and reverse routes asymmetric. Omitting it falls back to
-    lowest-neighbor-ASN. *)
+val best : Route.entry list -> Route.entry option
+(** Most preferred entry, [None] on the empty list. Entries carry their
+    speaker's tiebreak rank (see {!Route.make_entry}): each AS breaks
+    exact ties in its own idiosyncratic (but deterministic) order, which
+    is what makes real forward and reverse routes asymmetric. Entries
+    built without a salt fall back to lowest-neighbor-ASN. *)
 
-val best_in_table : ?salt:int -> (Asn.t, Route.entry) Hashtbl.t -> Route.entry option
+val best_in_table : (Asn.t, Route.entry) Hashtbl.t -> Route.entry option
 (** Most preferred entry among a neighbor-indexed table of candidates. *)

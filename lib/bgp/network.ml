@@ -20,6 +20,9 @@ type collector_state = {
   cpeers : Asn.t list;
   peer_set : Asn.Set.t;
   mutable records : update_record list;  (** newest first *)
+  clatest : (Asn.t * Prefix.t, Route.entry option) Hashtbl.t;
+      (** Latest recorded route per (peer, prefix), so [current_route]
+          answers in O(1) instead of scanning [records]. *)
 }
 
 type t = {
@@ -33,8 +36,25 @@ type t = {
   mutable collectors : collector_state list;
   mutable bgp_events : int;  (** BGP events currently in the engine queue *)
   mutable delivered : int;
-  mutable delivery_log : float list;  (** delivery times, newest first *)
+  mutable delivery_buckets : int array;
+      (** Deliveries counted into fixed-width time buckets
+          ([delivery_bucket_width] seconds each, index = floor (time /
+          width)), grown on demand. Replaces an unbounded per-delivery
+          [float list] that [messages_between] scanned linearly. *)
 }
+
+let delivery_bucket_width = 1.0
+
+let record_delivery t time =
+  let idx = int_of_float (time /. delivery_bucket_width) in
+  let idx = if idx < 0 then 0 else idx in
+  let cap = Array.length t.delivery_buckets in
+  if idx >= cap then begin
+    let bigger = Array.make (max (idx + 1) (2 * cap)) 0 in
+    Array.blit t.delivery_buckets 0 bigger 0 cap;
+    t.delivery_buckets <- bigger
+  end;
+  t.delivery_buckets.(idx) <- t.delivery_buckets.(idx) + 1
 
 (* Deterministic per-pair pseudo-random factor in [0,1): hash the ASN pair
    so runs are reproducible without threading a PRNG through the hot
@@ -63,7 +83,7 @@ let session t a b =
 (* Forward declaration to tie the delivery/emission knot. *)
 let rec deliver t ~from ~to_ action =
   t.delivered <- t.delivered + 1;
-  t.delivery_log <- Sim.Engine.now t.engine :: t.delivery_log;
+  record_delivery t (Sim.Engine.now t.engine);
   let out = Speaker.receive (speaker t to_) ~now:(Sim.Engine.now t.engine) ~from action in
   emit_all t to_ out
 
@@ -132,7 +152,7 @@ let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
       collectors = [];
       bgp_events = 0;
       delivered = 0;
-      delivery_log = [];
+      delivery_buckets = Array.make 1024 0;
     }
   in
   (* Collector instrumentation: every speaker reports loc-RIB changes. *)
@@ -141,8 +161,10 @@ let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
       Speaker.set_on_best_change sp (fun ~now prefix route ->
           List.iter
             (fun c ->
-              if Asn.Set.mem asn c.peer_set then
-                c.records <- { time = now; speaker = asn; prefix; route } :: c.records)
+              if Asn.Set.mem asn c.peer_set then begin
+                c.records <- { time = now; speaker = asn; prefix; route } :: c.records;
+                Hashtbl.replace c.clatest (asn, prefix) route
+              end)
             t.collectors);
       (* Damping reuse timers: when a speaker suppresses a route, wake it
          up to re-run its decision once the penalty has decayed. *)
@@ -243,6 +265,7 @@ module Collector = struct
         cpeers = peers;
         peer_set = List.fold_left (fun s p -> Asn.Set.add p s) Asn.Set.empty peers;
         records = [];
+        clatest = Hashtbl.create 64;
       }
     in
     net.collectors <- c :: net.collectors;
@@ -252,16 +275,12 @@ module Collector = struct
   let peers c = c.cpeers
   let log c = List.rev c.records
   let since c time = List.rev (List.filter (fun r -> r.time >= time) c.records)
-  let clear c = c.records <- []
+  let clear c =
+    c.records <- [];
+    Hashtbl.reset c.clatest
 
   let current_route c ~peer ~prefix =
-    let rec find = function
-      | [] -> None
-      | r :: rest ->
-          if Asn.equal r.speaker peer && Prefix.equal r.prefix prefix then Some r.route
-          else find rest
-    in
-    match find c.records with
+    match Hashtbl.find_opt c.clatest (peer, prefix) with
     | Some route -> route
     | None -> None
 end
@@ -269,4 +288,14 @@ end
 let message_count t = t.delivered
 
 let messages_between t ~since ~until =
-  List.length (List.filter (fun time -> time >= since && time <= until) t.delivery_log)
+  if until < since then 0
+  else begin
+    let w = delivery_bucket_width in
+    let lo = max 0 (int_of_float (since /. w)) in
+    let hi = min (Array.length t.delivery_buckets - 1) (int_of_float (until /. w)) in
+    let total = ref 0 in
+    for i = lo to hi do
+      total := !total + t.delivery_buckets.(i)
+    done;
+    !total
+  end

@@ -112,5 +112,14 @@ end
 val message_count : t -> int
 (** Total update messages delivered since creation (load accounting). *)
 
+val delivery_bucket_width : float
+(** Resolution of the delivery-time accounting behind
+    {!messages_between}: deliveries are counted into fixed-width time
+    buckets of this many seconds rather than logged individually. *)
+
 val messages_between : t -> since:float -> until:float -> int
-(** Update messages delivered in a time window. *)
+(** Update messages delivered in a time window, at
+    {!delivery_bucket_width} resolution: every bucket overlapping
+    [\[since, until\]] is counted in full, so the window effectively
+    rounds outward to bucket boundaries. Exact for windows aligned to
+    (or wider than) the bucket grid; [0] when [until < since]. *)

@@ -28,18 +28,32 @@ type entry = {
   rel : Relationship.t;
   local_pref : int;
   learned_at : float;
+  path_len : int;
+  tiebreak : int;
 }
+
+let tiebreak_rank ~salt neighbor =
+  Hashtbl.hash (salt, Asn.to_int neighbor, 0x5f3759df) land 0xFFFF
+
+let make_entry ?salt ~ann ~neighbor ~rel ~local_pref ~learned_at () =
+  {
+    ann;
+    neighbor;
+    rel;
+    local_pref;
+    learned_at;
+    path_len = As_path.length ann.path;
+    tiebreak =
+      (match salt with None -> 0 | Some salt -> tiebreak_rank ~salt neighbor);
+  }
 
 let local_pref_local = 400
 
 let local_entry ~prefix ~self ~path ~now =
-  {
-    ann = announcement ~prefix ~path ();
-    neighbor = self;
-    rel = Relationship.Customer;
-    local_pref = local_pref_local;
-    learned_at = now;
-  }
+  make_entry
+    ~ann:(announcement ~prefix ~path ())
+    ~neighbor:self ~rel:Relationship.Customer ~local_pref:local_pref_local
+    ~learned_at:now ()
 
 let is_local e = e.local_pref = local_pref_local
 

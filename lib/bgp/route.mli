@@ -26,8 +26,36 @@ type entry = {
   rel : Relationship.t;  (** What that neighbor is to us. *)
   local_pref : int;
   learned_at : float;  (** Simulation time of import. *)
+  path_len : int;  (** Cached [As_path.length ann.path]. *)
+  tiebreak : int;
+      (** Cached per-speaker tiebreak rank ({!tiebreak_rank} of the
+          importing speaker's salt; [0] when imported without a salt).
+          Both caches exist because {!Decision.compare_entries} runs once
+          per candidate per update — the hottest comparison in the
+          simulator — and recomputing path length and hash rank there
+          dominated the decision step. *)
 }
-(** An adj-RIB-in / loc-RIB entry. *)
+(** An adj-RIB-in / loc-RIB entry. Build with {!make_entry} or
+    {!local_entry} so the cached fields stay consistent with [ann]. *)
+
+val tiebreak_rank : salt:int -> Asn.t -> int
+(** The salted tiebreak rank used as the penultimate decision step: a
+    16-bit hash of [(salt, neighbor)], standing in for the IGP-cost /
+    router-id tiebreaks real routers apply. *)
+
+val make_entry :
+  ?salt:int ->
+  ann:announcement ->
+  neighbor:Asn.t ->
+  rel:Relationship.t ->
+  local_pref:int ->
+  learned_at:float ->
+  unit ->
+  entry
+(** Smart constructor: fills [path_len] and [tiebreak] from [ann],
+    [salt] and [neighbor]. [salt] is the importing speaker's tiebreak
+    salt (typically its ASN); omitting it gives rank [0], i.e. the
+    plain lowest-neighbor-ASN final tiebreak. *)
 
 val local_entry : prefix:Prefix.t -> self:Asn.t -> path:As_path.t -> now:float -> entry
 (** The locally-originated route for a prefix: highest preference, treated

@@ -14,6 +14,10 @@ type t = {
   down_sessions : (Asn.t, unit) Hashtbl.t;
   adj_in : (Prefix.t, (Asn.t, Route.entry) Hashtbl.t) Hashtbl.t;
       (** prefix -> (neighbor -> candidate route) *)
+  neighbor_index : (Asn.t, (Prefix.t, unit) Hashtbl.t) Hashtbl.t;
+      (** Reverse index of [adj_in]: neighbor -> prefixes it currently has a
+          candidate for. Kept exactly in sync so [affected_prefixes] and
+          [session_down] never fold the whole adj-RIB-in. *)
   locals : (Prefix.t, origination) Hashtbl.t;
   best_table : (Prefix.t, Route.entry) Hashtbl.t;
   mutable fib : Route.entry Prefix_trie.t;
@@ -43,6 +47,7 @@ let create ~asn ~config ~neighbors =
     peers_of_self = ref peers;
     down_sessions = Hashtbl.create 4;
     adj_in = Hashtbl.create 64;
+    neighbor_index = Hashtbl.create 16;
     locals = Hashtbl.create 4;
     best_table = Hashtbl.create 16;
     fib = Prefix_trie.empty;
@@ -140,6 +145,22 @@ let adj_in_table t prefix =
       Hashtbl.replace t.adj_in prefix table;
       table
 
+let index_add t neighbor prefix =
+  let tbl =
+    match Hashtbl.find_opt t.neighbor_index neighbor with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 16 in
+        Hashtbl.replace t.neighbor_index neighbor tbl;
+        tbl
+  in
+  Hashtbl.replace tbl prefix ()
+
+let index_remove t neighbor prefix =
+  match Hashtbl.find_opt t.neighbor_index neighbor with
+  | Some tbl -> Hashtbl.remove tbl prefix
+  | None -> ()
+
 (* The loc-RIB best for a prefix: a local origination wins outright;
    otherwise the decision process over the adj-RIB-in candidates. *)
 let compute_best t ~now prefix =
@@ -149,8 +170,7 @@ let compute_best t ~now prefix =
     match Hashtbl.find_opt t.adj_in prefix with
     | None -> None
     | Some table ->
-        if Hashtbl.length t.damp = 0 then
-          Decision.best_in_table ~salt:(Asn.to_int t.self) table
+        if Hashtbl.length t.damp = 0 then Decision.best_in_table table
         else begin
           (* Damped candidates are ineligible until their penalty decays. *)
           let eligible =
@@ -159,7 +179,7 @@ let compute_best t ~now prefix =
                 if is_suppressed t ~now prefix neighbor then acc else entry :: acc)
               table []
           in
-          Decision.best ~salt:(Asn.to_int t.self) eligible
+          Decision.best eligible
         end
   end
 
@@ -244,6 +264,7 @@ let receive t ~now ~from action =
         if Hashtbl.mem (adj_in_table t prefix) from then
           ignore (note_flap t ~now prefix from);
         Hashtbl.remove (adj_in_table t prefix) from;
+        index_remove t from prefix;
         refresh_best t ~now prefix
     | Announce ann -> begin
         let prefix = ann.Route.prefix in
@@ -263,19 +284,22 @@ let receive t ~now ~from action =
             (* An update that fails import replaces (removes) whatever this
                neighbor previously announced for the prefix. *)
             Hashtbl.remove (adj_in_table t prefix) from;
+            index_remove t from prefix;
             refresh_best t ~now prefix
         | Policy.Accepted local_pref ->
             Hashtbl.replace (adj_in_table t prefix) from
-              { Route.ann; neighbor = from; rel; local_pref; learned_at = now };
+              (Route.make_entry ~salt:(Asn.to_int t.self) ~ann ~neighbor:from
+                 ~rel ~local_pref ~learned_at:now ());
+            index_add t from prefix;
             refresh_best t ~now prefix
       end
   end
 
 let affected_prefixes t neighbor =
   let from_adj =
-    Hashtbl.fold
-      (fun p table acc -> if Hashtbl.mem table neighbor then Prefix.Set.add p acc else acc)
-      t.adj_in Prefix.Set.empty
+    match Hashtbl.find_opt t.neighbor_index neighbor with
+    | None -> Prefix.Set.empty
+    | Some tbl -> Hashtbl.fold (fun p () acc -> Prefix.Set.add p acc) tbl Prefix.Set.empty
   in
   Hashtbl.fold (fun p _ acc -> Prefix.Set.add p acc) t.locals from_adj
 
@@ -284,14 +308,18 @@ let session_down t ~now ~neighbor =
   else begin
     Hashtbl.replace t.down_sessions neighbor ();
     let affected = affected_prefixes t neighbor in
-    Prefix.Set.iter (fun p -> Hashtbl.remove (adj_in_table t p) neighbor) affected;
+    (match Hashtbl.find_opt t.neighbor_index neighbor with
+    | Some tbl ->
+        Hashtbl.iter (fun p () -> Hashtbl.remove (adj_in_table t p) neighbor) tbl;
+        Hashtbl.remove t.neighbor_index neighbor
+    | None -> ());
     (* Clear adj-RIB-out toward the dead session so a later session_up
        re-announces from scratch. *)
     Hashtbl.iter
       (fun p _ -> Hashtbl.remove t.adj_out (neighbor, p))
       t.best_table;
     Hashtbl.iter (fun p _ -> Hashtbl.remove t.adj_out (neighbor, p)) t.locals;
-    Prefix.Set.fold (fun p acc -> acc @ refresh_best t ~now p) affected []
+    List.concat_map (fun p -> refresh_best t ~now p) (Prefix.Set.elements affected)
   end
 
 let session_up t ~now ~neighbor =
@@ -304,7 +332,7 @@ let session_up t ~now ~neighbor =
       Hashtbl.fold (fun p _ acc -> Prefix.Set.add p acc) t.best_table Prefix.Set.empty
       |> fun s -> Hashtbl.fold (fun p _ acc -> Prefix.Set.add p acc) t.locals s
     in
-    Prefix.Set.fold (fun p acc -> acc @ refresh_best t ~now p) all []
+    List.concat_map (fun p -> refresh_best t ~now p) (Prefix.Set.elements all)
   end
 
 let best t prefix = Hashtbl.find_opt t.best_table prefix

@@ -90,10 +90,12 @@ let infrastructure_prefix asn =
   if n > 0xFFFF then invalid_arg "Forward.infrastructure_prefix: ASN too large";
   Prefix.make (Ipv4.of_octets 10 ((n lsr 8) land 0xFF) (n land 0xFF) 0) 24
 
-let announce_infrastructure net =
-  let graph = Bgp.Network.graph net in
+let announce_infrastructure_for net ases =
   List.iter
     (fun asn -> Bgp.Network.announce net ~origin:asn ~prefix:(infrastructure_prefix asn) ())
-    (As_graph.as_list graph)
+    ases
+
+let announce_infrastructure net =
+  announce_infrastructure_for net (As_graph.as_list (Bgp.Network.graph net))
 
 let probe_address net asn = As_graph.router_address (Bgp.Network.graph net) asn 0

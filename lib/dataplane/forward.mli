@@ -45,6 +45,13 @@ val announce_infrastructure : Bgp.Network.t -> unit
 (** Originate every AS's infrastructure prefix (plain, unpoisoned). Run
     the network to convergence afterwards. *)
 
+val announce_infrastructure_for : Bgp.Network.t -> Asn.t list -> unit
+(** Originate infrastructure prefixes for the given ASes only. Converging
+    the full per-AS announcement dominates testbed construction cost, and
+    probes only ever target (and hop replies only ever return to) the
+    {e endpoints'} infrastructure prefixes — so experiments that rebuild a
+    world per trial announce just the ASes they will probe between. *)
+
 val probe_address : Bgp.Network.t -> Asn.t -> Ipv4.t
 (** The address probes from this AS use as their source (its first router
     address, which lies inside its infrastructure prefix). *)

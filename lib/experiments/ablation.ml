@@ -32,7 +32,12 @@ let production = Scenarios.production_prefix
 (* One configuration: build a fresh mux world and poison [n] targets,
    measuring convergence and data-plane loss. *)
 let measure ~label ~seed ~ases ~n ~mrai ~fib_install_delay ~prepend =
-  let mux = Scenarios.bgpmux ~ases ~mrai ~fib_install_delay ~seed () in
+  (* Data-plane sampling only targets the production prefix, so the
+     world needs no infrastructure prefixes. *)
+  let mux =
+    Scenarios.bgpmux ~ases ~mrai ~fib_install_delay
+      ~infrastructure:Scenarios.No_infrastructure ~seed ()
+  in
   let bed = mux.Scenarios.bed in
   let net = bed.Scenarios.net in
   let engine = bed.Scenarios.engine in
@@ -116,10 +121,14 @@ let measure ~label ~seed ~ases ~n ~mrai ~fib_install_delay ~prepend =
     structural_loss = mean !losses;
   }
 
-let run ?(ases = 200) ?(poisons = 8) ~seed () =
-  let m = measure ~seed ~ases ~n:poisons in
-  {
-    rows =
+let run ?(ases = 200) ?(poisons = 8) ?(jobs = 1) ~seed () =
+  (* [measure] already builds a fresh world per configuration, so each
+     row is an independent trial for the pool. *)
+  let m ~label ~mrai ~fib_install_delay ~prepend () =
+    measure ~label ~seed ~ases ~n:poisons ~mrai ~fib_install_delay ~prepend
+  in
+  let rows =
+    Runner.run_trials ~jobs
       [
         m ~label:"baseline: prepend, MRAI 30, FIB instant" ~mrai:30.0 ~fib_install_delay:0.0
           ~prepend:true;
@@ -128,8 +137,9 @@ let run ?(ases = 200) ?(poisons = 8) ~seed () =
         m ~label:"MRAI 5 s" ~mrai:5.0 ~fib_install_delay:0.0 ~prepend:true;
         m ~label:"FIB install lag 6 s" ~mrai:30.0 ~fib_install_delay:6.0 ~prepend:true;
         m ~label:"no prepend + FIB lag 6 s" ~mrai:30.0 ~fib_install_delay:6.0 ~prepend:false;
-      ];
-  }
+      ]
+  in
+  { rows }
 
 let to_tables r =
   let t =

@@ -56,7 +56,7 @@ let cycles mux ~spacing =
   in
   (List.length suppressors, List.length cutoff, List.length all)
 
-let run ?(ases = 150) ~seed () =
+let run ?(ases = 150) ?(jobs = 1) ~seed () =
   let damped_config _ =
     {
       Bgp.Policy.default with
@@ -64,16 +64,19 @@ let run ?(ases = 150) ~seed () =
       Bgp.Policy.pref_jitter = 8;
     }
   in
+  (* Everything measured here is control-plane state of the production
+     prefix, so neither the scaffold mux nor the damped rebuild needs
+     infrastructure prefixes. *)
   let build () =
-    let mux = Scenarios.bgpmux ~ases ~seed () in
+    let mux =
+      Scenarios.bgpmux ~ases ~infrastructure:Scenarios.No_infrastructure ~seed ()
+    in
     (* Rebuild the network with damping enabled everywhere. *)
     let graph = mux.Scenarios.bed.Scenarios.graph in
     let engine = Sim.Engine.create () in
     let net = Bgp.Network.create ~engine ~graph ~config_of:damped_config ~mrai:30.0 () in
     let failures = Dataplane.Failure.create () in
     let probe = Dataplane.Probe.env net failures in
-    Dataplane.Forward.announce_infrastructure net;
-    Bgp.Network.run_until_quiet ~timeout:36000.0 net;
     let bed =
       {
         mux.Scenarios.bed with
@@ -85,8 +88,19 @@ let run ?(ases = 150) ~seed () =
     in
     { mux with Scenarios.bed = bed }
   in
-  let rapid_suppressors, rapid_cutoff, n = cycles (build ()) ~spacing:60.0 in
-  let spaced_suppressors, spaced_cutoff, _ = cycles (build ()) ~spacing:5400.0 in
+  (* The rapid and spaced schedules run in independent worlds. *)
+  let outcomes =
+    Runner.run_trials ~jobs
+      [
+        (fun () -> cycles (build ()) ~spacing:60.0);
+        (fun () -> cycles (build ()) ~spacing:5400.0);
+      ]
+  in
+  let (rapid_suppressors, rapid_cutoff, n), (spaced_suppressors, spaced_cutoff, _) =
+    match outcomes with
+    | [ rapid; spaced ] -> (rapid, spaced)
+    | _ -> assert false
+  in
   {
     ases = n;
     rapid_suppressors;

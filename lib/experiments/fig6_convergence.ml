@@ -94,30 +94,51 @@ let poison_round mux ~baseline ~target =
   let global = Bgp.Convergence.global_convergence_time reports in
   (reports, global)
 
-let run ?(ases = 318) ?(max_poisons = 25) ~seed () =
-  let mux = Scenarios.bgpmux ~ases ~seed () in
-  let net = mux.Scenarios.bed.Scenarios.net in
-  let origin = mux.Scenarios.origin in
-  Lifeguard.Remediate.announce_baseline net mux.Scenarios.plan;
-  Bgp.Network.run_until_quiet net;
-  let harvest = Scenarios.harvest_on_path_ases mux in
-  let rng = Prng.create ~seed:(seed + 2) in
-  let targets =
+(* The experiment is embarrassingly parallel: each (baseline, target)
+   poisoning is measured in its own freshly built world — own topology,
+   engine, network and collector, rebuilt deterministically from the
+   seed — so trials share nothing and the trial list is a pure function
+   of the parameters, never of [jobs]. The control plane does all the
+   measuring here, so trial worlds skip infrastructure announcement
+   entirely. *)
+let build_mux ~ases ~seed =
+  Scenarios.bgpmux ~ases ~infrastructure:Scenarios.No_infrastructure ~seed ()
+
+let run ?(ases = 318) ?(max_poisons = 25) ?(jobs = 1) ~seed () =
+  (* Scout world: announce the baseline once to harvest which ASes are on
+     collector paths, i.e. worth poisoning. *)
+  let targets, origin =
+    let mux = build_mux ~ases ~seed in
+    let net = mux.Scenarios.bed.Scenarios.net in
+    Lifeguard.Remediate.announce_baseline net mux.Scenarios.plan;
+    Bgp.Network.run_until_quiet net;
+    let harvest = Scenarios.harvest_on_path_ases mux in
+    let rng = Prng.create ~seed:(seed + 2) in
     let arr = Array.of_list harvest in
     Prng.shuffle rng arr;
-    Array.to_list (Array.sub arr 0 (min max_poisons (Array.length arr)))
+    ( Array.to_list (Array.sub arr 0 (min max_poisons (Array.length arr))),
+      mux.Scenarios.origin )
   in
   let plain_baseline = Bgp.As_path.plain ~origin in
   let prepended_baseline = Bgp.As_path.prepended ~origin ~copies:3 in
-  let collect baseline =
-    List.fold_left
-      (fun (acc_reports, acc_globals) target ->
-        let reports, global = poison_round mux ~baseline ~target in
-        (reports @ acc_reports, Option.to_list global @ acc_globals))
-      ([], []) targets
+  let trial baseline target () =
+    poison_round (build_mux ~ases ~seed) ~baseline ~target
   in
-  let prepend_reports, prepend_globals = collect prepended_baseline in
-  let noprepend_reports, noprepend_globals = collect plain_baseline in
+  let trials baseline = List.map (fun t -> trial baseline t) targets in
+  let outcomes =
+    Runner.run_trials ~jobs (trials prepended_baseline @ trials plain_baseline)
+  in
+  let collect outcomes =
+    List.fold_left
+      (fun (acc_reports, acc_globals) (reports, global) ->
+        (acc_reports @ reports, acc_globals @ Option.to_list global))
+      ([], []) outcomes
+  in
+  let n = List.length targets in
+  let prepend_reports, prepend_globals = collect (List.filteri (fun i _ -> i < n) outcomes) in
+  let noprepend_reports, noprepend_globals =
+    collect (List.filteri (fun i _ -> i >= n) outcomes)
+  in
   let split which reports =
     List.filter (fun r -> r.Bgp.Convergence.affected = which) reports
   in

@@ -1,0 +1,13 @@
+(* Shared trial execution for the experiment drivers.
+
+   Every converted experiment decomposes into a fixed list of trial
+   closures — a decomposition that is a pure function of the experiment's
+   parameters, never of the worker count — where each closure rebuilds
+   its entire world (topology, network, engine, PRNG) from the seed. The
+   pool returns results in submission order, so results (and therefore
+   every table) are bit-identical for any ~jobs. *)
+
+let default_jobs = Par.Pool.default_jobs
+
+let run_trials ~jobs thunks =
+  Par.Pool.with_pool ~jobs (fun pool -> Par.Pool.run_trials pool thunks)

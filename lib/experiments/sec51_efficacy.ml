@@ -37,15 +37,74 @@ let peer_route_contains mux peer target =
            ~origin:mux.Workloads.Scenarios.origin ~target
            entry.Bgp.Route.ann.Bgp.Route.path)
 
-let run ?(ases = 318) ?(max_poisons = 40) ~seed () =
-  let mux = Workloads.Scenarios.bgpmux ~ases ~seed () in
-  let bed = mux.Workloads.Scenarios.bed in
-  let net = bed.Workloads.Scenarios.net in
-  let graph = bed.Workloads.Scenarios.graph in
+(* Per-trial statistics for one poisoned AS, measured in the trial's own
+   freshly built world. *)
+type trial_stats = {
+  t_cases : int;
+  t_rerouted : int;
+  t_captive : int;
+  t_agree : int;
+  t_live : int;
+}
+
+(* All measurement here is control-plane (collector RIBs + topology
+   analysis), so trial worlds skip infrastructure announcement. *)
+let build_mux ~ases ~seed =
+  Workloads.Scenarios.bgpmux ~ases
+    ~infrastructure:Workloads.Scenarios.No_infrastructure ~seed ()
+
+let announce_and_converge mux =
+  let net = mux.Workloads.Scenarios.bed.Workloads.Scenarios.net in
+  Lifeguard.Remediate.announce_baseline net mux.Workloads.Scenarios.plan;
+  Bgp.Network.run_until_quiet net
+
+let poison_trial ~ases ~seed target () =
+  let mux = build_mux ~ases ~seed in
+  let net = mux.Workloads.Scenarios.bed.Workloads.Scenarios.net in
+  let graph = mux.Workloads.Scenarios.bed.Workloads.Scenarios.graph in
   let origin = mux.Workloads.Scenarios.origin in
-  let plan = mux.Workloads.Scenarios.plan in
-  Lifeguard.Remediate.announce_baseline net plan;
-  Bgp.Network.run_until_quiet net;
+  announce_and_converge mux;
+  let peers_via =
+    List.filter
+      (fun peer -> peer_route_contains mux peer target = Some true)
+      mux.Workloads.Scenarios.feeds
+  in
+  if peers_via = [] then { t_cases = 0; t_rerouted = 0; t_captive = 0; t_agree = 0; t_live = 0 }
+  else begin
+    Lifeguard.Remediate.poison net mux.Workloads.Scenarios.plan ~target;
+    Bgp.Network.run_until_quiet net;
+    List.fold_left
+      (fun acc peer ->
+        let found =
+          match peer_route_contains mux peer target with
+          | Some false -> true
+          | Some true | None -> false
+        in
+        let predicted =
+          Lifeguard.Decide.alternate_path_exists graph ~src:peer ~origin ~avoid:target
+        in
+        (* Captive: every policy path from the peer to the origin crosses
+           the poisoned AS. *)
+        let captive = (not found) && not predicted in
+        {
+          t_cases = acc.t_cases + 1;
+          t_rerouted = (acc.t_rerouted + if found then 1 else 0);
+          t_captive = (acc.t_captive + if captive then 1 else 0);
+          t_agree = (acc.t_agree + if predicted = found then 1 else 0);
+          t_live = acc.t_live + 1;
+        })
+      { t_cases = 0; t_rerouted = 0; t_captive = 0; t_agree = 0; t_live = 0 }
+      peers_via
+  end
+
+let run ?(ases = 318) ?(max_poisons = 40) ?(jobs = 1) ~seed () =
+  (* Scout world: harvest the poisoning targets and run the large-scale
+     simulation part over the converged baseline. *)
+  let mux = build_mux ~ases ~seed in
+  let net = mux.Workloads.Scenarios.bed.Workloads.Scenarios.net in
+  let graph = mux.Workloads.Scenarios.bed.Workloads.Scenarios.graph in
+  let origin = mux.Workloads.Scenarios.origin in
+  announce_and_converge mux;
   let harvest = Workloads.Scenarios.harvest_on_path_ases mux in
   let rng = Prng.create ~seed:(seed + 1) in
   let targets =
@@ -53,46 +112,28 @@ let run ?(ases = 318) ?(max_poisons = 40) ~seed () =
     Prng.shuffle rng arr;
     Array.to_list (Array.sub arr 0 (min max_poisons (Array.length arr)))
   in
-  let cases = ref 0 and rerouted = ref 0 and captive = ref 0 in
-  let agree = ref 0 and live_cases = ref 0 in
-  List.iter
-    (fun target ->
-      let peers_via =
-        List.filter
-          (fun peer -> peer_route_contains mux peer target = Some true)
-          mux.Workloads.Scenarios.feeds
-      in
-      if peers_via <> [] then begin
-        Lifeguard.Remediate.poison net plan ~target;
-        Bgp.Network.run_until_quiet net;
-        List.iter
-          (fun peer ->
-            incr cases;
-            let found =
-              match peer_route_contains mux peer target with
-              | Some false -> true
-              | Some true | None -> false
-            in
-            if found then incr rerouted
-            else begin
-              (* Captive: every policy path from the peer to the origin
-                 crosses the poisoned AS. *)
-              if
-                not
-                  (Lifeguard.Decide.alternate_path_exists graph ~src:peer ~origin
-                     ~avoid:target)
-              then incr captive
-            end;
-            let predicted =
-              Lifeguard.Decide.alternate_path_exists graph ~src:peer ~origin ~avoid:target
-            in
-            incr live_cases;
-            if predicted = found then incr agree)
-          peers_via;
-        Lifeguard.Remediate.unpoison net plan;
-        Bgp.Network.run_until_quiet net
-      end)
-    targets;
+  (* Each poisoning runs in its own deterministic world, so the trial
+     list is independent of [jobs] and results are bit-identical to a
+     sequential run. *)
+  let stats =
+    Runner.run_trials ~jobs (List.map (fun t -> poison_trial ~ases ~seed t) targets)
+  in
+  let totals =
+    List.fold_left
+      (fun acc s ->
+        {
+          t_cases = acc.t_cases + s.t_cases;
+          t_rerouted = acc.t_rerouted + s.t_rerouted;
+          t_captive = acc.t_captive + s.t_captive;
+          t_agree = acc.t_agree + s.t_agree;
+          t_live = acc.t_live + s.t_live;
+        })
+      { t_cases = 0; t_rerouted = 0; t_captive = 0; t_agree = 0; t_live = 0 }
+      stats
+  in
+  let cases = ref totals.t_cases and rerouted = ref totals.t_rerouted in
+  let captive = ref totals.t_captive in
+  let agree = ref totals.t_agree and live_cases = ref totals.t_live in
   (* Large-scale simulation: every transit AS on every feed path. *)
   let sim_cases = ref 0 and sim_alt = ref 0 in
   List.iter

@@ -118,30 +118,43 @@ let loss_during_poisoning mux rng ~samplers ~target =
   in
   (rate lost_any, rate lost_struct, bad_round)
 
-let run ?(ases = 318) ?(max_poisons = 20) ~seed () =
-  (* Routers take a few seconds to push loc-RIB changes into their FIBs;
-     that window is where structural convergence loss lives. *)
-  let mux = Scenarios.bgpmux ~ases ~fib_install_delay:6.0 ~seed () in
-  let net = mux.Scenarios.bed.Scenarios.net in
-  Lifeguard.Remediate.announce_baseline net mux.Scenarios.plan;
-  Bgp.Network.run_until_quiet net;
-  let harvest = Scenarios.harvest_on_path_ases mux in
-  let rng = Prng.create ~seed:(seed + 3) in
+(* Probing here targets only the production prefix (announced by the
+   origin), so trial worlds need no infrastructure prefixes at all.
+   Routers take a few seconds to push loc-RIB changes into their FIBs;
+   that window is where structural convergence loss lives. *)
+let build_mux ~ases ~seed =
+  Scenarios.bgpmux ~ases ~fib_install_delay:6.0
+    ~infrastructure:Scenarios.No_infrastructure ~seed ()
+
+let run ?(ases = 318) ?(max_poisons = 20) ?(jobs = 1) ~seed () =
+  (* Scout world: harvest the poisoning targets. *)
   let targets =
+    let mux = build_mux ~ases ~seed in
+    let net = mux.Scenarios.bed.Scenarios.net in
+    Lifeguard.Remediate.announce_baseline net mux.Scenarios.plan;
+    Bgp.Network.run_until_quiet net;
+    let harvest = Scenarios.harvest_on_path_ases mux in
+    let rng = Prng.create ~seed:(seed + 3) in
     let arr = Array.of_list harvest in
     Prng.shuffle rng arr;
     Array.to_list (Array.sub arr 0 (min max_poisons (Array.length arr)))
   in
-  (* The paper sampled ~300 PlanetLab sites; we sample every stub edge
-     network in the topology. *)
-  let samplers =
-    match mux.Scenarios.bed.Scenarios.gen with
-    | Some gen -> gen.Topology.Topo_gen.stub_list
-    | None -> mux.Scenarios.bed.Scenarios.vantage_points
+  (* One freshly built world per poisoning, each with its own PRNG keyed
+     on (seed, trial index): trials share nothing and their outcomes
+     don't depend on [jobs] or on each other. *)
+  let trial idx target () =
+    let mux = build_mux ~ases ~seed in
+    let rng = Prng.create ~seed:(seed + 3 + (1009 * (idx + 1))) in
+    (* The paper sampled ~300 PlanetLab sites; we sample every stub edge
+       network in the topology. *)
+    let samplers =
+      match mux.Scenarios.bed.Scenarios.gen with
+      | Some gen -> gen.Topology.Topo_gen.stub_list
+      | None -> mux.Scenarios.bed.Scenarios.vantage_points
+    in
+    loss_during_poisoning mux rng ~samplers ~target
   in
-  let outcomes =
-    List.map (fun t -> loss_during_poisoning mux rng ~samplers ~target:t) targets
-  in
+  let outcomes = Runner.run_trials ~jobs (List.mapi trial targets) in
   let loss_rates = Array.of_list (List.map (fun (a, _, _) -> a) outcomes) in
   let structural_rates = Array.of_list (List.map (fun (_, s, _) -> s) outcomes) in
   let frac pred = Stats.Descriptive.fraction pred loss_rates in

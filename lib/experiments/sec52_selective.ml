@@ -84,11 +84,19 @@ let forward_avoidable_for mux ~dst =
            mux.Scenarios.providers)
   | _ -> None
 
-let run ?(ases = 318) ?(max_feeds = 40) ~seed () =
-  let mux = Scenarios.bgpmux ~ases ~seed () in
+let announce_and_converge mux =
   let net = mux.Scenarios.bed.Scenarios.net in
   Lifeguard.Remediate.announce_baseline net mux.Scenarios.plan;
-  Bgp.Network.run_until_quiet net;
+  Bgp.Network.run_until_quiet net
+
+let run ?(ases = 318) ?(max_feeds = 40) ?(jobs = 1) ~seed () =
+  (* Scout world (control-plane only): pick the feeds and run the
+     undisturbed-peers sanity check. *)
+  let mux =
+    Scenarios.bgpmux ~ases ~infrastructure:Scenarios.No_infrastructure ~seed ()
+  in
+  let net = mux.Scenarios.bed.Scenarios.net in
+  announce_and_converge mux;
   (* Feed ASes that can be poisoned at all: transit or multi-homed, not
      the origin's own providers. *)
   let feeds =
@@ -102,8 +110,24 @@ let run ?(ases = 318) ?(max_feeds = 40) ~seed () =
     | x :: rest -> x :: take (n - 1) rest
   in
   let feeds = take max_feeds feeds in
-  let reverse_results = List.filter_map (fun peer -> reverse_avoidable_for mux ~peer) feeds in
-  let forward_results = List.filter_map (fun dst -> forward_avoidable_for mux ~dst) feeds in
+  (* Per-feed trial in its own world. The forward walk targets the feed's
+     probe address, so only that feed's infrastructure prefix needs
+     announcing; the reverse measurement is pure control plane. Forward
+     is measured first, against the undisturbed baseline, because the
+     reverse measurement poisons and restores. *)
+  let trial feed () =
+    let mux =
+      Scenarios.bgpmux ~ases
+        ~infrastructure:(Scenarios.Endpoints_only [ feed ]) ~seed ()
+    in
+    announce_and_converge mux;
+    let fwd = forward_avoidable_for mux ~dst:feed in
+    let rev = reverse_avoidable_for mux ~peer:feed in
+    (rev, fwd)
+  in
+  let outcomes = Runner.run_trials ~jobs (List.map (fun f -> trial f) feeds) in
+  let reverse_results = List.filter_map fst outcomes in
+  let forward_results = List.filter_map snd outcomes in
   (* Sanity: selectively poisoning one feed must not disturb peers not
      routing through it. *)
   let undisturbed_ok =

@@ -38,9 +38,19 @@ type result = {
 let paper_fraction_consistent = 0.93
 let paper_fraction_traceroute_differs = 0.40
 
-let run ?(ases = 318) ?(failure_count = 120) ~seed () =
-  let bed = Scenarios.planetlab ~ases ~sites:24 ~seed () in
-  let rng = Prng.create ~seed:(seed + 5) in
+(* Isolation probes run only between the PlanetLab sites (and walk to the
+   transit targets), so shard worlds announce infrastructure for those
+   endpoints only — a few dozen prefixes instead of one per AS. *)
+let shard_count = 8
+
+(* One shard: an independent world + PRNG hunting [quota] isolatable
+   failures. The shard decomposition is fixed (a pure function of
+   [failure_count]), so results don't depend on [jobs]. *)
+let run_shard ~ases ~seed ~shard ~quota () =
+  let bed =
+    Scenarios.planetlab ~ases ~sites:24 ~infrastructure:Scenarios.Sites ~seed ()
+  in
+  let rng = Prng.create ~seed:(seed + 5 + (131 * shard)) in
   let sites = Array.of_list bed.Scenarios.vantage_points in
   let responsiveness = Measurement.Responsiveness.create () in
   Measurement.Responsiveness.configure_silent_fraction responsiveness
@@ -63,7 +73,7 @@ let run ?(ases = 318) ?(failure_count = 120) ~seed () =
   in
   let cases = ref [] in
   let attempts = ref 0 in
-  while List.length !cases < failure_count && !attempts < failure_count * 4 do
+  while List.length !cases < quota && !attempts < quota * 4 do
     incr attempts;
     let src = Prng.pick_list rng vps in
     let dst = Prng.pick_list rng targets in
@@ -115,7 +125,21 @@ let run ?(ases = 318) ?(failure_count = 120) ~seed () =
           }
           :: !cases
   done;
-  let cases = List.rev !cases in
+  List.rev !cases
+
+let run ?(ases = 318) ?(failure_count = 120) ?(jobs = 1) ~seed () =
+  (* Distribute the quota over a fixed number of shards (never a function
+     of [jobs]); each shard hunts its share of failures in its own
+     world. *)
+  let shards = max 1 (min shard_count failure_count) in
+  let quota shard =
+    (failure_count / shards) + if shard < failure_count mod shards then 1 else 0
+  in
+  let shard_cases =
+    Runner.run_trials ~jobs
+      (List.init shards (fun shard -> run_shard ~ases ~seed ~shard ~quota:(quota shard)))
+  in
+  let cases = List.concat shard_cases in
   let isolated =
     List.filter
       (fun c -> Lifeguard.Isolation.blamed_as c.diagnosis.Lifeguard.Isolation.blame <> None)

@@ -30,7 +30,23 @@ type result = {
 
 let production = Workloads.Scenarios.production_prefix
 
-let run ?(ases = 200) ?(relaxed_fraction = 0.3) ~seed () =
+type world = {
+  w_net : Bgp.Network.t;
+  w_origin : Asn.t;
+  w_relaxed : Asn.t list;
+  w_feeds : Asn.t list;
+  w_filtering_provider : Asn.t;
+  w_clean_provider : Asn.t;
+  w_tier1 : Asn.t;
+}
+
+(* Deterministic world constructor: the PRNG draws (topology seed,
+   relaxed sample, feed sample) happen in a fixed order before any
+   announcement, so every call with the same arguments yields the same
+   graph, quirk assignment and feed list. Everything measured here is
+   control-plane state of the production prefix, so no infrastructure
+   prefixes are announced. *)
+let build_world ~ases ~relaxed_fraction ~seed =
   let rng = Prng.create ~seed in
   let gen = Topo_gen.generate ~params:(Topo_gen.sized ases) ~seed:(Prng.int rng 1000000) () in
   let graph = gen.Topo_gen.graph in
@@ -70,60 +86,96 @@ let run ?(ases = 200) ?(relaxed_fraction = 0.3) ~seed () =
   in
   let engine = Sim.Engine.create () in
   let net = Bgp.Network.create ~engine ~graph ~config_of ~mrai:10.0 () in
-  Dataplane.Forward.announce_infrastructure net;
-  Bgp.Network.run_until_quiet ~timeout:36000.0 net;
-  let feeds =
-    Array.to_list (Prng.sample_without_replacement rng 30 transit)
-  in
-  let baseline () =
-    Bgp.Network.announce net ~origin ~prefix:production
-      ~per_neighbor:(fun _ -> Some (Bgp.As_path.prepended ~origin ~copies:3))
-      ();
-    Bgp.Network.run_until_quiet net
-  in
-  baseline ();
-  (* Loop-limit quirk: single vs double poison of each relaxed AS that
-     currently holds a route. *)
-  let single_ineffective = ref 0 and double_effective = ref 0 and relevant = ref 0 in
-  List.iter
-    (fun target ->
-      if Bgp.Network.best_route net target production <> None then begin
-        incr relevant;
-        Bgp.Network.announce net ~origin ~prefix:production
-          ~per_neighbor:(fun _ -> Some (Bgp.As_path.poisoned ~origin ~poison:target))
-          ();
-        Bgp.Network.run_until_quiet net;
-        let survived = Bgp.Network.best_route net target production <> None in
-        if survived then incr single_ineffective;
-        Bgp.Network.announce net ~origin ~prefix:production
-          ~per_neighbor:(fun _ ->
-            Some (Bgp.As_path.poisoned_multi ~origin ~poisons:[ target; target ]))
-          ();
-        Bgp.Network.run_until_quiet net;
-        if survived && Bgp.Network.best_route net target production = None then
-          incr double_effective;
-        baseline ()
-      end)
-    relaxed;
-  (* Cogent-style filtering: poison a tier-1 selectively via each
-     provider and count how many feeds still hold any route. *)
-  let tier1 = List.hd gen.Topo_gen.tier1 in
-  let reached_when ~via =
-    Bgp.Network.announce net ~origin ~prefix:production
-      ~per_neighbor:(fun n ->
-        if Asn.equal n via then Some (Bgp.As_path.poisoned ~origin ~poison:tier1)
-        else None)
+  let feeds = Array.to_list (Prng.sample_without_replacement rng 30 transit) in
+  {
+    w_net = net;
+    w_origin = origin;
+    w_relaxed = relaxed;
+    w_feeds = feeds;
+    w_filtering_provider = filtering_provider;
+    w_clean_provider = clean_provider;
+    w_tier1 = List.hd gen.Topo_gen.tier1;
+  }
+
+let baseline w =
+  Bgp.Network.announce w.w_net ~origin:w.w_origin ~prefix:production
+    ~per_neighbor:(fun _ -> Some (Bgp.As_path.prepended ~origin:w.w_origin ~copies:3))
+    ();
+  Bgp.Network.run_until_quiet w.w_net
+
+(* Loop-limit quirk for one relaxed AS, in a fresh world: does a single
+   poison leave it routed, and does doubling the ASN then strip the
+   route? Returns [None] when the AS holds no baseline route. *)
+let loop_trial ~ases ~relaxed_fraction ~seed target () =
+  let w = build_world ~ases ~relaxed_fraction ~seed in
+  baseline w;
+  let net = w.w_net in
+  if Bgp.Network.best_route net target production = None then None
+  else begin
+    Bgp.Network.announce net ~origin:w.w_origin ~prefix:production
+      ~per_neighbor:(fun _ -> Some (Bgp.As_path.poisoned ~origin:w.w_origin ~poison:target))
       ();
     Bgp.Network.run_until_quiet net;
-    let reached =
-      List.length
-        (List.filter (fun f -> Bgp.Network.best_route net f production <> None) feeds)
-    in
-    baseline ();
-    reached
+    let survived = Bgp.Network.best_route net target production <> None in
+    Bgp.Network.announce net ~origin:w.w_origin ~prefix:production
+      ~per_neighbor:(fun _ ->
+        Some (Bgp.As_path.poisoned_multi ~origin:w.w_origin ~poisons:[ target; target ]))
+      ();
+    Bgp.Network.run_until_quiet net;
+    let doubled = survived && Bgp.Network.best_route net target production = None in
+    Some (survived, doubled)
+  end
+
+(* Cogent-style filtering: poison the tier-1 selectively via one provider
+   (fresh world) and count feeds still holding any route. *)
+let tier1_trial ~ases ~relaxed_fraction ~seed ~via_filtering () =
+  let w = build_world ~ases ~relaxed_fraction ~seed in
+  baseline w;
+  let net = w.w_net in
+  let via = if via_filtering then w.w_filtering_provider else w.w_clean_provider in
+  Bgp.Network.announce net ~origin:w.w_origin ~prefix:production
+    ~per_neighbor:(fun n ->
+      if Asn.equal n via then Some (Bgp.As_path.poisoned ~origin:w.w_origin ~poison:w.w_tier1)
+      else None)
+    ();
+  Bgp.Network.run_until_quiet net;
+  List.length
+    (List.filter (fun f -> Bgp.Network.best_route net f production <> None) w.w_feeds)
+
+type outcome = Loop of (bool * bool) option | Tier1 of int
+
+let run ?(ases = 200) ?(relaxed_fraction = 0.3) ?(jobs = 1) ~seed () =
+  (* A throwaway scout world (no announcements, so cheap) fixes the
+     relaxed and feed samples; the trial list depends only on them. *)
+  let scout = build_world ~ases ~relaxed_fraction ~seed in
+  let relaxed = scout.w_relaxed in
+  let feeds = scout.w_feeds in
+  let thunks =
+    List.map
+      (fun target () -> Loop (loop_trial ~ases ~relaxed_fraction ~seed target ()))
+      relaxed
+    @ [
+        (fun () -> Tier1 (tier1_trial ~ases ~relaxed_fraction ~seed ~via_filtering:true ()));
+        (fun () -> Tier1 (tier1_trial ~ases ~relaxed_fraction ~seed ~via_filtering:false ()));
+      ]
   in
-  let via_filter = reached_when ~via:filtering_provider in
-  let via_clean = reached_when ~via:clean_provider in
+  let outcomes = Runner.run_trials ~jobs thunks in
+  let relevant = ref 0 and single_ineffective = ref 0 and double_effective = ref 0 in
+  let tier1_counts = ref [] in
+  List.iter
+    (function
+      | Loop None -> ()
+      | Loop (Some (survived, doubled)) ->
+          incr relevant;
+          if survived then incr single_ineffective;
+          if doubled then incr double_effective
+      | Tier1 n -> tier1_counts := n :: !tier1_counts)
+    outcomes;
+  let via_filter, via_clean =
+    match List.rev !tier1_counts with
+    | [ f; c ] -> (f, c)
+    | _ -> assert false
+  in
   {
     relaxed_ases = !relevant;
     single_poison_ineffective = !single_ineffective;

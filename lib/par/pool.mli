@@ -1,0 +1,51 @@
+(** A fixed-size worker pool over OCaml 5 domains (stdlib only: [Domain],
+    [Mutex], [Condition] — no domainslib).
+
+    Built for the experiment harness: hundreds of independent,
+    deterministic trial thunks that each own their PRNG, topology and
+    simulation engine. The pool executes them on [jobs] worker domains
+    and reassembles results in submission order, so a run with any number
+    of jobs is bit-identical to a sequential run — parallelism changes
+    only the wall clock, never the output. That contract holds only if
+    the thunks share no mutable state, which is the caller's side of the
+    bargain. *)
+
+type t
+(** A pool of worker domains. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — one worker per available
+    core. *)
+
+val create : ?jobs:int -> unit -> t
+(** Spawn a pool of [jobs] workers (default {!default_jobs}; values [< 1]
+    are clamped to 1). With [jobs = 1] no domain is spawned at all and
+    every submission runs inline on the caller — the legacy sequential
+    path. *)
+
+val jobs : t -> int
+(** The worker count the pool was created with. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map t f xs] applies [f] to every element of [xs], distributing the
+    calls over the pool's workers, and returns the results in the order
+    of [xs] (NOT completion order). Blocks until the whole batch is done.
+
+    If one or more applications raise, the exception of the {e earliest
+    submitted} failing element is re-raised in the caller once the batch
+    has drained — which failure surfaces does not depend on scheduling.
+
+    Must be called from the domain that owns the pool, not from inside a
+    task running on the pool. *)
+
+val run_trials : t -> (unit -> 'a) list -> 'a list
+(** [run_trials t thunks] is [map t (fun f -> f ()) thunks]: execute
+    pre-built trial closures, results in submission order. *)
+
+val shutdown : t -> unit
+(** Join all workers. Outstanding tasks finish first; calling {!map}
+    after shutdown raises [Invalid_argument]. Idempotent. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool ~jobs f] runs [f] with a fresh pool and shuts it down
+    afterwards, whether [f] returns or raises. *)

@@ -17,14 +17,24 @@ type testbed = {
    hand-built scenario graphs (the case study) keep policy exact. *)
 let jittered_config _ = { Bgp.Policy.default with Bgp.Policy.pref_jitter = 8 }
 
-let testbed_of_graph ?(mrai = 30.0) ?config_of ?fib_install_delay ?gen ~vantage_points
-    ~targets graph =
+type infrastructure = All | Endpoints_only of Asn.t list | No_infrastructure
+
+let testbed_of_graph ?(mrai = 30.0) ?config_of ?fib_install_delay ?gen
+    ?(infrastructure = All) ~vantage_points ~targets graph =
   let engine = Sim.Engine.create () in
   let net = Bgp.Network.create ~engine ~graph ?config_of ~mrai ?fib_install_delay () in
   let failures = Dataplane.Failure.create () in
   let probe = Dataplane.Probe.env net failures in
-  Dataplane.Forward.announce_infrastructure net;
-  Bgp.Network.run_until_quiet ~timeout:36000.0 net;
+  (* Converging the full per-AS infrastructure announcement is ~99% of
+     testbed construction cost; per-trial worlds announce only what they
+     will probe between (or nothing for control-plane-only trials). *)
+  (match infrastructure with
+  | All -> Dataplane.Forward.announce_infrastructure net
+  | Endpoints_only ases -> Dataplane.Forward.announce_infrastructure_for net ases
+  | No_infrastructure -> ());
+  (match infrastructure with
+  | No_infrastructure -> ()
+  | All | Endpoints_only _ -> Bgp.Network.run_until_quiet ~timeout:36000.0 net);
   { engine; graph; gen; net; failures; probe; vantage_points; targets }
 
 let settle bed ~seconds =
@@ -33,7 +43,10 @@ let settle bed ~seconds =
   Sim.Engine.schedule engine ~at:wake ignore;
   Sim.Engine.run ~until:wake engine
 
-let planetlab ?(ases = 318) ?(sites = 20) ?(target_count = 25) ?mrai ~seed () =
+type planetlab_infrastructure = Sites | Of of infrastructure
+
+let planetlab ?(ases = 318) ?(sites = 20) ?(target_count = 25) ?mrai ?infrastructure ~seed
+    () =
   let rng = Prng.create ~seed in
   let gen = Topo_gen.generate ~params:(Topo_gen.sized ases) ~seed:(Prng.int rng 1000000) () in
   let graph = gen.Topo_gen.graph in
@@ -57,7 +70,14 @@ let planetlab ?(ases = 318) ?(sites = 20) ?(target_count = 25) ?mrai ~seed () =
     | x :: rest -> x :: take (n - 1) rest
   in
   let targets = take target_count transits in
-  testbed_of_graph ?mrai ~config_of:jittered_config ~gen ~vantage_points ~targets graph
+  let infrastructure =
+    match infrastructure with
+    | Some Sites -> Some (Endpoints_only (vantage_points @ targets))
+    | Some (Of i) -> Some i
+    | None -> None
+  in
+  testbed_of_graph ?mrai ~config_of:jittered_config ~gen ?infrastructure ~vantage_points
+    ~targets graph
 
 type mux = {
   bed : testbed;
@@ -72,7 +92,7 @@ let production_prefix = Prefix.of_string_exn "203.0.113.0/24"
 let sentinel_prefix = Prefix.of_string_exn "203.0.112.0/23"
 
 let bgpmux ?(ases = 318) ?(provider_count = 5) ?(feed_count = 40) ?mrai ?(prepend_copies = 3)
-    ?fib_install_delay ~seed () =
+    ?fib_install_delay ?infrastructure ~seed () =
   let rng = Prng.create ~seed in
   let gen = Topo_gen.generate ~params:(Topo_gen.sized ases) ~seed:(Prng.int rng 1000000) () in
   let graph = gen.Topo_gen.graph in
@@ -110,8 +130,8 @@ let bgpmux ?(ases = 318) ?(provider_count = 5) ?(feed_count = 40) ?mrai ?(prepen
       (Prng.sample_without_replacement rng 20 (Array.of_list gen.Topo_gen.stub_list))
   in
   let bed =
-    testbed_of_graph ?mrai ~config_of:jittered_config ?fib_install_delay ~gen ~vantage_points
-      ~targets:[] graph
+    testbed_of_graph ?mrai ~config_of:jittered_config ?fib_install_delay ~gen ?infrastructure
+      ~vantage_points ~targets:[] graph
   in
   let collector = Bgp.Network.Collector.attach bed.net ~name:"collector" ~peers:feeds in
   let plan =

@@ -27,14 +27,40 @@ val settle : testbed -> seconds:float -> unit
     expire so the next announcement propagates like the paper's
     experiments, which spaced announcements 90 minutes apart. *)
 
+type infrastructure =
+  | All  (** One infrastructure prefix per AS, announced and converged. *)
+  | Endpoints_only of Asn.t list
+      (** Only the listed ASes' infrastructure prefixes. Probes target —
+          and hop replies return to — endpoint addresses only, so a trial
+          that probes between a known set of ASes needs only those
+          prefixes; skipping the rest removes ~99% of testbed
+          construction cost, which is what makes cheap per-trial worlds
+          (and hence the domain-parallel runner) affordable. *)
+  | No_infrastructure
+      (** Control-plane-only trials: nothing announced, no convergence
+          run at build time. *)
+
+type planetlab_infrastructure =
+  | Sites  (** [Endpoints_only] of the chosen vantage points + targets. *)
+  | Of of infrastructure
+
 val planetlab :
-  ?ases:int -> ?sites:int -> ?target_count:int -> ?mrai:float -> seed:int -> unit -> testbed
+  ?ases:int ->
+  ?sites:int ->
+  ?target_count:int ->
+  ?mrai:float ->
+  ?infrastructure:planetlab_infrastructure ->
+  seed:int ->
+  unit ->
+  testbed
 (** A synthetic Internet of roughly [ases] ASes (default 318) with
-    infrastructure prefixes announced and converged. [sites] (default 20)
-    stub ASes act as PlanetLab vantage points; [target_count] (default
-    25) targets are drawn from the highest-degree transit ASes, echoing
-    the EC2 study's "five routers each from the 50 highest-degree
-    ASes". *)
+    infrastructure prefixes announced and converged (default [Of All];
+    [Sites] restricts announcements to the chosen vantage points and
+    targets, which is all the probing experiments touch). [sites]
+    (default 20) stub ASes act as PlanetLab vantage points;
+    [target_count] (default 25) targets are drawn from the highest-degree
+    transit ASes, echoing the EC2 study's "five routers each from the 50
+    highest-degree ASes". *)
 
 val production_prefix : Prefix.t
 (** The /24 carrying "real" traffic in mux scenarios (203.0.113.0/24). *)
@@ -59,6 +85,7 @@ val bgpmux :
   ?mrai:float ->
   ?prepend_copies:int ->
   ?fib_install_delay:float ->
+  ?infrastructure:infrastructure ->
   seed:int ->
   unit ->
   mux
@@ -66,7 +93,10 @@ val bgpmux :
     [provider_count] (default 5) distinct transit providers, a production
     /24 with covering /23 sentinel, and a collector fed by [feed_count]
     (default 40) ASes across tiers. The baseline is {e not} announced —
-    each experiment controls its own announcements. *)
+    each experiment controls its own announcements. [infrastructure]
+    (default [All]) selects which ASes announce infrastructure prefixes;
+    control-plane experiments pass [No_infrastructure] so per-trial
+    worlds build in milliseconds. *)
 
 val harvest_on_path_ases : mux -> Asn.t list
 (** The transit ASes appearing on collector peers' current paths to the

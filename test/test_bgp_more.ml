@@ -178,6 +178,38 @@ let test_message_accounting () =
   in
   Alcotest.(check int) "window covers them" (after - before) windowed
 
+let test_delivery_buckets () =
+  (* Delivery accounting is bucketed, not per-event: a window covering
+     all activity equals the global counter, bucket-aligned windows
+     partition it, and empty/inverted windows count nothing. *)
+  let w = fig2_world () in
+  Bgp.Network.announce w.net ~origin:o ~prefix:production ();
+  converge w;
+  let now = Sim.Engine.now w.engine in
+  let total = Bgp.Network.message_count w.net in
+  Alcotest.(check bool) "messages flowed" true (total > 0);
+  Alcotest.(check int) "full window = total" total
+    (Bgp.Network.messages_between w.net ~since:0.0 ~until:(now +. 10.0));
+  let width = Bgp.Network.delivery_bucket_width in
+  Alcotest.(check int) "window after quiescence is empty" 0
+    (Bgp.Network.messages_between w.net
+       ~since:(now +. (2.0 *. width))
+       ~until:(now +. 100.0));
+  Alcotest.(check int) "inverted window is empty" 0
+    (Bgp.Network.messages_between w.net ~since:10.0 ~until:5.0);
+  (* Split at a bucket boundary: [0, m].(m+1, end] partition the total. *)
+  let m = int_of_float (now /. (2.0 *. width)) in
+  let first =
+    Bgp.Network.messages_between w.net ~since:0.0
+      ~until:((float_of_int m *. width) +. (width /. 2.0))
+  in
+  let second =
+    Bgp.Network.messages_between w.net
+      ~since:(float_of_int (m + 1) *. width)
+      ~until:(now +. 10.0)
+  in
+  Alcotest.(check int) "bucket-aligned windows partition the total" total (first + second)
+
 let test_selective_advertising () =
   (* Announcing via only one provider: the withheld provider must not
      even have the route in its RIB from the origin (though it may learn
@@ -217,23 +249,22 @@ let prop_decision_total_order =
           | 1 -> Topology.Relationship.Peer
           | _ -> Topology.Relationship.Provider
         in
-        {
-          Bgp.Route.ann =
-            Bgp.Route.announcement ~prefix:production
-              ~path:(List.init (1 + len) (fun i -> asn (500 + i)))
-              ();
-          neighbor = asn (1 + neighbor);
-          rel;
-          local_pref = Topology.Relationship.local_pref rel;
-          learned_at = 0.0;
-        })
+        Bgp.Route.make_entry ~salt:7
+          ~ann:
+            (Bgp.Route.announcement ~prefix:production
+               ~path:(List.init (1 + len) (fun i -> asn (500 + i)))
+               ())
+          ~neighbor:(asn (1 + neighbor))
+          ~rel
+          ~local_pref:(Topology.Relationship.local_pref rel)
+          ~learned_at:0.0 ())
       QCheck.(triple (int_range 0 50) (int_range 0 2) (int_range 0 5))
   in
   QCheck.Test.make ~name:"decision independent of candidate order" ~count:200
     QCheck.(list_of_size (QCheck.Gen.int_range 1 8) entry_gen)
     (fun entries ->
-      let best1 = Bgp.Decision.best ~salt:7 entries in
-      let best2 = Bgp.Decision.best ~salt:7 (List.rev entries) in
+      let best1 = Bgp.Decision.best entries in
+      let best2 = Bgp.Decision.best (List.rev entries) in
       match (best1, best2) with
       | Some x, Some y ->
           Asn.equal x.Bgp.Route.neighbor y.Bgp.Route.neighbor
@@ -253,6 +284,7 @@ let suite =
     Alcotest.test_case "pref jitter bounded" `Quick test_pref_jitter_deterministic_and_bounded;
     Alcotest.test_case "peer route not re-peered" `Quick test_peer_route_not_exported_to_peer;
     Alcotest.test_case "message accounting" `Quick test_message_accounting;
+    Alcotest.test_case "delivery bucket counters" `Quick test_delivery_buckets;
     Alcotest.test_case "selective advertising" `Quick test_selective_advertising;
     QCheck_alcotest.to_alcotest prop_poisoned_path_ties_baseline_length;
     QCheck_alcotest.to_alcotest prop_decision_total_order;

@@ -12,6 +12,7 @@ let () =
       ("measurement", Test_measurement.suite);
       ("lifeguard", Test_lifeguard.suite);
       ("workloads", Test_workloads.suite);
+      ("par", Test_par.suite);
       ("experiments", Test_experiments.suite);
       ("behaviors", Test_behaviors.suite);
       ("invariants", Test_invariants.suite);
