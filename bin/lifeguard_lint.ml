@@ -1,0 +1,1 @@
+let () = exit (Lint.main Sys.argv)

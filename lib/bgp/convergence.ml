@@ -42,7 +42,7 @@ let analyze collector ~event_time ~prefix ~affected =
         last_update;
         convergence_time = last_update -. first_update;
         affected = affected peer;
-        has_final_route = final <> None;
+        has_final_route = Option.is_some final;
       }
       :: acc)
     by_peer []

@@ -23,12 +23,21 @@ let pp_walk fmt w =
     pp_outcome w.outcome
 
 (* The border router of [asn] that answers for a given flow: picked by a
-   hash of the destination so multi-router ASes expose several addresses
-   in traces, deterministically per destination. *)
+   fixed integer mix of (asn, destination) so multi-router ASes expose
+   several addresses in traces, deterministically per destination. The
+   mix is explicit arithmetic rather than the polymorphic [Hashtbl.hash]
+   so the choice cannot drift with the runtime's generic hash. *)
 let responding_router graph asn ~dst =
   let routers = As_graph.routers graph asn in
   let n = Array.length routers in
-  let i = if n = 1 then 0 else Hashtbl.hash (Asn.to_int asn, Ipv4.to_int32 dst) mod n in
+  let i =
+    if n = 1 then 0
+    else begin
+      let z = (Asn.to_int asn * 0x9E3779B1) lxor (Int32.to_int (Ipv4.to_int32 dst) * 0x85EBCA6B) in
+      let z = z lxor (z lsr 16) in
+      (z land max_int) mod n
+    end
+  in
   routers.(i).As_graph.address
 
 let walk net failures ~src ~dst ?(max_hops = 64) () =

@@ -3,7 +3,9 @@
     Each module exposes [run] (deterministic given its seed) returning a
     typed result, and [to_tables] rendering paper-vs-measured rows. The
     benchmark harness ([bench/main.exe]) runs them all; the CLI
-    ([bin/lifeguard_cli]) runs them individually. *)
+    ([bin/lifeguard_cli]) runs them individually. This interface exists
+    to pin the library surface to exactly these drivers (plus
+    {!Runner}); helper modules stay internal. *)
 
 module Runner = Runner
 module Fig1_durations = Fig1_durations

@@ -129,10 +129,8 @@ let run ?(ases = 318) ?(max_poisons = 25) ?(jobs = 1) ~seed () =
     Runner.run_trials ~jobs (trials prepended_baseline @ trials plain_baseline)
   in
   let collect outcomes =
-    List.fold_left
-      (fun (acc_reports, acc_globals) (reports, global) ->
-        (acc_reports @ reports, acc_globals @ Option.to_list global))
-      ([], []) outcomes
+    ( List.concat_map (fun (reports, _) -> reports) outcomes,
+      List.filter_map (fun (_, global) -> global) outcomes )
   in
   let n = List.length targets in
   let prepend_reports, prepend_globals = collect (List.filteri (fun i _ -> i < n) outcomes) in

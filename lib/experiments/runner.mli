@@ -1,0 +1,18 @@
+(** Shared trial execution for the experiment drivers.
+
+    Every converted experiment decomposes into a fixed list of trial
+    closures — a decomposition that is a pure function of the
+    experiment's parameters, never of the worker count — where each
+    closure rebuilds its entire world (topology, network, engine, PRNG)
+    from the seed. The pool returns results in submission order, so
+    results (and therefore every table) are bit-identical for any
+    [~jobs]. The share-nothing contract on the closures is enforced
+    statically by [lifeguard-lint] (rule [LG-DOM-MUT]). *)
+
+val default_jobs : unit -> int
+(** One worker per available core ({!Par.Pool.default_jobs}). *)
+
+val run_trials : jobs:int -> (unit -> 'a) list -> 'a list
+(** Run the closures on a fresh pool of [jobs] workers ([jobs <= 1] runs
+    inline on the caller); results in submission order; the earliest
+    submitted failure is re-raised after the batch drains. *)

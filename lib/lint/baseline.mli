@@ -1,0 +1,27 @@
+(** The checked-in grandfather list ([lint.baseline]).
+
+    Entries are per (rule, file) {e counts}, not per line, so unrelated
+    edits that shift line numbers never invalidate the baseline; only an
+    {e additional} violation of a rule in a file trips [--check]. *)
+
+type t
+
+val empty : t
+
+val of_violations : Source_scan.violation list -> t
+
+val load : string -> (t, string) result
+(** A missing file loads as {!empty} (everything is "new"). *)
+
+val save : string -> t -> unit
+
+type verdict = {
+  fresh : (string * int * int * Source_scan.violation list) list;
+      (** (["RULE file"], allowed, found, violations) for every key whose
+          count now exceeds the baseline — these fail the build *)
+  stale : (string * int * int) list;
+      (** baseline keys whose count dropped below the grandfathered
+          number — a nudge to regenerate, never a failure *)
+}
+
+val check : t -> Source_scan.violation list -> verdict

@@ -1,0 +1,161 @@
+(* Driver for lifeguard-lint: directory walking, report rendering
+   (text + JSON), baseline checking, and the CLI entry point shared by
+   bin/lifeguard_lint and the test suite. *)
+
+module Rule = Rule
+module Source_scan = Source_scan
+module Baseline = Baseline
+
+let default_dirs = [ "lib"; "bin"; "bench"; "examples" ]
+
+(* Skip hidden and build dirs so the pass can run unchanged from a dune
+   sandbox (_build/default), where .objs/ etc. sit next to sources. *)
+let rec collect_ml_files acc path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Array.to_list (Sys.readdir path)
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if String.length name = 0 || name.[0] = '.' || name.[0] = '_' then acc
+           else collect_ml_files acc (Filename.concat path name))
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+type report = {
+  violations : Source_scan.violation list;
+  errors : (string * string) list;  (** file, parse error *)
+}
+
+let scan ?kind ~dirs () =
+  let files = List.fold_left collect_ml_files [] dirs |> List.sort String.compare in
+  let violations = ref [] in
+  let errors = ref [] in
+  List.iter
+    (fun f ->
+      match Source_scan.scan_file ?kind f with
+      | Ok vs -> violations := List.rev_append vs !violations
+      | Error e -> errors := (f, e) :: !errors)
+    files;
+  let force_lib = match kind with Some k -> k.Source_scan.in_lib | None -> false in
+  let mli = Source_scan.mli_violations ~force_lib files in
+  {
+    violations = List.sort Source_scan.compare_violation (List.rev_append mli !violations);
+    errors = List.rev !errors;
+  }
+
+let pp_violation oc (v : Source_scan.violation) =
+  Printf.fprintf oc "%s:%d:%d: [%s] %s\n" v.file v.line v.col (Rule.id v.rule) v.message
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let print_json oc r =
+  let item (v : Source_scan.violation) =
+    Printf.sprintf "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
+      (Rule.id v.rule) (json_escape v.file) v.line v.col (json_escape v.message)
+  in
+  let err (f, e) =
+    Printf.sprintf "{\"file\":\"%s\",\"error\":\"%s\"}" (json_escape f) (json_escape e)
+  in
+  Printf.fprintf oc "{\"violations\":[%s],\"errors\":[%s]}\n"
+    (String.concat "," (List.map item r.violations))
+    (String.concat "," (List.map err r.errors))
+
+let run_check ~oc ~baseline_path r =
+  match Baseline.load baseline_path with
+  | Error e ->
+      Printf.fprintf oc "lifeguard-lint: %s\n" e;
+      2
+  | Ok base ->
+      let verdict = Baseline.check base r.violations in
+      List.iter
+        (fun (k, allowed, found, vs) ->
+          Printf.fprintf oc
+            "lifeguard-lint: new violation(s) of %s: baseline allows %d, found %d\n" k allowed
+            found;
+          List.iter (pp_violation oc) vs)
+        verdict.Baseline.fresh;
+      List.iter
+        (fun (k, allowed, found) ->
+          Printf.fprintf oc
+            "lifeguard-lint: note: %s improved (%d -> %d); consider --update-baseline\n" k
+            allowed found)
+        verdict.Baseline.stale;
+      if verdict.Baseline.fresh <> [] then 1 else 0
+
+let usage =
+  "lifeguard_lint [--check | --update-baseline] [--json] [--baseline FILE]\n\
+  \               [--root DIR] [--treat-as-lib] [DIR ...]\n\
+   Static analysis for domain-safety, determinism and hot-path hygiene.\n\
+   Default directories: lib bin bench examples."
+
+let main argv =
+  let check = ref false in
+  let update = ref false in
+  let json = ref false in
+  let baseline_path = ref "lint.baseline" in
+  let root = ref "" in
+  let as_lib = ref false in
+  let dirs = ref [] in
+  let spec =
+    [
+      ("--check", Arg.Set check, " fail (exit 1) on violations not covered by the baseline");
+      ("--update-baseline", Arg.Set update, " rewrite the baseline from the current tree");
+      ("--json", Arg.Set json, " machine-readable report on stdout");
+      ("--baseline", Arg.Set_string baseline_path, "FILE baseline file (default lint.baseline)");
+      ("--root", Arg.Set_string root, "DIR chdir here first; paths are reported relative to it");
+      ("--treat-as-lib", Arg.Set as_lib, " apply library-strict rules to every scanned file");
+      ("--rules", Arg.Unit (fun () -> raise Exit), " list rule IDs and exit");
+    ]
+  in
+  match
+    Arg.parse_argv ~current:(ref 0) argv (Arg.align spec)
+      (fun d -> dirs := d :: !dirs)
+      usage
+  with
+  | exception Arg.Bad msg ->
+      prerr_string msg;
+      2
+  | exception Arg.Help msg ->
+      print_string msg;
+      0
+  | exception Exit ->
+      List.iter (fun r -> Printf.printf "%-16s %s\n" (Rule.id r) (Rule.describe r)) Rule.all;
+      0
+  | () ->
+      let dirs = if !dirs = [] then default_dirs else List.rev !dirs in
+      let kind = if !as_lib then Some Source_scan.lib_kind else None in
+      let run () =
+        let r = scan ?kind ~dirs () in
+        List.iter (fun (f, e) -> Printf.eprintf "lifeguard-lint: %s: parse error: %s\n" f e)
+          r.errors;
+        if r.errors <> [] then 2
+        else if !update then begin
+          Baseline.save !baseline_path (Baseline.of_violations r.violations);
+          Printf.printf "lifeguard-lint: wrote %s (%d grandfathered violations)\n"
+            !baseline_path (List.length r.violations);
+          0
+        end
+        else if !check then run_check ~oc:stdout ~baseline_path:!baseline_path r
+        else begin
+          if !json then print_json stdout r else List.iter (pp_violation stdout) r.violations;
+          0
+        end
+      in
+      if String.length !root = 0 then run ()
+      else begin
+        let cwd = Sys.getcwd () in
+        Fun.protect ~finally:(fun () -> Sys.chdir cwd) (fun () -> Sys.chdir !root; run ())
+      end

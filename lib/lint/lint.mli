@@ -1,0 +1,33 @@
+(** lifeguard-lint: stdlib-only static analysis (compiler-libs) enforcing
+    the domain-safety, determinism and hot-path rules the parallel
+    experiment runner depends on. See DESIGN.md, "Static analysis". *)
+
+module Rule = Rule
+module Source_scan = Source_scan
+module Baseline = Baseline
+
+val default_dirs : string list
+(** [["lib"; "bin"; "bench"; "examples"]] *)
+
+val collect_ml_files : string list -> string -> string list
+(** [collect_ml_files acc path] prepends every [.ml] under [path] to
+    [acc], skipping hidden and [_]-prefixed directories. *)
+
+type report = {
+  violations : Source_scan.violation list;
+  errors : (string * string) list;  (** file, parse error *)
+}
+
+val scan : ?kind:Source_scan.file_kind -> dirs:string list -> unit -> report
+(** Scan every [.ml] under [dirs] (sorted, deterministic), including the
+    [LG-MLI-MISSING] filesystem pass. [kind] overrides per-path
+    classification — tests use {!Source_scan.lib_kind} to force library
+    strictness on fixtures. *)
+
+val run_check : oc:out_channel -> baseline_path:string -> report -> int
+(** Diff a report against a baseline file; print fresh violations and
+    staleness notes; return the process exit code (0 clean, 1 fresh
+    violations, 2 unreadable baseline). *)
+
+val main : string array -> int
+(** The CLI ([bin/lifeguard_lint]): returns the exit code. *)

@@ -1,0 +1,49 @@
+type t =
+  | Dom_mut
+  | Det_random
+  | Det_clock
+  | Det_polyeq
+  | Det_hashkey
+  | Perf_append
+  | Perf_scan
+  | Mli_missing
+
+let all =
+  [ Dom_mut; Det_random; Det_clock; Det_polyeq; Det_hashkey; Perf_append; Perf_scan; Mli_missing ]
+
+let id = function
+  | Dom_mut -> "LG-DOM-MUT"
+  | Det_random -> "LG-DET-RANDOM"
+  | Det_clock -> "LG-DET-CLOCK"
+  | Det_polyeq -> "LG-DET-POLYEQ"
+  | Det_hashkey -> "LG-DET-HASHKEY"
+  | Perf_append -> "LG-PERF-APPEND"
+  | Perf_scan -> "LG-PERF-SCAN"
+  | Mli_missing -> "LG-MLI-MISSING"
+
+let of_id s =
+  let rec find = function
+    | [] -> None
+    | r :: rest -> if String.equal (id r) s then Some r else find rest
+  in
+  find all
+
+let describe = function
+  | Dom_mut ->
+      "module-level mutable state in a library reachable from Par-submitted closures; \
+       breaks the byte-identical --jobs invariant"
+  | Det_random -> "Random.* outside lib/prng; experiments must draw from the seeded Prng"
+  | Det_clock -> "wall-clock read (Sys.time / Unix.gettimeofday / Unix.time) in a library"
+  | Det_polyeq ->
+      "polymorphic compare / Hashtbl.hash / option-sentinel (in)equality; use the \
+       module-specific compare or Option.is_some/is_none"
+  | Det_hashkey ->
+      "Hashtbl keyed by a structured or boxed type; polymorphic hash walks the whole key \
+       — use int keys or a keyed table module (e.g. Asn.Table)"
+  | Perf_append ->
+      "list append (@) building an accumulator inside a let rec or fold; quadratic — \
+       accumulate with :: and List.rev, or use List.concat_map"
+  | Perf_scan ->
+      "List.mem/List.assoc inside a let rec or iteration closure; quadratic scan — \
+       use a Set/Map/Hashtbl"
+  | Mli_missing -> "library module without an .mli; accidental surface"

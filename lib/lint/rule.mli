@@ -1,0 +1,24 @@
+(** The rule catalogue of [lifeguard-lint]. See DESIGN.md, "Static
+    analysis: domain-safety and determinism rules" for the rationale
+    behind each family. *)
+
+type t =
+  | Dom_mut  (** module-level mutable containers in a Par-reachable library *)
+  | Det_random  (** [Random.*] outside [lib/prng] *)
+  | Det_clock  (** wall-clock reads inside [lib/] *)
+  | Det_polyeq  (** polymorphic compare / hash / option-sentinel equality *)
+  | Det_hashkey  (** [Hashtbl.t] keyed by a structured or boxed type *)
+  | Perf_append  (** [@] building an accumulator inside a [let rec] or fold *)
+  | Perf_scan  (** [List.mem]/[List.assoc] inside a [let rec] or iteration closure *)
+  | Mli_missing  (** library [.ml] without a matching [.mli] *)
+
+val all : t list
+
+val id : t -> string
+(** Stable identifier, e.g. ["LG-DET-POLYEQ"]. Used in diagnostics and in
+    [lint.baseline]. *)
+
+val of_id : string -> t option
+
+val describe : t -> string
+(** One-line rationale printed alongside a diagnostic. *)

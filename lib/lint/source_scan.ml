@@ -1,0 +1,320 @@
+(* The AST pass behind lifeguard-lint.
+
+   Purely syntactic: we parse with compiler-libs ([Parse.implementation])
+   and walk the Parsetree with [Ast_iterator], so the pass needs no type
+   information, no build artifacts, and no opam deps beyond the compiler
+   itself. The price is that every rule is a heuristic over names and
+   shapes; the rules below are tuned so that false positives land in the
+   checked-in baseline rather than blocking builds. *)
+
+open Parsetree
+
+type file_kind = { in_lib : bool; prng_exempt : bool }
+
+let classify path =
+  let segs = String.split_on_char '/' path in
+  let rec in_lib = function
+    | [] | [ _ ] -> false (* a trailing "lib" is a file name, not a dir *)
+    | "lib" :: _ -> true
+    | _ :: rest -> in_lib rest
+  in
+  let rec prng = function
+    | "lib" :: "prng" :: _ -> true
+    | _ :: rest -> prng rest
+    | [] -> false
+  in
+  { in_lib = in_lib segs; prng_exempt = prng segs }
+
+let lib_kind = { in_lib = true; prng_exempt = false }
+
+type violation = {
+  rule : Rule.t;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let violation rule file (loc : Location.t) message =
+  let p = loc.Location.loc_start in
+  { rule; file; line = p.Lexing.pos_lnum; col = p.Lexing.pos_cnum - p.Lexing.pos_bol; message }
+
+(* [Longident.flatten] raises on [Lapply]; this returns None instead. *)
+let path_of_lident li =
+  let rec go acc = function
+    | Longident.Lident s -> Some (s :: acc)
+    | Longident.Ldot (l, s) -> go (s :: acc) l
+    | Longident.Lapply _ -> None
+  in
+  go [] li
+
+let callee_path (e : expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> path_of_lident txt
+  | _ -> None
+
+let last_component p =
+  let rec go = function [] -> None | [ x ] -> Some x | _ :: rest -> go rest in
+  go p
+
+(* Closures handed to these (by final path component) iterate a
+   collection: List.mem inside one is a nested scan. *)
+let iteration_components =
+  [ "iter"; "iteri"; "map"; "mapi"; "filter"; "filter_map"; "concat_map"; "for_all";
+    "exists"; "find"; "find_opt"; "find_map"; "partition"; "init" ]
+
+let fold_components = [ "fold"; "fold_left"; "fold_right" ]
+
+let mutable_creators =
+  [ [ "ref" ]; [ "Hashtbl"; "create" ]; [ "Buffer"; "create" ]; [ "Array"; "make" ];
+    [ "Array"; "init" ]; [ "Array"; "create_float" ]; [ "Bytes"; "create" ];
+    [ "Bytes"; "make" ]; [ "Queue"; "create" ]; [ "Stack"; "create" ] ]
+
+let clock_paths = [ [ "Sys"; "time" ]; [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ] ]
+
+(* Key types over which polymorphic Hashtbl hashing is flat and cheap. *)
+let flat_key_types = [ "int"; "string"; "bool"; "char"; "Asn.t" ]
+
+let path_equal a b = List.equal String.equal a b
+let path_mem p l = List.exists (path_equal p) l
+
+let joined p = String.concat "." p
+
+let is_fun_expr e =
+  let rec go e =
+    match e.pexp_desc with
+    | Pexp_fun _ | Pexp_function _ -> true
+    | Pexp_constraint (e, _) | Pexp_newtype (_, e) -> go e
+    | _ -> false
+  in
+  go e
+
+let is_option_sentinel (e : expression) =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Longident.Lident ("None" | "Some"); _ }, _) -> true
+  | _ -> false
+
+let flat_key (t : core_type) =
+  match t.ptyp_desc with
+  | Ptyp_constr ({ txt; _ }, []) -> (
+      match path_of_lident txt with
+      | Some p -> List.exists (String.equal (joined p)) flat_key_types
+      | None -> false)
+  | _ -> false
+
+let scan_structure ~kind ~file str =
+  let out = ref [] in
+  let add rule loc msg = out := violation rule file loc msg :: !out in
+  (* Modules that define their own [compare] / [hash] may use the bare
+     name; only unqualified uses of the *polymorphic* ones are flagged. *)
+  let toplevel_names = Hashtbl.create 16 in
+  let rec collect_names items =
+    List.iter
+      (fun (si : structure_item) ->
+        match si.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun vb ->
+                match vb.pvb_pat.ppat_desc with
+                | Ppat_var { txt; _ } -> Hashtbl.replace toplevel_names txt ()
+                | _ -> ())
+              vbs
+        | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure s; _ }; _ } -> collect_names s
+        | _ -> ())
+      items
+  in
+  collect_names str;
+  let locally_defined name = Hashtbl.mem toplevel_names name in
+  let rec_depth = ref 0 in
+  let loop_depth = ref 0 in
+  let fold_depth = ref 0 in
+  let check_ident_path p loc =
+    if (not kind.prng_exempt) && (match p with "Random" :: _ -> true | _ -> false) then
+      add Rule.Det_random loc "use the seeded Prng instead of Random"
+    else if kind.in_lib then begin
+      if path_mem p clock_paths then
+        add Rule.Det_clock loc
+          (Printf.sprintf "%s reads the wall clock; thread simulation time instead" (joined p));
+      if
+        (path_equal p [ "compare" ] && not (locally_defined "compare"))
+        || path_equal p [ "Stdlib"; "compare" ]
+        || path_equal p [ "Pervasives"; "compare" ]
+      then add Rule.Det_polyeq loc "polymorphic compare; use the module-specific compare"
+      else if path_equal p [ "Hashtbl"; "hash" ] && not (locally_defined "hash") then
+        add Rule.Det_polyeq loc "polymorphic Hashtbl.hash; use a module-specific hash"
+    end
+  in
+  let check_apply f args loc =
+    match callee_path f with
+    | None -> ()
+    | Some p ->
+        if kind.in_lib && (path_equal p [ "=" ] || path_equal p [ "<>" ]) then begin
+          if List.exists (fun (_, a) -> is_option_sentinel a) args then
+            add Rule.Det_polyeq loc
+              "polymorphic (in)equality against None/Some; use Option.is_some/is_none or a \
+               module equal"
+        end
+        else if path_equal p [ "@" ] || path_equal p [ "List"; "append" ] then begin
+          if !rec_depth > 0 || !fold_depth > 0 then
+            add Rule.Perf_append loc
+              "@ inside a let rec or fold is quadratic; accumulate with :: and List.rev"
+        end
+        else if
+          (match p with
+          | [ "List"; ("mem" | "assoc" | "assoc_opt" | "mem_assoc") ] -> true
+          | _ -> false)
+          && (!rec_depth > 0 || !loop_depth > 0 || !fold_depth > 0)
+        then
+          add Rule.Perf_scan loc
+            (Printf.sprintf "%s inside a loop is a quadratic scan; use a Set/Map/Hashtbl"
+               (joined p))
+  in
+  let expr_iter =
+    {
+      Ast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            match e.pexp_desc with
+            | Pexp_ident { txt; loc } -> (
+                match path_of_lident txt with
+                | Some p -> check_ident_path p loc
+                | None -> ())
+            | Pexp_let (rf, vbs, body) ->
+                let bump = match rf with Asttypes.Recursive -> true | _ -> false in
+                if bump then incr rec_depth;
+                List.iter (fun vb -> it.value_binding it vb) vbs;
+                if bump then decr rec_depth;
+                it.expr it body
+            | Pexp_apply (f, args) ->
+                check_apply f args e.pexp_loc;
+                it.expr it f;
+                let comp =
+                  match callee_path f with Some p -> last_component p | None -> None
+                in
+                let depth =
+                  match comp with
+                  | Some c when List.exists (String.equal c) fold_components -> Some fold_depth
+                  | Some c when List.exists (String.equal c) iteration_components ->
+                      Some loop_depth
+                  | _ -> None
+                in
+                List.iter
+                  (fun (_, a) ->
+                    match depth with
+                    | Some d when is_fun_expr a ->
+                        incr d;
+                        it.expr it a;
+                        decr d
+                    | _ -> it.expr it a)
+                  args
+            | _ -> Ast_iterator.default_iterator.expr it e);
+        typ =
+          (fun it t ->
+            (match t.ptyp_desc with
+            | Ptyp_constr ({ txt; loc }, key :: _) when kind.in_lib -> (
+                match path_of_lident txt with
+                | Some [ "Hashtbl"; "t" ] ->
+                    if not (flat_key key) then
+                      add Rule.Det_hashkey loc
+                        "Hashtbl keyed by a structured/boxed type; polymorphic hash walks \
+                         the key — use int keys or a keyed table module"
+                | _ -> ())
+            | _ -> ());
+            Ast_iterator.default_iterator.typ it t);
+    }
+  in
+  let it = expr_iter in
+  (* A binding whose RHS is (syntactically) a function allocates at call
+     time, not load time; anything else evaluated at module level that
+     builds a mutable container is shared across domains. *)
+  let scan_mutable_rhs rhs =
+    let mut_it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun mit e ->
+            match e.pexp_desc with
+            | Pexp_fun _ | Pexp_function _ -> ()
+            | Pexp_apply (f, _) ->
+                (match callee_path f with
+                | Some p when path_mem p mutable_creators ->
+                    add Rule.Dom_mut e.pexp_loc
+                      (Printf.sprintf
+                         "module-level %s: mutable state shared across Par worker domains"
+                         (joined p))
+                | _ -> ());
+                Ast_iterator.default_iterator.expr mit e
+            | _ -> Ast_iterator.default_iterator.expr mit e);
+      }
+    in
+    mut_it.expr mut_it rhs
+  in
+  let rec walk_structure items = List.iter walk_item items
+  and walk_item (si : structure_item) =
+    match si.pstr_desc with
+    | Pstr_value (rf, vbs) ->
+        if kind.in_lib then
+          List.iter (fun vb -> if not (is_fun_expr vb.pvb_expr) then scan_mutable_rhs vb.pvb_expr) vbs;
+        let bump = match rf with Asttypes.Recursive -> true | _ -> false in
+        if bump then incr rec_depth;
+        List.iter (fun vb -> it.value_binding it vb) vbs;
+        if bump then decr rec_depth
+    | Pstr_module mb -> walk_module_expr mb.pmb_expr
+    | Pstr_recmodule mbs -> List.iter (fun mb -> walk_module_expr mb.pmb_expr) mbs
+    | Pstr_include incl -> walk_module_expr incl.pincl_mod
+    | _ -> Ast_iterator.default_iterator.structure_item it si
+  and walk_module_expr me =
+    match me.pmod_desc with
+    (* A nested module's structure is still module level; a functor body
+       is re-evaluated per application, so only expression rules apply. *)
+    | Pmod_structure s -> walk_structure s
+    | Pmod_constraint (me, _) -> walk_module_expr me
+    | _ -> it.module_expr it me
+  in
+  walk_structure str;
+  List.rev !out
+
+let parse_impl path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lexbuf = Lexing.from_channel ic in
+      Location.init lexbuf path;
+      Parse.implementation lexbuf)
+
+let scan_file ?kind path =
+  let kind = match kind with Some k -> k | None -> classify path in
+  match parse_impl path with
+  | ast -> Ok (scan_structure ~kind ~file:path ast)
+  | exception e -> Error (Printexc.to_string e)
+
+let mli_violations ?(force_lib = false) files =
+  List.filter_map
+    (fun f ->
+      let kind = if force_lib then lib_kind else classify f in
+      if
+        kind.in_lib
+        && Filename.check_suffix f ".ml"
+        && not (Sys.file_exists (Filename.chop_suffix f ".ml" ^ ".mli"))
+      then
+        Some
+          {
+            rule = Rule.Mli_missing;
+            file = f;
+            line = 1;
+            col = 0;
+            message = "library module has no .mli; its whole surface is public";
+          }
+      else None)
+    files
+
+let compare_violation a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare (Rule.id a.rule) (Rule.id b.rule)

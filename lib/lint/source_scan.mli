@@ -1,0 +1,35 @@
+(** Syntactic rule pass over one [.ml] file, built on compiler-libs
+    ([Parse] + [Ast_iterator]). No type information is used: every rule
+    is a heuristic over names and shapes, tuned so false positives are
+    grandfathered in the baseline instead of blocking builds. *)
+
+type file_kind = {
+  in_lib : bool;  (** under a [lib/] segment: det/dom rules apply *)
+  prng_exempt : bool;  (** under [lib/prng]: the one place [Random] is legal *)
+}
+
+val classify : string -> file_kind
+(** Derive a {!file_kind} from a root-relative path. *)
+
+val lib_kind : file_kind
+(** [{ in_lib = true; prng_exempt = false }] — what fixture tests use to
+    force library-strictness on files outside [lib/]. *)
+
+type violation = {
+  rule : Rule.t;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  message : string;
+}
+
+val scan_file : ?kind:file_kind -> string -> (violation list, string) result
+(** Parse and scan one file. [Error] carries a description of a parse
+    failure. [kind] defaults to [classify path]. *)
+
+val mli_violations : ?force_lib:bool -> string list -> violation list
+(** The [LG-MLI-MISSING] pass: every library [.ml] in the list without a
+    sibling [.mli]. [force_lib] treats all files as library files. *)
+
+val compare_violation : violation -> violation -> int
+(** Order by file, line, column, rule id — the report order. *)

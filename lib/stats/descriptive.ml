@@ -25,7 +25,7 @@ let percentile xs p =
   if n = 0 then invalid_arg "Descriptive.percentile: empty sample";
   if p < 0.0 || p > 100.0 then invalid_arg "Descriptive.percentile: p out of range";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = p /. 100.0 *. float_of_int (n - 1) in
   let lo = int_of_float (Float.floor rank) in
   let hi = int_of_float (Float.ceil rank) in

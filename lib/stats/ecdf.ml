@@ -5,7 +5,7 @@ let build values weights =
   if n = 0 then invalid_arg "Ecdf: empty sample";
   if Array.length weights <> n then invalid_arg "Ecdf: weight/value length mismatch";
   let idx = Array.init n (fun i -> i) in
-  Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+  Array.sort (fun a b -> Float.compare values.(a) values.(b)) idx;
   let xs = Array.map (fun i -> values.(i)) idx in
   let cum = Array.make n 0.0 in
   let total = ref 0.0 in

@@ -7,8 +7,12 @@ type node = { tier : int; routers : router array; mutable adj : Relationship.t A
 type t = {
   nodes : node Asn.Table.t;
   mutable links : int;
-  address_owner : (int32, Asn.t) Hashtbl.t;
+  address_owner : (int, Asn.t) Hashtbl.t;
+      (* keyed by the address's int value, not the boxed int32, so lookups
+         use flat int hashing *)
 }
+
+let address_key ip = Int32.to_int (Ipv4.to_int32 ip)
 
 let create () = { nodes = Asn.Table.create 256; links = 0; address_owner = Hashtbl.create 256 }
 
@@ -27,7 +31,7 @@ let add_as t ?(tier = 3) ?(routers = 1) asn =
   if routers < 1 then invalid_arg "As_graph.add_as: need at least one router";
   let mk index =
     let address = derive_address asn index in
-    Hashtbl.replace t.address_owner (Ipv4.to_int32 address) asn;
+    Hashtbl.replace t.address_owner (address_key address) asn;
     { asn; index; address }
   in
   Asn.Table.replace t.nodes asn { tier; routers = Array.init routers mk; adj = Asn.Map.empty }
@@ -82,7 +86,7 @@ let router_address t asn i =
   if i < 0 || i >= Array.length rs then invalid_arg "As_graph.router_address: index";
   rs.(i).address
 
-let owner_of_address t ip = Hashtbl.find_opt t.address_owner (Ipv4.to_int32 ip)
+let owner_of_address t ip = Hashtbl.find_opt t.address_owner (address_key ip)
 
 let as_list t =
   Asn.Table.fold (fun asn _ acc -> asn :: acc) t.nodes []

@@ -1,0 +1,7 @@
+(** Workload generation: outage datasets calibrated to the paper's EC2
+    measurements and scenario builders standing in for its testbeds
+    (PlanetLab mesh, BGP-Mux deployment, the §6 case study). This
+    interface pins the library surface to exactly these two modules. *)
+
+module Outage_gen = Outage_gen
+module Scenarios = Scenarios

@@ -1,0 +1,16 @@
+(* must-flag fixture: determinism rule family, LG-DET rules.
+   Parsed but never compiled — unbound modules are fine. *)
+
+let draw () = Random.int 10
+
+let now () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()
+
+let lost route = route = None
+
+let sort_ids ids = List.sort compare ids
+
+let digest r = Hashtbl.hash r
+
+type owners = (float, string) Hashtbl.t

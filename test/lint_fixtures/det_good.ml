@@ -1,0 +1,13 @@
+(* must-pass fixture: the deterministic spellings of det_bad.ml. *)
+
+let draw rng = Prng.int rng 10
+
+let now clock = Engine.now clock
+
+let lost route = Option.is_none route
+
+let sort_ids ids = List.sort Int.compare ids
+
+let digest r = Route.hash r
+
+type owners = (int, string) Hashtbl.t

@@ -1,0 +1,12 @@
+(* must-flag fixture: domain-safety rule family (LG-DOM-MUT).
+   Module-level mutable containers shared across Par worker domains. *)
+
+let cache = Hashtbl.create 64
+
+let hits = ref 0
+
+let scratch = Buffer.create 256
+
+let slots = Array.make 16 0
+
+let pending = lazy (Queue.create ())

@@ -1,0 +1,10 @@
+(* must-pass fixture: instance-level mutable state behind a constructor
+   is the share-nothing discipline the runner expects. *)
+
+type t = { hits : (int, string) Hashtbl.t; mutable count : int }
+
+let create () = { hits = Hashtbl.create 64; count = 0 }
+
+let default_sizes = [ 16; 64; 256 ]
+
+let fresh_buffer () = Buffer.create 256

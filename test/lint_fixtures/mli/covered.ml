@@ -1,0 +1,5 @@
+(* must-pass fixture: has a sibling .mli. *)
+
+let exported x = x * 2
+
+let internal_helper x = x - 1

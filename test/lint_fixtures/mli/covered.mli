@@ -1,0 +1,1 @@
+val exported : int -> int

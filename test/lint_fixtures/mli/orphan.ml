@@ -1,0 +1,3 @@
+(* must-flag fixture: no sibling .mli (LG-MLI-MISSING). *)
+
+let widely_used_helper x = x + 1

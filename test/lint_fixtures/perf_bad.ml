@@ -1,0 +1,9 @@
+(* must-flag fixture: hot-path hygiene rule family, LG-PERF rules. *)
+
+let rec dedup acc = function
+  | [] -> acc
+  | x :: tl -> if List.mem x acc then dedup acc tl else dedup (acc @ [ x ]) tl
+
+let index pairs keys = List.map (fun k -> List.assoc k pairs) keys
+
+let flatten groups = List.fold_left (fun acc g -> acc @ g) [] groups

@@ -1,0 +1,13 @@
+(* must-pass fixture: linear spellings of perf_bad.ml. *)
+
+let rec dedup seen acc = function
+  | [] -> List.rev acc
+  | x :: tl ->
+      if Int_set.mem x seen then dedup seen acc tl
+      else dedup (Int_set.add x seen) (x :: acc) tl
+
+let index pairs keys =
+  let tbl = table_of_pairs pairs in
+  List.map (fun k -> Tbl.find tbl k) keys
+
+let flatten groups = List.concat groups

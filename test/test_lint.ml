@@ -1,0 +1,97 @@
+(* lifeguard-lint: fixture corpus (one must-flag and one must-pass file
+   per rule family), baseline semantics, and the --check exit codes. *)
+
+module Rule = Lint.Rule
+module Scan = Lint.Source_scan
+module Baseline = Lint.Baseline
+
+let fixture name = Filename.concat "lint_fixtures" name
+
+let scan_fixture name =
+  match Scan.scan_file ~kind:Scan.lib_kind (fixture name) with
+  | Ok vs -> vs
+  | Error e -> Alcotest.failf "parse error in %s: %s" name e
+
+let count rule vs =
+  List.length (List.filter (fun (v : Scan.violation) -> String.equal (Rule.id v.rule) (Rule.id rule)) vs)
+
+let check_rule name vs rule expected =
+  Alcotest.(check int) (name ^ ": " ^ Rule.id rule) expected (count rule vs)
+
+let test_det_fixtures () =
+  let bad = scan_fixture "det_bad.ml" in
+  check_rule "det_bad" bad Rule.Det_random 1;
+  check_rule "det_bad" bad Rule.Det_clock 2;
+  check_rule "det_bad" bad Rule.Det_polyeq 3;
+  check_rule "det_bad" bad Rule.Det_hashkey 1;
+  Alcotest.(check int) "det_good is clean" 0 (List.length (scan_fixture "det_good.ml"))
+
+let test_dom_fixtures () =
+  let bad = scan_fixture "dom_bad.ml" in
+  check_rule "dom_bad" bad Rule.Dom_mut 5;
+  Alcotest.(check int) "dom_good is clean" 0 (List.length (scan_fixture "dom_good.ml"));
+  (* outside lib/, module-level state is the executable's business *)
+  match Scan.scan_file ~kind:{ Scan.in_lib = false; prng_exempt = false } (fixture "dom_bad.ml") with
+  | Ok vs -> check_rule "dom_bad outside lib" vs Rule.Dom_mut 0
+  | Error e -> Alcotest.fail e
+
+let test_perf_fixtures () =
+  let bad = scan_fixture "perf_bad.ml" in
+  check_rule "perf_bad" bad Rule.Perf_append 2;
+  check_rule "perf_bad" bad Rule.Perf_scan 2;
+  Alcotest.(check int) "perf_good is clean" 0 (List.length (scan_fixture "perf_good.ml"))
+
+let test_mli_fixtures () =
+  let files = Lint.collect_ml_files [] (fixture "mli") in
+  let vs = Scan.mli_violations ~force_lib:true files in
+  Alcotest.(check int) "one orphan" 1 (List.length vs);
+  match vs with
+  | [ v ] ->
+      Alcotest.(check bool) "orphan.ml flagged" true
+        (Filename.basename v.Scan.file = "orphan.ml")
+  | _ -> Alcotest.fail "expected exactly orphan.ml"
+
+let test_baseline_semantics () =
+  let vs = scan_fixture "perf_bad.ml" in
+  let base = Baseline.of_violations vs in
+  let clean = Baseline.check base vs in
+  Alcotest.(check int) "own violations grandfathered" 0 (List.length clean.Baseline.fresh);
+  let fresh = Baseline.check Baseline.empty vs in
+  Alcotest.(check bool) "empty baseline flags everything" true
+    (List.length fresh.Baseline.fresh > 0);
+  let stale = Baseline.check base [] in
+  Alcotest.(check bool) "fixed violations reported stale, not fatal" true
+    (List.length stale.Baseline.stale > 0 && List.length stale.Baseline.fresh = 0)
+
+let test_check_exit_codes () =
+  let tmp = Filename.temp_file "lint_baseline" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove tmp with Sys_error _ -> ())
+    (fun () ->
+      let run args = Lint.main (Array.of_list ("lifeguard_lint" :: args)) in
+      Alcotest.(check int) "--check is 1 on fixtures not in the baseline" 1
+        (run [ "--check"; "--treat-as-lib"; "--baseline"; tmp; "lint_fixtures" ]);
+      Alcotest.(check int) "--update-baseline is 0" 0
+        (run [ "--update-baseline"; "--treat-as-lib"; "--baseline"; tmp; "lint_fixtures" ]);
+      Alcotest.(check int) "--check is 0 once grandfathered" 0
+        (run [ "--check"; "--treat-as-lib"; "--baseline"; tmp; "lint_fixtures" ]))
+
+(* The gate the build runs: the real tree is clean against the shipped
+   baseline. Exercised from the test binary's sandbox (_build/default),
+   where dune has copied the sources and lint.baseline next to test/. *)
+let test_real_tree () =
+  if Sys.file_exists "../lint.baseline" && Sys.file_exists "../lib" then
+    Alcotest.(check int) "--check is 0 on the real tree with the shipped baseline" 0
+      (Lint.main [| "lifeguard_lint"; "--check"; "--root"; ".." |])
+  else print_endline "real-tree fixture not materialized; covered by `dune build @lint`"
+
+let suite =
+  [
+    Alcotest.test_case "determinism fixtures" `Quick test_det_fixtures;
+    Alcotest.test_case "domain-safety fixtures" `Quick test_dom_fixtures;
+    Alcotest.test_case "perf fixtures" `Quick test_perf_fixtures;
+    Alcotest.test_case "mli fixtures" `Quick test_mli_fixtures;
+    Alcotest.test_case "baseline semantics" `Quick test_baseline_semantics;
+    Alcotest.test_case "check exit codes" `Quick test_check_exit_codes;
+    Alcotest.test_case "real tree vs shipped baseline" `Quick test_real_tree;
+  ]

@@ -16,4 +16,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("behaviors", Test_behaviors.suite);
       ("invariants", Test_invariants.suite);
+      ("lint", Test_lint.suite);
     ]
