@@ -3,7 +3,7 @@
    bechamel micro-benchmarks of the hot code paths.
 
    Usage: main.exe [--quick] [--seed N] [--only NAME[,NAME...]] [--no-micro]
-                   [--jobs N] [--json [PATH]]
+                   [--jobs N] [--json [PATH]] [--trace FILE] [--metrics]
    Experiment names: fig1 fig5 alt-paths efficacy fig6 loss selective
    accuracy scalability load hubble anomalies sentinel ablation damping
    case-study table1.
@@ -12,7 +12,10 @@
    machine's recommended domain count; 1 forces the sequential path).
    Output tables are identical for every jobs value. --json writes a
    machine-readable run summary (per-experiment wall-clock, jobs, seed,
-   micro-benchmark medians) to PATH, defaulting to BENCH_<date>.json. *)
+   micro-benchmark medians, and — when metrics are on — per-experiment
+   counter totals) to PATH, defaulting to BENCH_<date>.json. --trace
+   streams structured JSONL events to FILE (and implies --metrics);
+   --metrics records Obs counters and prints a summary table. *)
 
 let seed = ref 42
 let quick = ref false
@@ -20,13 +23,15 @@ let only : string list ref = ref []
 let run_micro = ref true
 let jobs = ref (Par.Pool.default_jobs ())
 let json_path : string option ref = ref None
+let trace_path : string option ref = ref None
+let show_metrics = ref false
 
-let default_json_path () =
-  let tm = Unix.localtime (Unix.time ()) in
-  Printf.sprintf "BENCH_%04d-%02d-%02d.json" (tm.Unix.tm_year + 1900)
-    (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
-
-let parse_args () =
+(* The run date is read from the wall clock exactly once, at the top of
+   [main], and threaded everywhere a date is rendered — so the default
+   --json filename and the "date" field inside it can never disagree
+   across a midnight rollover mid-run. *)
+let parse_args ~date =
+  let default_json_path = Printf.sprintf "BENCH_%s.json" date in
   let rec go = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -46,7 +51,13 @@ let parse_args () =
         json_path := Some path;
         go rest
     | "--json" :: rest ->
-        json_path := Some (default_json_path ());
+        json_path := Some default_json_path;
+        go rest
+    | "--trace" :: path :: rest ->
+        trace_path := Some path;
+        go rest
+    | "--metrics" :: rest ->
+        show_metrics := true;
         go rest
     | "--only" :: names :: rest ->
         only := String.split_on_char ',' names;
@@ -68,11 +79,31 @@ let banner title =
 (* Wall-clock per experiment, in run order, for the JSON summary. *)
 let timings : (string * float) list ref = ref []
 
+(* Per-experiment counter deltas (name, counters), newest first. Metrics
+   accumulate across the whole run; [timed] diffs consecutive snapshots
+   so each experiment gets only what it recorded. Snapshots are taken
+   between experiments, when no worker domain is mid-trial. *)
+let exp_metrics : (string * (string * int) list) list ref = ref []
+let last_counters : (string * int) list ref = ref []
+
+let counter_deltas (snap : Obs.Metrics.snapshot) =
+  let prev name = Option.value ~default:0 (List.assoc_opt name !last_counters) in
+  List.filter_map
+    (fun (name, v) ->
+      let d = v - prev name in
+      if d = 0 then None else Some (name, d))
+    snap.Obs.Metrics.counters
+
 let timed name f =
   let t0 = Unix.gettimeofday () in
   let result = f () in
   let dt = Unix.gettimeofday () -. t0 in
   timings := (name, dt) :: !timings;
+  if Obs.Metrics.on () then begin
+    let snap = Obs.Metrics.snapshot () in
+    exp_metrics := (name, counter_deltas snap) :: !exp_metrics;
+    last_counters := snap.Obs.Metrics.counters
+  end;
   Printf.printf "[%s completed in %.1fs]\n" name dt;
   result
 
@@ -252,6 +283,27 @@ let micro_benchmarks () =
   !medians
 
 (* ------------------------------------------------------------------ *)
+(* Metrics summary (--metrics). *)
+
+let print_metrics_summary () =
+  let snap = Obs.Metrics.snapshot () in
+  let table =
+    Stats.Table.create ~title:"Obs metrics (cumulative, merged over domains)"
+      ~columns:[ "metric"; "kind"; "value" ]
+  in
+  List.iter
+    (fun (n, v) -> Stats.Table.add_row table [ n; "counter"; string_of_int v ])
+    snap.Obs.Metrics.counters;
+  List.iter
+    (fun (n, v) -> Stats.Table.add_row table [ n; "gauge (max)"; string_of_int v ])
+    snap.Obs.Metrics.gauges;
+  List.iter
+    (fun (h : Obs.Metrics.hist_row) ->
+      Stats.Table.add_row table [ h.hname; "histogram"; Printf.sprintf "n=%d" h.total ])
+    snap.Obs.Metrics.hists;
+  Stats.Table.print table
+
+(* ------------------------------------------------------------------ *)
 (* Machine-readable run summary. *)
 
 let json_escape s =
@@ -267,13 +319,10 @@ let json_escape s =
     s;
   Buffer.contents buf
 
-let write_json ~path ~micro =
-  let tm = Unix.localtime (Unix.time ()) in
+let write_json ~date ~path ~micro =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"date\": \"%04d-%02d-%02d\",\n" (tm.Unix.tm_year + 1900)
-       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday);
+  Buffer.add_string buf (Printf.sprintf "  \"date\": \"%s\",\n" date);
   Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" !seed);
   Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" !quick);
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
@@ -287,6 +336,24 @@ let write_json ~path ~micro =
            (if i < List.length rows - 1 then "," else "")))
     rows;
   Buffer.add_string buf "  ],\n";
+  (match List.rev !exp_metrics with
+  | [] -> ()
+  | per_exp ->
+      Buffer.add_string buf "  \"metrics\": [\n";
+      let n_exp = List.length per_exp in
+      List.iteri
+        (fun i (name, counters) ->
+          let pairs =
+            List.map
+              (fun (k, v) -> Printf.sprintf "\"%s\": %d" (json_escape k) v)
+              counters
+          in
+          Buffer.add_string buf
+            (Printf.sprintf "    { \"name\": \"%s\", \"counters\": { %s } }%s\n"
+               (json_escape name) (String.concat ", " pairs)
+               (if i < n_exp - 1 then "," else "")))
+        per_exp;
+      Buffer.add_string buf "  ],\n");
   Buffer.add_string buf "  \"micro_ns\": {\n";
   List.iteri
     (fun i (name, ns) ->
@@ -304,7 +371,20 @@ let write_json ~path ~micro =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  parse_args ();
+  (* The single wall-clock date read of the run (see parse_args). *)
+  let date =
+    let tm = Unix.localtime (Unix.time ()) in
+    Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+      tm.Unix.tm_mday
+  in
+  parse_args ~date;
+  if !show_metrics || !trace_path <> None then begin
+    (* Libraries read time through the injected Obs.Clock only; the
+       binary is the one place the real clock is installed. *)
+    Obs.Clock.set Unix.gettimeofday;
+    Obs.Metrics.enable ()
+  end;
+  (match !trace_path with Some path -> Obs.Trace.enable_file path | None -> ());
   let s = sizes () in
   let seed = !seed in
   Printf.printf "LIFEGUARD reproduction benchmark harness (seed %d%s)\n" seed
@@ -488,6 +568,15 @@ let () =
     end
     else []
   in
-  match !json_path with
-  | Some path -> write_json ~path ~micro
-  | None -> ()
+  if !show_metrics then begin
+    banner "Metrics";
+    print_metrics_summary ()
+  end;
+  (match !json_path with
+  | Some path -> write_json ~date ~path ~micro
+  | None -> ());
+  (match !trace_path with
+  | Some path ->
+      Obs.Trace.close ();
+      Printf.printf "\n[wrote trace %s]\n" path
+  | None -> ())

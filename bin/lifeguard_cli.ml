@@ -31,170 +31,243 @@ let jobs =
   in
   Arg.(value & opt int (Par.Pool.default_jobs ()) & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* Observability options, shared by every experiment subcommand. *)
+type obs_opts = { trace : string option; metrics : bool }
+
+let obs_term =
+  let trace =
+    let doc =
+      "Stream structured JSONL trace events to $(docv) (implies $(b,--metrics)). \
+       One JSON object per line: ts, domain, span, kv."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let metrics =
+    let doc = "Record Obs counters during the run and print a summary table after it." in
+    Arg.(value & flag & info [ "metrics" ] ~doc)
+  in
+  let v trace metrics = { trace; metrics } in
+  Term.(const v $ trace $ metrics)
+
+let print_metrics_summary () =
+  let snap = Obs.Metrics.snapshot () in
+  let table =
+    Stats.Table.create ~title:"Obs metrics (merged over domains)"
+      ~columns:[ "metric"; "kind"; "value" ]
+  in
+  List.iter
+    (fun (n, v) -> Stats.Table.add_row table [ n; "counter"; string_of_int v ])
+    snap.Obs.Metrics.counters;
+  List.iter
+    (fun (n, v) -> Stats.Table.add_row table [ n; "gauge (max)"; string_of_int v ])
+    snap.Obs.Metrics.gauges;
+  List.iter
+    (fun (h : Obs.Metrics.hist_row) ->
+      Stats.Table.add_row table [ h.hname; "histogram"; Printf.sprintf "n=%d" h.total ])
+    snap.Obs.Metrics.hists;
+  Stats.Table.print table
+
+let with_obs o f =
+  if o.metrics || o.trace <> None then begin
+    (* Libraries only read time through the injected Obs.Clock; the
+       binary is the one place the real clock is installed. *)
+    Obs.Clock.set Unix.gettimeofday;
+    Obs.Metrics.enable ()
+  end;
+  (match o.trace with Some path -> Obs.Trace.enable_file path | None -> ());
+  Fun.protect
+    ~finally:(fun () -> Obs.Trace.close ())
+    (fun () ->
+      let r = f () in
+      if o.metrics then print_metrics_summary ();
+      r)
+
 let fig1_cmd =
   let outages =
     Arg.(value & opt int 10308 & info [ "outages" ] ~docv:"N" ~doc:"Dataset size.")
   in
-  let run seed outages =
-    print_tables (Experiments.Fig1_durations.to_tables (Experiments.Fig1_durations.run ~n:outages ~seed ()))
+  let run obs seed outages =
+    with_obs obs (fun () ->
+        print_tables
+          (Experiments.Fig1_durations.to_tables (Experiments.Fig1_durations.run ~n:outages ~seed ())))
   in
   Cmd.v
     (Cmd.info "fig1" ~doc:"Outage duration CDF vs unavailability (paper Fig. 1)")
-    Term.(const run $ seed $ outages)
+    Term.(const run $ obs_term $ seed $ outages)
 
 let fig5_cmd =
   let outages =
     Arg.(value & opt int 10308 & info [ "outages" ] ~docv:"N" ~doc:"Dataset size.")
   in
-  let run seed outages =
-    print_tables (Experiments.Fig5_residual.to_tables (Experiments.Fig5_residual.run ~n:outages ~seed ()))
+  let run obs seed outages =
+    with_obs obs (fun () ->
+        print_tables
+          (Experiments.Fig5_residual.to_tables (Experiments.Fig5_residual.run ~n:outages ~seed ())))
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Residual outage durations (paper Fig. 5)")
-    Term.(const run $ seed $ outages)
+    Term.(const run $ obs_term $ seed $ outages)
 
 let alt_paths_cmd =
   let outages =
     Arg.(value & opt int 400 & info [ "outages" ] ~docv:"N" ~doc:"Failures to inject.")
   in
-  let run seed ases outages =
-    print_tables
-      (Experiments.Sec22_alt_paths.to_tables
-         (Experiments.Sec22_alt_paths.run ~ases ~outage_count:outages ~seed ()))
+  let run obs seed ases outages =
+    with_obs obs (fun () ->
+        print_tables
+          (Experiments.Sec22_alt_paths.to_tables
+             (Experiments.Sec22_alt_paths.run ~ases ~outage_count:outages ~seed ())))
   in
   Cmd.v
     (Cmd.info "alt-paths" ~doc:"Alternate policy-compliant path existence (paper sec. 2.2)")
-    Term.(const run $ seed $ ases $ outages)
+    Term.(const run $ obs_term $ seed $ ases $ outages)
 
 let poisons_arg =
   Arg.(value & opt int 25 & info [ "poisons" ] ~docv:"N" ~doc:"ASes to poison.")
 
 let efficacy_cmd =
-  let run seed ases poisons jobs =
-    print_tables
-      (Experiments.Sec51_efficacy.to_tables
-         (Experiments.Sec51_efficacy.run ~ases ~max_poisons:poisons ~jobs ~seed ()))
+  let run obs seed ases poisons jobs =
+    with_obs obs (fun () ->
+        print_tables
+          (Experiments.Sec51_efficacy.to_tables
+             (Experiments.Sec51_efficacy.run ~ases ~max_poisons:poisons ~jobs ~seed ())))
   in
   Cmd.v
     (Cmd.info "efficacy" ~doc:"Poisoning efficacy, live + simulated (paper sec. 5.1)")
-    Term.(const run $ seed $ ases $ poisons_arg $ jobs)
+    Term.(const run $ obs_term $ seed $ ases $ poisons_arg $ jobs)
 
 let fig6_cmd =
-  let run seed ases poisons jobs =
-    print_tables
-      (Experiments.Fig6_convergence.to_tables
-         (Experiments.Fig6_convergence.run ~ases ~max_poisons:poisons ~jobs ~seed ()))
+  let run obs seed ases poisons jobs =
+    with_obs obs (fun () ->
+        print_tables
+          (Experiments.Fig6_convergence.to_tables
+             (Experiments.Fig6_convergence.run ~ases ~max_poisons:poisons ~jobs ~seed ())))
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Convergence after poisoned announcements (paper Fig. 6)")
-    Term.(const run $ seed $ ases $ poisons_arg $ jobs)
+    Term.(const run $ obs_term $ seed $ ases $ poisons_arg $ jobs)
 
 let loss_cmd =
-  let run seed ases poisons jobs =
-    print_tables
-      (Experiments.Sec52_loss.to_tables
-         (Experiments.Sec52_loss.run ~ases ~max_poisons:poisons ~jobs ~seed ()))
+  let run obs seed ases poisons jobs =
+    with_obs obs (fun () ->
+        print_tables
+          (Experiments.Sec52_loss.to_tables
+             (Experiments.Sec52_loss.run ~ases ~max_poisons:poisons ~jobs ~seed ())))
   in
   Cmd.v
     (Cmd.info "loss" ~doc:"Packet loss during convergence (paper sec. 5.2)")
-    Term.(const run $ seed $ ases $ poisons_arg $ jobs)
+    Term.(const run $ obs_term $ seed $ ases $ poisons_arg $ jobs)
 
 let selective_cmd =
   let feeds = Arg.(value & opt int 40 & info [ "feeds" ] ~docv:"N" ~doc:"Feed ASes to test.") in
-  let run seed ases feeds jobs =
-    print_tables
-      (Experiments.Sec52_selective.to_tables
-         (Experiments.Sec52_selective.run ~ases ~max_feeds:feeds ~jobs ~seed ()))
+  let run obs seed ases feeds jobs =
+    with_obs obs (fun () ->
+        print_tables
+          (Experiments.Sec52_selective.to_tables
+             (Experiments.Sec52_selective.run ~ases ~max_feeds:feeds ~jobs ~seed ())))
   in
   Cmd.v
     (Cmd.info "selective" ~doc:"Selective poisoning + forward diversity (paper sec. 5.2/2.3)")
-    Term.(const run $ seed $ ases $ feeds $ jobs)
+    Term.(const run $ obs_term $ seed $ ases $ feeds $ jobs)
 
 let accuracy_cmd =
   let failures =
     Arg.(value & opt int 120 & info [ "failures" ] ~docv:"N" ~doc:"Failures to isolate.")
   in
-  let run seed ases failures jobs =
-    print_tables
-      (Experiments.Sec53_accuracy.to_tables
-         (Experiments.Sec53_accuracy.run ~ases ~failure_count:failures ~jobs ~seed ()))
+  let run obs seed ases failures jobs =
+    with_obs obs (fun () ->
+        print_tables
+          (Experiments.Sec53_accuracy.to_tables
+             (Experiments.Sec53_accuracy.run ~ases ~failure_count:failures ~jobs ~seed ())))
   in
   Cmd.v
     (Cmd.info "accuracy" ~doc:"Failure isolation accuracy (paper sec. 5.3)")
-    Term.(const run $ seed $ ases $ failures $ jobs)
+    Term.(const run $ obs_term $ seed $ ases $ failures $ jobs)
 
 let scalability_cmd =
-  let run seed ases jobs =
-    let accuracy = Experiments.Sec53_accuracy.run ~ases ~failure_count:60 ~jobs ~seed () in
-    print_tables
-      (Experiments.Sec54_scalability.to_tables
-         (Experiments.Sec54_scalability.run ~ases ~seed ~accuracy ()))
+  let run obs seed ases jobs =
+    with_obs obs (fun () ->
+        let accuracy = Experiments.Sec53_accuracy.run ~ases ~failure_count:60 ~jobs ~seed () in
+        print_tables
+          (Experiments.Sec54_scalability.to_tables
+             (Experiments.Sec54_scalability.run ~ases ~seed ~accuracy ())))
   in
   Cmd.v
     (Cmd.info "scalability" ~doc:"Atlas refresh + isolation overhead (paper sec. 5.4)")
-    Term.(const run $ seed $ ases $ jobs)
+    Term.(const run $ obs_term $ seed $ ases $ jobs)
 
 let load_cmd =
-  let run seed =
-    print_tables (Experiments.Tab2_load.to_tables (Experiments.Tab2_load.run ~seed ()))
+  let run obs seed =
+    with_obs obs (fun () ->
+        print_tables (Experiments.Tab2_load.to_tables (Experiments.Tab2_load.run ~seed ())))
   in
   Cmd.v
     (Cmd.info "load" ~doc:"Update load at deployment scale (paper Table 2)")
-    Term.(const run $ seed)
+    Term.(const run $ obs_term $ seed)
 
 let hubble_cmd =
   let days = Arg.(value & opt float 7.0 & info [ "days" ] ~docv:"D" ~doc:"Observation window.") in
-  let run seed ases days jobs =
-    print_tables
-      (Experiments.Hubble_study.to_tables
-         (Experiments.Hubble_study.run ~ases:(min ases 220) ~days ~jobs ~seed ()))
+  let run obs seed ases days jobs =
+    with_obs obs (fun () ->
+        print_tables
+          (Experiments.Hubble_study.to_tables
+             (Experiments.Hubble_study.run ~ases:(min ases 220) ~days ~jobs ~seed ())))
   in
   Cmd.v
     (Cmd.info "hubble" ~doc:"Hubble-style monitoring week: derive H(d) for Table 2")
-    Term.(const run $ seed $ ases $ days $ jobs)
+    Term.(const run $ obs_term $ seed $ ases $ days $ jobs)
 
 let anomalies_cmd =
-  let run seed ases jobs =
-    print_tables
-      (Experiments.Sec71_anomalies.to_tables
-         (Experiments.Sec71_anomalies.run ~ases:(min ases 220) ~jobs ~seed ()))
+  let run obs seed ases jobs =
+    with_obs obs (fun () ->
+        print_tables
+          (Experiments.Sec71_anomalies.to_tables
+             (Experiments.Sec71_anomalies.run ~ases:(min ases 220) ~jobs ~seed ())))
   in
   Cmd.v
     (Cmd.info "anomalies" ~doc:"Poisoning anomalies: loop-limit + Cogent filters (paper sec. 7.1)")
-    Term.(const run $ seed $ ases $ jobs)
+    Term.(const run $ obs_term $ seed $ ases $ jobs)
 
 let sentinel_cmd =
-  let run () = print_tables (Experiments.Sec72_sentinel.to_tables (Experiments.Sec72_sentinel.run ())) in
+  let run obs () =
+    with_obs obs (fun () ->
+        print_tables (Experiments.Sec72_sentinel.to_tables (Experiments.Sec72_sentinel.run ())))
+  in
   Cmd.v
     (Cmd.info "sentinel" ~doc:"Sentinel prefix variants (paper sec. 7.2)")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term $ const ())
 
 let ablation_cmd =
   let poisons = Arg.(value & opt int 8 & info [ "poisons" ] ~docv:"N" ~doc:"Poisonings per row.") in
-  let run seed ases poisons jobs =
-    print_tables
-      (Experiments.Ablation.to_tables
-         (Experiments.Ablation.run ~ases:(min ases 220) ~poisons ~jobs ~seed ()))
+  let run obs seed ases poisons jobs =
+    with_obs obs (fun () ->
+        print_tables
+          (Experiments.Ablation.to_tables
+             (Experiments.Ablation.run ~ases:(min ases 220) ~poisons ~jobs ~seed ())))
   in
   Cmd.v
     (Cmd.info "ablation" ~doc:"Prepending / MRAI / FIB-latency ablation grid")
-    Term.(const run $ seed $ ases $ poisons $ jobs)
+    Term.(const run $ obs_term $ seed $ ases $ poisons $ jobs)
 
 let damping_cmd =
-  let run seed ases jobs =
-    print_tables
-      (Experiments.Damping.to_tables
-         (Experiments.Damping.run ~ases:(min ases 150) ~jobs ~seed ()))
+  let run obs seed ases jobs =
+    with_obs obs (fun () ->
+        print_tables
+          (Experiments.Damping.to_tables
+             (Experiments.Damping.run ~ases:(min ases 150) ~jobs ~seed ())))
   in
   Cmd.v
     (Cmd.info "damping" ~doc:"Route-flap damping vs announcement spacing")
-    Term.(const run $ seed $ ases $ jobs)
+    Term.(const run $ obs_term $ seed $ ases $ jobs)
 
 let case_study_cmd =
-  let run () = print_tables (Experiments.Case_study.to_tables (Experiments.Case_study.run ())) in
+  let run obs () =
+    with_obs obs (fun () ->
+        print_tables (Experiments.Case_study.to_tables (Experiments.Case_study.run ())))
+  in
   Cmd.v
     (Cmd.info "case-study" ~doc:"Replay the Taiwan/Wisconsin incident (paper sec. 6)")
-    Term.(const run $ const ())
+    Term.(const run $ obs_term $ const ())
 
 let topo_cmd =
   let run seed ases =

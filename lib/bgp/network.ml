@@ -1,6 +1,16 @@
 open Net
 open Topology
 
+(* Wire-level accounting (Obs): per-category update counters feed the
+   --metrics summary, and each delivery / MRAI batch flush emits a trace
+   event. Counters shard per domain, so concurrent trial networks never
+   contend; the trace's "bgp.deliver" line count equals [m_delivered]
+   (and {!message_count} summed over networks) by construction. *)
+let m_delivered = Obs.Metrics.counter "bgp.delivered"
+let m_announce_sent = Obs.Metrics.counter "bgp.updates.announce"
+let m_withdraw_sent = Obs.Metrics.counter "bgp.updates.withdraw"
+let m_mrai_rounds = Obs.Metrics.counter "bgp.mrai_rounds"
+
 type update_record = {
   time : float;
   speaker : Asn.t;
@@ -83,8 +93,24 @@ let session t a b =
 (* Forward declaration to tie the delivery/emission knot. *)
 let rec deliver t ~from ~to_ action =
   t.delivered <- t.delivered + 1;
-  record_delivery t (Sim.Engine.now t.engine);
-  let out = Speaker.receive (speaker t to_) ~now:(Sim.Engine.now t.engine) ~from action in
+  let now = Sim.Engine.now t.engine in
+  record_delivery t now;
+  Obs.Metrics.incr m_delivered;
+  if Obs.Trace.on () then begin
+    let kind, prefix =
+      match action with
+      | Speaker.Announce ann -> ("announce", ann.Route.prefix)
+      | Speaker.Withdraw p -> ("withdraw", p)
+    in
+    Obs.Trace.event ~ts:now ~span:"bgp.deliver"
+      [
+        ("from", Obs.Trace.Int (Asn.to_int from));
+        ("to", Obs.Trace.Int (Asn.to_int to_));
+        ("prefix", Obs.Trace.Str (Prefix.to_string prefix));
+        ("kind", Obs.Trace.Str kind);
+      ]
+  end;
+  let out = Speaker.receive (speaker t to_) ~now ~from action in
   emit_all t to_ out
 
 and emit_all t from out = List.iter (fun (to_, action) -> emit t ~from ~to_ action) out
@@ -114,12 +140,23 @@ and emit t ~from ~to_ action =
           s.last_sent <- Sim.Engine.now t.engine;
           let batch = Hashtbl.fold (fun _ a acc -> a :: acc) s.pending [] in
           Hashtbl.reset s.pending;
+          Obs.Metrics.incr m_mrai_rounds;
+          if Obs.Trace.on () then
+            Obs.Trace.event ~ts:(Sim.Engine.now t.engine) ~span:"bgp.mrai"
+              [
+                ("from", Obs.Trace.Int (Asn.to_int from));
+                ("to", Obs.Trace.Int (Asn.to_int to_));
+                ("batch", Obs.Trace.Int (List.length batch));
+              ];
           List.iter (fun action -> schedule_delivery t ~from ~to_ action) batch)
     end
   end
 
 and schedule_delivery t ~from ~to_ action =
   let delay = t.delay_of from to_ in
+  (match action with
+  | Speaker.Announce _ -> Obs.Metrics.incr m_announce_sent
+  | Speaker.Withdraw _ -> Obs.Metrics.incr m_withdraw_sent);
   t.bgp_events <- t.bgp_events + 1;
   Sim.Engine.schedule_after t.engine ~delay (fun () ->
       t.bgp_events <- t.bgp_events - 1;

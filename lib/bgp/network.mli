@@ -7,7 +7,13 @@
     and convergence behaviour measured in Fig. 6 of the paper. The network
     also hosts route collectors — passive feeds recording each peer's
     loc-RIB changes with timestamps — which is how the paper (and this
-    reproduction) measures convergence and poisoning efficacy. *)
+    reproduction) measures convergence and poisoning efficacy.
+
+    Observability: deliveries feed the [bgp.delivered],
+    [bgp.updates.announce], [bgp.updates.withdraw] and [bgp.mrai_rounds]
+    counters, and — when tracing is on — emit [bgp.deliver] and
+    [bgp.mrai] trace events stamped with simulation time (see
+    {!Obs.Trace}). *)
 
 open Net
 open Topology
@@ -41,7 +47,10 @@ val create :
     blackholes and micro-loops during convergence. *)
 
 val engine : t -> Sim.Engine.t
+(** The shared discrete-event engine the network schedules on. *)
+
 val graph : t -> As_graph.t
+(** The annotated AS topology the speakers were built from. *)
 
 val announce :
   t -> origin:Asn.t -> prefix:Prefix.t -> ?per_neighbor:(Asn.t -> As_path.t option) ->
@@ -66,7 +75,12 @@ val speaker : t -> Asn.t -> Speaker.t
 (** Direct access to an AS's speaker (read-mostly: RIB inspection). *)
 
 val best_route : t -> Asn.t -> Prefix.t -> Route.entry option
+(** [best_route t asn prefix] is [asn]'s loc-RIB best route for exactly
+    [prefix] ({!Speaker.best} through the network). *)
+
 val fib_lookup : t -> Asn.t -> Ipv4.t -> (Prefix.t * Route.entry) option
+(** Longest-prefix match against [asn]'s FIB — the data-plane view,
+    which can lag the loc-RIB when FIB install latency is modeled. *)
 
 val run_until_quiet : ?timeout:float -> t -> unit
 (** Drive the engine until no BGP events remain queued (or [timeout]

@@ -1,6 +1,13 @@
 open Net
 open Topology
 
+(* Decision-process invocations and the loc-RIB size high-watermark
+   (Obs). The gauge is a max, not a last-write: a max merges across
+   domain shards independently of trial scheduling, which keeps the
+   --metrics summary byte-identical for every --jobs value. *)
+let m_decisions = Obs.Metrics.counter "bgp.decisions"
+let m_loc_rib = Obs.Metrics.gauge "bgp.loc_rib"
+
 type action = Announce of Route.announcement | Withdraw of Prefix.t
 
 type origination = { per_neighbor : Asn.t -> As_path.t option }
@@ -164,6 +171,7 @@ let index_remove t neighbor prefix =
 (* The loc-RIB best for a prefix: a local origination wins outright;
    otherwise the decision process over the adj-RIB-in candidates. *)
 let compute_best t ~now prefix =
+  Obs.Metrics.incr m_decisions;
   if Hashtbl.mem t.locals prefix then
     Some (Route.local_entry ~prefix ~self:t.self ~path:(As_path.plain ~origin:t.self) ~now)
   else begin
@@ -236,6 +244,7 @@ let refresh_best t ~now prefix =
     (match new_best with
     | Some e -> Hashtbl.replace t.best_table prefix e
     | None -> Hashtbl.remove t.best_table prefix);
+    Obs.Metrics.observe_max m_loc_rib (Hashtbl.length t.best_table);
     (match t.fib_commit with
     | Some commit -> commit prefix new_best
     | None -> install_fib t prefix new_best);

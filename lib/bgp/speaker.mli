@@ -4,7 +4,11 @@
     adj-RIB-out for its AS and, given an incoming update or a local
     origination change, returns the updates that should be sent to
     neighbors. Delivery timing (link delays, MRAI pacing) is the
-    {!Network}'s job, which keeps this module synchronously testable. *)
+    {!Network}'s job, which keeps this module synchronously testable.
+
+    Observability: every run of the decision process increments the
+    [bgp.decisions] counter, and each loc-RIB change records the table's
+    size into the [bgp.loc_rib] max-gauge (see {!Obs.Metrics}). *)
 
 open Net
 open Topology
@@ -18,8 +22,13 @@ val create : asn:Asn.t -> config:Policy.config -> neighbors:(Asn.t * Relationshi
 (** A speaker for [asn] with the given neighbor sessions. *)
 
 val asn : t -> Asn.t
+(** The AS this speaker represents. *)
+
 val config : t -> Policy.config
+(** The import/export policy configuration the speaker was built with. *)
+
 val neighbors : t -> (Asn.t * Relationship.t) list
+(** The speaker's sessions, each with our relationship to that neighbor. *)
 
 val originate :
   t -> now:float -> prefix:Prefix.t -> per_neighbor:(Asn.t -> As_path.t option) -> (Asn.t * action) list
@@ -67,7 +76,11 @@ val prefixes : t -> Prefix.t list
 (** All prefixes with a loc-RIB entry. *)
 
 val originated : t -> Prefix.t list
+(** Prefixes this speaker currently originates locally. *)
+
 val adj_in_size : t -> int
+(** Total adj-RIB-in entries across all prefixes (memory accounting). *)
+
 val set_on_best_change : t -> (now:float -> Prefix.t -> Route.entry option -> unit) -> unit
 (** Hook invoked after every loc-RIB change (used by route collectors and
     convergence instrumentation). *)

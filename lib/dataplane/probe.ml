@@ -1,11 +1,24 @@
 open Net
 open Topology
 
+(* Probe-issue accounting (Obs): [meas.probes] mirrors the per-env
+   [probes_sent] totals the experiments report, and each charge emits a
+   "meas.probe" trace event stamped with simulation time. *)
+let m_probes = Obs.Metrics.counter "meas.probes"
+
 type env = { net : Bgp.Network.t; failures : Failure.set; mutable probes_sent : int }
 
 let env net failures = { net; failures; probes_sent = 0 }
 let reset_probe_count t = t.probes_sent <- 0
-let count t n = t.probes_sent <- t.probes_sent + n
+
+let count t n =
+  t.probes_sent <- t.probes_sent + n;
+  Obs.Metrics.add m_probes n;
+  if Obs.Trace.on () then
+    Obs.Trace.event
+      ~ts:(Sim.Engine.now (Bgp.Network.engine t.net))
+      ~span:"meas.probe"
+      [ ("n", Obs.Trace.Int n) ]
 
 let responder t ip =
   match As_graph.owner_of_address (Bgp.Network.graph t.net) ip with

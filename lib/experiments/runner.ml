@@ -5,9 +5,45 @@
    parameters, never of the worker count — where each closure rebuilds
    its entire world (topology, network, engine, PRNG) from the seed. The
    pool returns results in submission order, so results (and therefore
-   every table) are bit-identical for any ~jobs. *)
+   every table) are bit-identical for any ~jobs.
+
+   With tracing enabled each trial is bracketed by a "runner.trial"
+   event carrying its wall-clock duration (from the injected Obs.Clock;
+   0 without one) and the engine events it dispatched. The event delta
+   reads the worker's own metrics shard: a trial runs start-to-finish on
+   one domain, so the delta is exact and deterministic even though other
+   trials run concurrently on other domains. *)
 
 let default_jobs = Par.Pool.default_jobs
 
+let m_trials = Obs.Metrics.counter "runner.trials"
+let m_engine_events = Obs.Metrics.counter "sim.events"
+
+let observed_trial index thunk () =
+  Obs.Metrics.incr m_trials;
+  if not (Obs.Trace.on ()) then thunk ()
+  else begin
+    let t0 = Obs.Clock.now () in
+    let e0 = Obs.Metrics.local_value m_engine_events in
+    let finish ok =
+      let t1 = Obs.Clock.now () in
+      Obs.Trace.event ~ts:t1 ~span:"runner.trial"
+        [
+          ("trial", Obs.Trace.Int index);
+          ("dur", Obs.Trace.Float (t1 -. t0));
+          ("events", Obs.Trace.Int (Obs.Metrics.local_value m_engine_events - e0));
+          ("ok", Obs.Trace.Bool ok);
+        ]
+    in
+    match thunk () with
+    | r ->
+        finish true;
+        r
+    | exception e ->
+        finish false;
+        raise e
+  end
+
 let run_trials ~jobs thunks =
+  let thunks = List.mapi observed_trial thunks in
   Par.Pool.with_pool ~jobs (fun pool -> Par.Pool.run_trials pool thunks)

@@ -15,4 +15,10 @@ val default_jobs : unit -> int
 val run_trials : jobs:int -> (unit -> 'a) list -> 'a list
 (** Run the closures on a fresh pool of [jobs] workers ([jobs <= 1] runs
     inline on the caller); results in submission order; the earliest
-    submitted failure is re-raised after the batch drains. *)
+    submitted failure is re-raised after the batch drains.
+
+    Each trial increments the [runner.trials] counter and, when tracing
+    is enabled, emits a [runner.trial] trace event with its submission
+    index, wall-clock duration (from the injected {!Obs.Clock}) and the
+    number of engine events it dispatched — the per-trial ground truth
+    the bench's end-to-end wall-clocks cannot provide. *)

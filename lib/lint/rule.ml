@@ -7,9 +7,11 @@ type t =
   | Perf_append
   | Perf_scan
   | Mli_missing
+  | Obs_printf
 
 let all =
-  [ Dom_mut; Det_random; Det_clock; Det_polyeq; Det_hashkey; Perf_append; Perf_scan; Mli_missing ]
+  [ Dom_mut; Det_random; Det_clock; Det_polyeq; Det_hashkey; Perf_append; Perf_scan; Mli_missing;
+    Obs_printf ]
 
 let id = function
   | Dom_mut -> "LG-DOM-MUT"
@@ -20,6 +22,7 @@ let id = function
   | Perf_append -> "LG-PERF-APPEND"
   | Perf_scan -> "LG-PERF-SCAN"
   | Mli_missing -> "LG-MLI-MISSING"
+  | Obs_printf -> "LG-OBS-PRINTF"
 
 let of_id s =
   let rec find = function
@@ -47,3 +50,6 @@ let describe = function
       "List.mem/List.assoc inside a let rec or iteration closure; quadratic scan — \
        use a Set/Map/Hashtbl"
   | Mli_missing -> "library module without an .mli; accidental surface"
+  | Obs_printf ->
+      "bare stdout printing (Printf.printf / Format.printf / print_endline) in a library; \
+       route diagnostics through Obs tracing and results through the table writers"

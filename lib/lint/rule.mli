@@ -11,6 +11,7 @@ type t =
   | Perf_append  (** [@] building an accumulator inside a [let rec] or fold *)
   | Perf_scan  (** [List.mem]/[List.assoc] inside a [let rec] or iteration closure *)
   | Mli_missing  (** library [.ml] without a matching [.mli] *)
+  | Obs_printf  (** bare stdout printing in [lib/] outside [lib/obs] *)
 
 val all : t list
 

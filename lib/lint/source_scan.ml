@@ -9,7 +9,7 @@
 
 open Parsetree
 
-type file_kind = { in_lib : bool; prng_exempt : bool }
+type file_kind = { in_lib : bool; prng_exempt : bool; obs_exempt : bool }
 
 let classify path =
   let segs = String.split_on_char '/' path in
@@ -18,14 +18,22 @@ let classify path =
     | "lib" :: _ -> true
     | _ :: rest -> in_lib rest
   in
-  let rec prng = function
-    | "lib" :: "prng" :: _ -> true
-    | _ :: rest -> prng rest
+  let rec under_lib name = function
+    | "lib" :: d :: _ when String.equal d name -> true
+    | _ :: rest -> under_lib name rest
     | [] -> false
   in
-  { in_lib = in_lib segs; prng_exempt = prng segs }
+  {
+    in_lib = in_lib segs;
+    prng_exempt = under_lib "prng" segs;
+    (* lib/obs IS the sanctioned home for cross-domain observability
+       state (per-domain shards merged at read time) and for the sink
+       that owns the output channel, so the domain-safety and printing
+       rules do not apply to it. *)
+    obs_exempt = under_lib "obs" segs;
+  }
 
-let lib_kind = { in_lib = true; prng_exempt = false }
+let lib_kind = { in_lib = true; prng_exempt = false; obs_exempt = false }
 
 type violation = {
   rule : Rule.t;
@@ -71,6 +79,14 @@ let mutable_creators =
     [ "Bytes"; "make" ]; [ "Queue"; "create" ]; [ "Stack"; "create" ] ]
 
 let clock_paths = [ [ "Sys"; "time" ]; [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ] ]
+
+(* Stdout writers a library has no business calling directly: results go
+   through the table writers, diagnostics through Obs. [Printf.eprintf]
+   and [Printf.sprintf]/[fprintf] stay legal. *)
+let printf_qualified = [ [ "Printf"; "printf" ]; [ "Format"; "printf" ] ]
+
+let printf_bare =
+  [ "print_endline"; "print_string"; "print_newline"; "print_int"; "print_float"; "print_char" ]
 
 (* Key types over which polymorphic Hashtbl hashing is flat and cheap. *)
 let flat_key_types = [ "int"; "string"; "bool"; "char"; "Asn.t" ]
@@ -141,7 +157,20 @@ let scan_structure ~kind ~file str =
         || path_equal p [ "Pervasives"; "compare" ]
       then add Rule.Det_polyeq loc "polymorphic compare; use the module-specific compare"
       else if path_equal p [ "Hashtbl"; "hash" ] && not (locally_defined "hash") then
-        add Rule.Det_polyeq loc "polymorphic Hashtbl.hash; use a module-specific hash"
+        add Rule.Det_polyeq loc "polymorphic Hashtbl.hash; use a module-specific hash";
+      if not kind.obs_exempt then begin
+        let bare_printer =
+          match p with
+          | [ name ] -> List.exists (String.equal name) printf_bare && not (locally_defined name)
+          | [ "Stdlib"; name ] -> List.exists (String.equal name) printf_bare
+          | _ -> false
+        in
+        if path_mem p printf_qualified || bare_printer then
+          add Rule.Obs_printf loc
+            (Printf.sprintf
+               "%s writes to stdout from a library; use the table writers or Obs tracing"
+               (joined p))
+      end
     end
   in
   let check_apply f args loc =
@@ -253,7 +282,7 @@ let scan_structure ~kind ~file str =
   and walk_item (si : structure_item) =
     match si.pstr_desc with
     | Pstr_value (rf, vbs) ->
-        if kind.in_lib then
+        if kind.in_lib && not kind.obs_exempt then
           List.iter (fun vb -> if not (is_fun_expr vb.pvb_expr) then scan_mutable_rhs vb.pvb_expr) vbs;
         let bump = match rf with Asttypes.Recursive -> true | _ -> false in
         if bump then incr rec_depth;

@@ -6,14 +6,19 @@
 type file_kind = {
   in_lib : bool;  (** under a [lib/] segment: det/dom rules apply *)
   prng_exempt : bool;  (** under [lib/prng]: the one place [Random] is legal *)
+  obs_exempt : bool;
+      (** under [lib/obs]: the sanctioned home for cross-domain
+          observability state and the trace sink, so [LG-DOM-MUT] and
+          [LG-OBS-PRINTF] do not apply *)
 }
 
 val classify : string -> file_kind
 (** Derive a {!file_kind} from a root-relative path. *)
 
 val lib_kind : file_kind
-(** [{ in_lib = true; prng_exempt = false }] — what fixture tests use to
-    force library-strictness on files outside [lib/]. *)
+(** [{ in_lib = true; prng_exempt = false; obs_exempt = false }] — what
+    fixture tests use to force library-strictness on files outside
+    [lib/]. *)
 
 type violation = {
   rule : Rule.t;

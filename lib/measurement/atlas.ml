@@ -1,5 +1,12 @@
 open Net
 
+(* Atlas consultation accounting (Obs): a lookup that finds a usable
+   snapshot is a hit, one that comes back empty is a miss — the ratio is
+   what says whether the refresh cadence keeps isolation off the slow
+   on-demand measurement path. *)
+let m_hit = Obs.Metrics.counter "meas.atlas.hit"
+let m_miss = Obs.Metrics.counter "meas.atlas.miss"
+
 type snapshot = { taken_at : float; path : Asn.t list }
 
 type pair_state = {
@@ -52,8 +59,17 @@ let latest ~before history =
   in
   List.find_opt keep history
 
-let latest_forward t ~vp ~dst ?before () = latest ~before (state t ~vp ~dst).forward
-let latest_reverse t ~vp ~dst ?before () = latest ~before (state t ~vp ~dst).reverse
+let noting_hit result =
+  (match result with
+  | Some _ -> Obs.Metrics.incr m_hit
+  | None -> Obs.Metrics.incr m_miss);
+  result
+
+let latest_forward t ~vp ~dst ?before () =
+  noting_hit (latest ~before (state t ~vp ~dst).forward)
+
+let latest_reverse t ~vp ~dst ?before () =
+  noting_hit (latest ~before (state t ~vp ~dst).reverse)
 
 let candidate_hops t ~vp ~dst =
   let s = state t ~vp ~dst in

@@ -1,0 +1,7 @@
+(** Observability: structured tracing + metrics for the simulator
+    itself. See the interface for the layering contract. *)
+
+module Clock = Clock
+module Metrics = Metrics
+module Trace = Trace
+module Span = Span

@@ -1,0 +1,21 @@
+let run ~name ?(kv = []) f =
+  if not (Trace.on ()) then f ()
+  else begin
+    let t0 = Clock.now () in
+    Trace.event ~ts:t0 ~span:name (("phase", Trace.Str "begin") :: kv);
+    let finish ok =
+      let t1 = Clock.now () in
+      Trace.event ~ts:t1 ~span:name
+        (("phase", Trace.Str "end")
+        :: ("dur", Trace.Float (t1 -. t0))
+        :: ("ok", Trace.Bool ok)
+        :: kv)
+    in
+    match f () with
+    | r ->
+        finish true;
+        r
+    | exception e ->
+        finish false;
+        raise e
+  end

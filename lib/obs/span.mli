@@ -1,0 +1,13 @@
+(** Span helpers: bracket a phase with begin/end trace events.
+
+    A span emits two {!Trace} events — [phase=begin] at entry and
+    [phase=end] (with a [dur] in seconds) at exit, even on exception —
+    timestamped from {!Clock}. With tracing disabled the wrapped function
+    runs with zero overhead beyond one flag read. *)
+
+val run : name:string -> ?kv:(string * Trace.value) list -> (unit -> 'a) -> 'a
+(** [run ~name f] executes [f ()] inside a span called [name]. [kv]
+    pairs are attached to both the begin and end events. The end event
+    carries [dur] (wall seconds from the injected {!Clock}; 0 when no
+    clock source is installed) and [ok] ([false] when [f] raised — the
+    exception is re-raised after the event is recorded). *)

@@ -3,7 +3,13 @@
     The BGP network, the monitoring loops and LIFEGUARD's orchestrator all
     run on a single shared clock: events are closures scheduled at absolute
     times and executed in time order (FIFO among equal times). Time is in
-    seconds as a float. *)
+    seconds as a float.
+
+    The engine feeds three {!Obs.Metrics} instruments: the [sim.events]
+    counter (one per dispatched event), the [sim.queue_depth] max-gauge
+    (high-watermark of the pending heap) and the [sim.time_advance]
+    histogram (virtual-time jump per dispatch). All are free when metrics
+    are disabled. *)
 
 type t
 

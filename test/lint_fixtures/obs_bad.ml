@@ -1,0 +1,8 @@
+(* lifeguard-lint fixture: must flag LG-OBS-PRINTF on every bare stdout
+   writer (4 hits). *)
+
+let report x =
+  Printf.printf "x=%d\n" x;
+  Format.printf "x=%d@." x;
+  print_endline "done";
+  print_string "tail\n"

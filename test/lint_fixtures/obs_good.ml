@@ -1,0 +1,11 @@
+(* lifeguard-lint fixture: must pass LG-OBS-PRINTF. Writes to stderr,
+   explicit channels and buffers are legal, as is a locally shadowed
+   printer. *)
+
+let print_endline _ = ()
+
+let report oc buf x =
+  Printf.eprintf "debug %d\n" x;
+  Printf.fprintf oc "%d\n" x;
+  Buffer.add_string buf (Printf.sprintf "%d" x);
+  print_endline "shadowed"

@@ -31,8 +31,25 @@ let test_dom_fixtures () =
   check_rule "dom_bad" bad Rule.Dom_mut 5;
   Alcotest.(check int) "dom_good is clean" 0 (List.length (scan_fixture "dom_good.ml"));
   (* outside lib/, module-level state is the executable's business *)
-  match Scan.scan_file ~kind:{ Scan.in_lib = false; prng_exempt = false } (fixture "dom_bad.ml") with
+  (match
+     Scan.scan_file
+       ~kind:{ Scan.in_lib = false; prng_exempt = false; obs_exempt = false }
+       (fixture "dom_bad.ml")
+   with
   | Ok vs -> check_rule "dom_bad outside lib" vs Rule.Dom_mut 0
+  | Error e -> Alcotest.fail e);
+  (* lib/obs is the sanctioned home for cross-domain shards: exempt. *)
+  match Scan.scan_file ~kind:(Scan.classify "lib/obs/metrics.ml") (fixture "dom_bad.ml") with
+  | Ok vs -> check_rule "dom_bad under lib/obs" vs Rule.Dom_mut 0
+  | Error e -> Alcotest.fail e
+
+let test_obs_fixtures () =
+  let bad = scan_fixture "obs_bad.ml" in
+  check_rule "obs_bad" bad Rule.Obs_printf 4;
+  Alcotest.(check int) "obs_good is clean" 0 (List.length (scan_fixture "obs_good.ml"));
+  (* outside lib/, printing is the executable's business *)
+  match Scan.scan_file ~kind:(Scan.classify "bench/main.ml") (fixture "obs_bad.ml") with
+  | Ok vs -> check_rule "obs_bad outside lib" vs Rule.Obs_printf 0
   | Error e -> Alcotest.fail e
 
 let test_perf_fixtures () =
@@ -90,6 +107,7 @@ let suite =
     Alcotest.test_case "determinism fixtures" `Quick test_det_fixtures;
     Alcotest.test_case "domain-safety fixtures" `Quick test_dom_fixtures;
     Alcotest.test_case "perf fixtures" `Quick test_perf_fixtures;
+    Alcotest.test_case "obs/printf fixtures" `Quick test_obs_fixtures;
     Alcotest.test_case "mli fixtures" `Quick test_mli_fixtures;
     Alcotest.test_case "baseline semantics" `Quick test_baseline_semantics;
     Alcotest.test_case "check exit codes" `Quick test_check_exit_codes;

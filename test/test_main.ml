@@ -17,4 +17,5 @@ let () =
       ("behaviors", Test_behaviors.suite);
       ("invariants", Test_invariants.suite);
       ("lint", Test_lint.suite);
+      ("obs", Test_obs.suite);
     ]
