@@ -6,7 +6,7 @@
                    [--jobs N] [--json [PATH]] [--trace FILE] [--metrics]
    Experiment names: fig1 fig5 alt-paths efficacy fig6 loss selective
    accuracy scalability load hubble anomalies sentinel ablation damping
-   case-study table1.
+   fleet case-study table1.
 
    --jobs N shards experiment trials over N domains (default: the
    machine's recommended domain count; 1 forces the sequential path).
@@ -543,6 +543,23 @@ let () =
           Experiments.Damping.run ~ases:(min s.ases 150) ~jobs:!jobs ~seed ())
     in
     print_tables (Experiments.Damping.to_tables r)
+  end;
+
+  if wanted "fleet" then begin
+    banner "Fleet operations: continuous multi-outage service loop";
+    let config =
+      {
+        Fleet.Service.default_config with
+        Fleet.Service.duration = (if !quick then 10800.0 else 86400.0);
+      }
+    in
+    let r =
+      timed "fleet" (fun () ->
+          Experiments.Fleet_study.run ~config
+            ~targets:(if !quick then 50 else 250)
+            ~jobs:!jobs ~seed ())
+    in
+    print_tables (Experiments.Fleet_study.to_tables r)
   end;
 
   if wanted "case-study" then begin

@@ -330,6 +330,66 @@ let poison_cmd =
     (Cmd.info "poison" ~doc:"Poison one AS on a synthetic Internet and show who reroutes")
     Term.(const run $ seed $ ases $ target)
 
+let fleet_cmd =
+  let duration =
+    Arg.(
+      value
+      & opt float 86400.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated observation window per world.")
+  in
+  let targets =
+    Arg.(value & opt int 250 & info [ "targets" ] ~docv:"N" ~doc:"Monitored networks fleet-wide.")
+  in
+  let outages =
+    Arg.(
+      value
+      & opt float 12.0
+      & info [ "outages-per-day" ] ~docv:"R" ~doc:"Poisson outage arrival rate per world.")
+  in
+  let probe_loss =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "probe-loss" ] ~docv:"P" ~doc:"Chaos: per-probe-pair loss probability.")
+  in
+  let vp_mtbf =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "vp-mtbf" ] ~docv:"SECONDS"
+          ~doc:"Chaos: mean vantage-point uptime between crashes (0 disables).")
+  in
+  let staleness =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "atlas-staleness" ] ~docv:"P"
+          ~doc:"Chaos: probability an atlas refresh is skipped.")
+  in
+  let run obs seed duration targets outages probe_loss vp_mtbf staleness jobs =
+    with_obs obs (fun () ->
+        let config =
+          {
+            Fleet.Service.default_config with
+            Fleet.Service.duration;
+            outages_per_day = outages;
+            chaos =
+              { Fleet.Chaos.none with Fleet.Chaos.probe_loss; vp_mtbf; atlas_staleness = staleness };
+          }
+        in
+        print_tables
+          (Experiments.Fleet_study.to_tables
+             (Experiments.Fleet_study.run ~config ~targets ~jobs ~seed ())))
+  in
+  Cmd.v
+    (Cmd.info "fleet"
+       ~doc:
+         "Continuous fleet operations: budgeted monitoring, concurrent repair pipelines, \
+          damping-paced announcements, optional chaos")
+    Term.(
+      const run $ obs_term $ seed $ duration $ targets $ outages $ probe_loss $ vp_mtbf $ staleness
+      $ jobs)
+
 let main =
   let doc = "LIFEGUARD (SIGCOMM 2012) reproduction: failure localization and BGP-poisoning repair" in
   Cmd.group (Cmd.info "lifeguard" ~version:"1.0.0" ~doc)
@@ -349,6 +409,7 @@ let main =
       sentinel_cmd;
       ablation_cmd;
       damping_cmd;
+      fleet_cmd;
       case_study_cmd;
       topo_cmd;
       poison_cmd;

@@ -66,12 +66,15 @@ let record_delivery t time =
   end;
   t.delivery_buckets.(idx) <- t.delivery_buckets.(idx) + 1
 
-(* Deterministic per-pair pseudo-random factor in [0,1): hash the ASN pair
+(* Deterministic per-pair pseudo-random factor in [0,1): mix the ASN pair
    so runs are reproducible without threading a PRNG through the hot
-   path. *)
+   path. The mix is explicit arithmetic rather than the polymorphic
+   [Hashtbl.hash] so delays cannot drift with the runtime's generic
+   hash. *)
 let pair_hash a b =
-  let h = Hashtbl.hash (Asn.to_int a, Asn.to_int b, 0x9e3779b9) in
-  float_of_int (h land 0xFFFF) /. 65536.0
+  let z = (Asn.to_int a * 0x9E3779B1) lxor (Asn.to_int b * 0x85EBCA6B) in
+  let z = z lxor (z lsr 16) in
+  float_of_int (z land 0xFFFF) /. 65536.0
 
 let default_delay a b = 0.05 +. (0.2 *. pair_hash a b)
 

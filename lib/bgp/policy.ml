@@ -38,11 +38,15 @@ let local_pref_for config ~self ~neighbor ~rel =
   match List.assoc_opt neighbor (List.map (fun (a, p) -> (a, p)) config.local_pref_override) with
   | Some pref -> pref
   | None ->
+      (* Explicit integer mix, not the polymorphic [Hashtbl.hash], so the
+         per-neighbor preference jitter is pinned by this source alone. *)
       let jitter =
         if config.pref_jitter <= 0 then 0
-        else
-          Hashtbl.hash (Asn.to_int self, Asn.to_int neighbor, 0x9E3779B9)
-          mod (config.pref_jitter + 1)
+        else begin
+          let z = (Asn.to_int self * 0x9E3779B1) lxor (Asn.to_int neighbor * 0x85EBCA6B) in
+          let z = z lxor (z lsr 16) in
+          (z land 0xFFFF) mod (config.pref_jitter + 1)
+        end
       in
       Relationship.local_pref rel + jitter
 

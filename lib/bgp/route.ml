@@ -32,8 +32,12 @@ type entry = {
   tiebreak : int;
 }
 
+(* Explicit integer mix, not the polymorphic [Hashtbl.hash], so decision
+   tie-breaks are pinned by this source alone. *)
 let tiebreak_rank ~salt neighbor =
-  Hashtbl.hash (salt, Asn.to_int neighbor, 0x5f3759df) land 0xFFFF
+  let z = (salt * 0x9E3779B1) lxor (Asn.to_int neighbor * 0x5F3759DF) in
+  let z = z lxor (z lsr 16) in
+  z land 0xFFFF
 
 let make_entry ?salt ~ann ~neighbor ~rel ~local_pref ~learned_at () =
   {

@@ -4,15 +4,43 @@ type config = {
   decide : Decide.config;
   recheck_interval : float;
   monitor_interval : float;
+  announce_spacing : float;
+  max_isolation_attempts : int;
+  retry_backoff : float;
+  backoff_multiplier : float;
+  max_backoff : float;
+  pipeline_timeout : float;
 }
 
 let default_config =
-  { decide = Decide.default_config; recheck_interval = 120.0; monitor_interval = 30.0 }
+  {
+    decide = Decide.default_config;
+    recheck_interval = 120.0;
+    monitor_interval = 30.0;
+    announce_spacing = 0.0;
+    max_isolation_attempts = 3;
+    retry_backoff = 60.0;
+    backoff_multiplier = 2.0;
+    max_backoff = 600.0;
+    pipeline_timeout = 21600.0;
+  }
+
+type hooks = {
+  probe_gate : (now:float -> cost:int -> bool) option;
+  monitor_loss : (unit -> bool) option;
+  isolation_attempt : (target:Asn.t -> attempt:int -> [ `Proceed | `Lost | `Denied ]) option;
+  vantage_filter : (Asn.t -> bool) option;
+}
+
+let no_hooks =
+  { probe_gate = None; monitor_loss = None; isolation_attempt = None; vantage_filter = None }
 
 type event =
   | Outage_detected of { vp : Asn.t; target : Asn.t }
   | Diagnosed of Isolation.diagnosis
   | Decision of Decide.verdict
+  | Isolation_retry of { target : Asn.t; attempt : int; delay : float }
+  | Poison_queued of { target : Asn.t; poison : Asn.t }
   | Poison_announced of Asn.t
   | Recovery_detected of Asn.t
   | Unpoisoned
@@ -23,6 +51,12 @@ let pp_event fmt = function
       Format.fprintf fmt "outage detected: %a cannot reach %a" Asn.pp target Asn.pp vp
   | Diagnosed d -> Format.fprintf fmt "diagnosed: %a" Isolation.pp_diagnosis d
   | Decision v -> Format.fprintf fmt "decision: %a" Decide.pp_verdict v
+  | Isolation_retry { target; attempt; delay } ->
+      Format.fprintf fmt "isolation toward %a lost (attempt %d); retrying in %.0fs" Asn.pp
+        target attempt delay
+  | Poison_queued { target; poison } ->
+      Format.fprintf fmt "queued poison of %a for %a behind an active announcement" Asn.pp
+        poison Asn.pp target
   | Poison_announced a -> Format.fprintf fmt "poisoned %a" Asn.pp a
   | Recovery_detected a -> Format.fprintf fmt "recovery detected through %a" Asn.pp a
   | Unpoisoned -> Format.pp_print_string fmt "unpoisoned: back to baseline"
@@ -30,19 +64,43 @@ let pp_event fmt = function
 
 type state = Idle | Isolating | Poisoned of Asn.t
 
+type outcome = Repaired | Stood_down of string
+
+let pp_outcome fmt = function
+  | Repaired -> Format.pp_print_string fmt "repaired"
+  | Stood_down reason -> Format.fprintf fmt "stood down: %s" reason
+
 let log_src = Logs.Src.create "lifeguard.orchestrator" ~doc:"LIFEGUARD control loop"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+(* One in-flight isolate/decide pipeline per affected target. *)
+type pipeline = {
+  p_vp : Asn.t;
+  p_target : Asn.t;
+  p_started : float;
+  mutable p_attempt : int;
+}
+
+(* The single poison currently announced for the production prefix, with
+   every target it is meant to repair: concurrent outages blamed on the
+   same AS attach here instead of queueing a duplicate announcement. *)
+type active_poison = { ap_target : Asn.t; mutable ap_affected : Asn.t list }
+
 type t = {
   config : config;
+  hooks : hooks;
   env : Dataplane.Probe.env;
   atlas : Measurement.Atlas.t;
   responsiveness : Measurement.Responsiveness.t;
   plan : Remediate.plan;
   vantage_points : Asn.t list;
-  mutable state : state;
+  pipelines : (Asn.t, pipeline) Hashtbl.t;
+  mutable active : active_poison option;
+  queue : (Asn.t * Asn.t) Queue.t;  (** (target, poison) FIFO awaiting the prefix *)
+  mutable last_announce : float;
   mutable events : (float * event) list;  (** newest first *)
+  mutable outcomes : (float * Asn.t * outcome) list;  (** newest first *)
   mutable monitors : Measurement.Monitor.t list;
   outage_started : (Asn.t, float) Hashtbl.t;
       (** First-failure estimate per target, persisted across isolation
@@ -51,21 +109,30 @@ type t = {
 
 let engine t = Bgp.Network.engine t.env.Dataplane.Probe.net
 let now t = Sim.Engine.now (engine t)
+
 let log t event =
   Log.info (fun m -> m "t=%.0f %a" (now t) pp_event event);
   t.events <- (now t, event) :: t.events
 
-let create ?(config = default_config) ~env ~atlas ~responsiveness ~plan ~vantage_points () =
+let finish t target outcome = t.outcomes <- (now t, target, outcome) :: t.outcomes
+
+let create ?(config = default_config) ?(hooks = no_hooks) ~env ~atlas ~responsiveness ~plan
+    ~vantage_points () =
   Remediate.announce_baseline env.Dataplane.Probe.net plan;
   {
     config;
+    hooks;
     env;
     atlas;
     responsiveness;
     plan;
     vantage_points;
-    state = Idle;
+    pipelines = Hashtbl.create 8;
+    active = None;
+    queue = Queue.create ();
+    last_announce = neg_infinity;
     events = [];
+    outcomes = [];
     monitors = [];
     outage_started = Hashtbl.create 8;
   }
@@ -74,51 +141,136 @@ let create ?(config = default_config) ~env ~atlas ~responsiveness ~plan ~vantage
    failures scoped to the announced space must be visible to them. *)
 let origin_source t = Prefix.nth_address t.plan.Remediate.production 1
 
+let live_vantage_points t =
+  match t.hooks.vantage_filter with
+  | Some alive -> List.filter alive t.vantage_points
+  | None -> t.vantage_points
+
 let isolation_context t =
   {
     Isolation.env = t.env;
     atlas = t.atlas;
     responsiveness = t.responsiveness;
-    vantage_points = t.vantage_points;
+    vantage_points = live_vantage_points t;
     source_overrides = [ (t.plan.Remediate.origin, origin_source t) ];
   }
 
 let target_address t target = Dataplane.Forward.probe_address t.env.Dataplane.Probe.net target
 
-(* While poisoned, test the sentinel periodically; unpoison on repair. *)
-let rec schedule_recovery_checks t ~target ~affected =
-  Sim.Engine.schedule_after (engine t) ~delay:t.config.recheck_interval (fun () ->
-      match t.state with
-      | Poisoned poisoned when Asn.equal poisoned target ->
-          if Remediate.is_recovered t.env t.plan ~through:target ~targets:affected then begin
-            log t (Recovery_detected target);
-            Remediate.unpoison t.env.Dataplane.Probe.net t.plan;
-            t.state <- Idle;
-            log t Unpoisoned
-          end
-          else schedule_recovery_checks t ~target ~affected
-      | Idle | Isolating | Poisoned _ -> ())
+let target_reachable t ~vp ~target =
+  Dataplane.Probe.ping_from t.env ~src:vp ~src_ip:(origin_source t)
+    ~dst:(target_address t target)
 
-let apply_poison t ~target ~poison_target =
-  Remediate.poison t.env.Dataplane.Probe.net t.plan ~target:poison_target;
-  t.state <- Poisoned poison_target;
-  log t (Poison_announced poison_target);
-  schedule_recovery_checks t ~target:poison_target ~affected:[ target ]
+(* Announcement pacing: BGP speakers damp flappy prefixes, so poisons and
+   unpoisons alike keep [announce_spacing] (the paper suggests ~90 min
+   between poisonings) from the previous announcement. *)
+let announce_delay t = Float.max 0.0 (t.last_announce +. t.config.announce_spacing -. now t)
+
+let backoff_delay config attempt =
+  let d = config.retry_backoff *. (config.backoff_multiplier ** float_of_int (attempt - 1)) in
+  Float.min config.max_backoff d
 
 let stand_down t ~target reason =
   Hashtbl.remove t.outage_started target;
-  t.state <- Idle;
-  log t (Gave_up reason)
+  Hashtbl.remove t.pipelines target;
+  log t (Gave_up reason);
+  finish t target (Stood_down reason)
 
-let run_pipeline t ~vp ~target ~outage_started =
-  let diagnosis = Isolation.isolate (isolation_context t) ~src:vp ~dst:target in
-  log t (Diagnosed diagnosis);
+(* While poisoned, test the sentinel periodically; unpoison on repair. *)
+let rec schedule_recovery_checks t ap ~pump =
+  Sim.Engine.schedule_after (engine t) ~delay:t.config.recheck_interval (fun () ->
+      match t.active with
+      | Some current when current == ap ->
+          if
+            Remediate.is_recovered t.env t.plan ~through:ap.ap_target ~targets:ap.ap_affected
+          then begin
+            log t (Recovery_detected ap.ap_target);
+            let unpoison () =
+              match t.active with
+              | Some current when current == ap ->
+                  Remediate.unpoison t.env.Dataplane.Probe.net t.plan;
+                  t.active <- None;
+                  t.last_announce <- now t;
+                  log t Unpoisoned;
+                  List.iter (fun target -> finish t target Repaired) (List.rev ap.ap_affected);
+                  pump ()
+              | _ -> ()
+            in
+            let delay = announce_delay t in
+            if delay <= 0.0 then unpoison ()
+            else Sim.Engine.schedule_after (engine t) ~delay unpoison
+          end
+          else schedule_recovery_checks t ap ~pump
+      | _ -> ())
+
+(* Apply a poison now (spacing already satisfied), unless the outage
+   resolved while the announcement waited its turn. *)
+let rec apply_poison t ~vp ~target ~poison_target =
+  if target_reachable t ~vp ~target then begin
+    Hashtbl.remove t.outage_started target;
+    log t (Gave_up "outage resolved before poisoning");
+    finish t target (Stood_down "outage resolved before poisoning");
+    pump_queue t
+  end
+  else begin
+    Hashtbl.remove t.outage_started target;
+    Remediate.poison t.env.Dataplane.Probe.net t.plan ~target:poison_target;
+    let ap = { ap_target = poison_target; ap_affected = [ target ] } in
+    t.active <- Some ap;
+    t.last_announce <- now t;
+    log t (Poison_announced poison_target);
+    schedule_recovery_checks t ap ~pump:(fun () -> pump_queue t)
+  end
+
+(* Drain the remediation queue once the prefix is free: the next poison
+   goes out after the damping-aware spacing, re-checked at send time. *)
+and pump_queue t =
+  match (t.active, Queue.take_opt t.queue) with
+  | Some _, _ | None, None -> ()
+  | None, Some (target, poison_target) ->
+      let vp = t.plan.Remediate.origin in
+      let send () =
+        if Option.is_none t.active then apply_poison t ~vp ~target ~poison_target
+        else Queue.add (target, poison_target) t.queue
+      in
+      let delay = announce_delay t in
+      if delay <= 0.0 then send () else Sim.Engine.schedule_after (engine t) ~delay send
+
+(* A pipeline reached a Poison verdict: announce, attach, or queue. *)
+let request_poison t ~vp ~target ~poison_target =
+  Hashtbl.remove t.pipelines target;
+  match t.active with
+  | Some ap when Asn.equal ap.ap_target poison_target ->
+      (* Same blamed AS: the standing poison already works around it. *)
+      Hashtbl.remove t.outage_started target;
+      ap.ap_affected <- target :: ap.ap_affected
+  | Some _ ->
+      log t (Poison_queued { target; poison = poison_target });
+      Queue.add (target, poison_target) t.queue
+  | None ->
+      let delay = announce_delay t in
+      if delay <= 0.0 then apply_poison t ~vp ~target ~poison_target
+      else begin
+        log t (Poison_queued { target; poison = poison_target });
+        Queue.add (target, poison_target) t.queue;
+        Sim.Engine.schedule_after (engine t) ~delay (fun () -> pump_queue t)
+      end
+
+let pipeline_alive t p =
+  match Hashtbl.find_opt t.pipelines p.p_target with Some q -> q == p | None -> false
+
+let run_decision t p diagnosis =
+  let vp = p.p_vp and target = p.p_target in
   let graph = Bgp.Network.graph t.env.Dataplane.Probe.net in
   let decide_now () =
-    let outage_age = now t -. outage_started in
+    let outage_started =
+      match Hashtbl.find_opt t.outage_started target with
+      | Some started -> started
+      | None -> p.p_started
+    in
     let verdict =
       Decide.decide t.config.decide graph ~origin:t.plan.Remediate.origin ~diagnosis
-        ~outage_age
+        ~outage_age:(now t -. outage_started)
     in
     log t (Decision verdict);
     verdict
@@ -126,41 +278,74 @@ let run_pipeline t ~vp ~target ~outage_started =
   (* While the verdict is Wait, keep rechecking: stand down if the outage
      resolves on its own, poison once it has aged past the gate. *)
   let rec decide_and_act () =
-    match decide_now () with
-    | Decide.Poison poison_target ->
-        Hashtbl.remove t.outage_started target;
-        apply_poison t ~target ~poison_target
-    | Decide.Hopeless reason -> stand_down t ~target reason
-    | Decide.Wait _ ->
-        Sim.Engine.schedule_after (engine t) ~delay:t.config.recheck_interval (fun () ->
-            if
-              Dataplane.Probe.ping_from t.env ~src:vp ~src_ip:(origin_source t)
-                ~dst:(target_address t target)
-            then stand_down t ~target "outage resolved on its own"
-            else decide_and_act ())
+    if now t -. p.p_started > t.config.pipeline_timeout then
+      stand_down t ~target "pipeline timeout"
+    else begin
+      match decide_now () with
+      | Decide.Poison poison_target -> request_poison t ~vp ~target ~poison_target
+      | Decide.Hopeless reason -> stand_down t ~target reason
+      | Decide.Wait _ ->
+          Sim.Engine.schedule_after (engine t) ~delay:t.config.recheck_interval (fun () ->
+              if not (pipeline_alive t p) then ()
+              else if target_reachable t ~vp ~target then
+                stand_down t ~target "outage resolved on its own"
+              else decide_and_act ())
+    end
   in
-  (* The decision happens once isolation completes; model its latency by
-     scheduling the decision (and any poisoning) after [elapsed]. *)
-  Sim.Engine.schedule_after (engine t) ~delay:diagnosis.Isolation.elapsed decide_and_act
+  decide_and_act ()
+
+(* Isolation with bounded retries: a chaos- or budget-denied attempt backs
+   off exponentially; exhausting the budget is a terminal give-up, so every
+   pipeline ends in a terminal state. *)
+let rec attempt_isolation t p =
+  if not (pipeline_alive t p) then ()
+  else begin
+    p.p_attempt <- p.p_attempt + 1;
+    let outcome =
+      match t.hooks.isolation_attempt with
+      | Some f -> f ~target:p.p_target ~attempt:p.p_attempt
+      | None -> `Proceed
+    in
+    match outcome with
+    | `Proceed ->
+        let diagnosis = Isolation.isolate (isolation_context t) ~src:p.p_vp ~dst:p.p_target in
+        log t (Diagnosed diagnosis);
+        (* The decision happens once isolation completes; model its latency
+           by scheduling the decision after [elapsed]. *)
+        Sim.Engine.schedule_after (engine t) ~delay:diagnosis.Isolation.elapsed (fun () ->
+            if pipeline_alive t p then run_decision t p diagnosis)
+    | `Lost | `Denied ->
+        if p.p_attempt >= t.config.max_isolation_attempts then
+          stand_down t ~target:p.p_target "isolation retry budget exhausted"
+        else begin
+          let delay = backoff_delay t.config p.p_attempt in
+          log t (Isolation_retry { target = p.p_target; attempt = p.p_attempt; delay });
+          Sim.Engine.schedule_after (engine t) ~delay (fun () -> attempt_isolation t p)
+        end
+  end
+
+let covered_by_active t target =
+  match t.active with
+  | Some ap -> List.exists (Asn.equal target) ap.ap_affected
+  | None -> false
+
+let queued t target = Queue.fold (fun acc (qt, _) -> acc || Asn.equal qt target) false t.queue
 
 let notify_outage t ~vp ~target =
-  match t.state with
-  | Isolating | Poisoned _ -> ()
-  | Idle ->
-      t.state <- Isolating;
-      log t (Outage_detected { vp; target });
-      (* The monitor crossed its threshold after several failed rounds;
-         the outage began roughly threshold x interval earlier — unless a
-         previous isolation round already pinned the start time. *)
-      let outage_started =
-        match Hashtbl.find_opt t.outage_started target with
-        | Some started -> started
-        | None ->
-            let started = now t -. (4.0 *. t.config.monitor_interval) in
-            Hashtbl.replace t.outage_started target started;
-            started
-      in
-      run_pipeline t ~vp ~target ~outage_started
+  if Hashtbl.mem t.pipelines target || covered_by_active t target || queued t target then ()
+  else begin
+    log t (Outage_detected { vp; target });
+    (* The monitor crossed its threshold after several failed rounds;
+       the outage began roughly threshold x interval earlier — unless a
+       previous isolation round already pinned the start time. *)
+    (match Hashtbl.find_opt t.outage_started target with
+    | Some _ -> ()
+    | None ->
+        Hashtbl.replace t.outage_started target (now t -. (4.0 *. t.config.monitor_interval)));
+    let p = { p_vp = vp; p_target = target; p_started = now t; p_attempt = 0 } in
+    Hashtbl.replace t.pipelines target p;
+    attempt_isolation t p
+  end
 
 let watch t ~targets =
   let origin = t.plan.Remediate.origin in
@@ -183,12 +368,23 @@ let watch t ~targets =
             | Some target_as -> notify_outage t ~vp:origin ~target:target_as
             | None -> ()
           end)
-      ~src_ip:(origin_source t) ~vp:origin
+      ~src_ip:(origin_source t) ?gate:t.hooks.probe_gate ?loss:t.hooks.monitor_loss ~vp:origin
       ~targets:(List.map (target_address t) targets)
       ()
   in
   t.monitors <- monitor :: t.monitors
 
-let state t = t.state
+let state t =
+  match t.active with
+  | Some ap -> Poisoned ap.ap_target
+  | None -> if Hashtbl.length t.pipelines > 0 then Isolating else Idle
+
+let active_pipelines t = Hashtbl.length t.pipelines
+let queued_poisons t = Queue.length t.queue
+
+let awaiting_repair t =
+  match t.active with Some ap -> List.length ap.ap_affected | None -> 0
 let events t = List.rev t.events
+let outcomes t = List.rev t.outcomes
+let monitors t = List.rev t.monitors
 let plan t = t.plan

@@ -5,7 +5,16 @@
     AS, the decision gate waits out young outages and checks that an
     alternate path exists, remediation poisons, and sentinel probes detect
     the repair and trigger unpoisoning. This is the per-prefix state
-    machine a deployment runs (§4, §6's case study). *)
+    machine a deployment runs (§4, §6's case study).
+
+    The orchestrator is re-entrant: each affected target runs its own
+    isolate/decide pipeline, so overlapping outages on disjoint prefixes
+    are handled concurrently. Only one poison is announced at a time for
+    the production prefix — concurrent outages blamed on the same AS
+    attach to the standing announcement, different blames queue behind it
+    — and announcements (poison and unpoison alike) are paced by
+    [announce_spacing] to stay on the friendly side of route-flap
+    damping. *)
 
 open Net
 
@@ -13,15 +22,51 @@ type config = {
   decide : Decide.config;
   recheck_interval : float;  (** How often to re-test the sentinel while poisoned (s). *)
   monitor_interval : float;  (** Ping-pair period for the built-in monitors (s). *)
+  announce_spacing : float;
+      (** Minimum seconds between BGP announcements (poison or unpoison).
+          The paper suggests ~90 min between poisonings to stay clear of
+          flap damping; the default is 0 (no pacing). *)
+  max_isolation_attempts : int;
+      (** Isolation attempts per outage before giving up (default 3). *)
+  retry_backoff : float;  (** First retry delay after a lost isolation attempt (s). *)
+  backoff_multiplier : float;  (** Exponential backoff factor between retries. *)
+  max_backoff : float;  (** Retry delay ceiling (s). *)
+  pipeline_timeout : float;
+      (** Overall per-outage deadline: a pipeline still undecided after
+          this long stands down (s). *)
 }
 
 val default_config : config
+
+(** Hooks let a harness (the fleet service) inject probe budgets and
+    chaos without the orchestrator knowing about either. All default to
+    absent = unrestricted. *)
+type hooks = {
+  probe_gate : (now:float -> cost:int -> bool) option;
+      (** Budget admission for monitor probe pairs; refusal skips the
+          round (see {!Measurement.Monitor.create}). *)
+  monitor_loss : (unit -> bool) option;
+      (** Chaos: sampled per monitor pair; [true] drops the pair. *)
+  isolation_attempt : (target:Asn.t -> attempt:int -> [ `Proceed | `Lost | `Denied ]) option;
+      (** Consulted before each isolation attempt: [`Lost] (chaos ate the
+          probes) and [`Denied] (budget refused) both consume one attempt
+          and back off exponentially. *)
+  vantage_filter : (Asn.t -> bool) option;
+      (** Chaos: which vantage points are currently alive; dead VPs are
+          excluded from isolation. *)
+}
+
+val no_hooks : hooks
 
 (** Lifecycle events, recorded with their simulation time. *)
 type event =
   | Outage_detected of { vp : Asn.t; target : Asn.t }
   | Diagnosed of Isolation.diagnosis
   | Decision of Decide.verdict
+  | Isolation_retry of { target : Asn.t; attempt : int; delay : float }
+      (** An isolation attempt was lost or denied; retrying after [delay]. *)
+  | Poison_queued of { target : Asn.t; poison : Asn.t }
+      (** A poison verdict is waiting (for the prefix, or for spacing). *)
   | Poison_announced of Asn.t
   | Recovery_detected of Asn.t  (** The poisoned AS works again. *)
   | Unpoisoned
@@ -30,12 +75,19 @@ type event =
 val pp_event : Format.formatter -> event -> unit
 
 type state = Idle | Isolating | Poisoned of Asn.t
-(** Current position in the per-prefix state machine. *)
+(** Coarse position in the per-prefix machine: [Poisoned] while any
+    poison is announced, else [Isolating] while any pipeline runs. *)
+
+(** Terminal state of one target's outage. *)
+type outcome = Repaired | Stood_down of string
+
+val pp_outcome : Format.formatter -> outcome -> unit
 
 type t
 
 val create :
   ?config:config ->
+  ?hooks:hooks ->
   env:Dataplane.Probe.env ->
   atlas:Measurement.Atlas.t ->
   responsiveness:Measurement.Responsiveness.t ->
@@ -48,16 +100,35 @@ val create :
 
 val watch : t -> targets:Asn.t list -> unit
 (** Start monitors from the origin toward each target's infrastructure
-    address, refreshing the atlas first so isolation has history. *)
+    address, refreshing the atlas first so isolation has history. The
+    monitors inherit the [probe_gate] and [monitor_loss] hooks. *)
 
 val notify_outage : t -> vp:Asn.t -> target:Asn.t -> unit
 (** Report an externally-detected outage on the reverse path from
     [target] back to the origin (e.g. from a monitor owned by the
-    caller). Triggers the isolate/decide/poison pipeline at the current
-    simulation time. *)
+    caller). Starts an isolate/decide pipeline for [target] unless one is
+    already running, queued, or covered by the standing poison. *)
 
 val state : t -> state
+
+val active_pipelines : t -> int
+(** Pipelines currently isolating or awaiting decision. *)
+
+val queued_poisons : t -> int
+(** Poison verdicts waiting for the production prefix. *)
+
+val awaiting_repair : t -> int
+(** Targets attached to the standing poison, waiting on the sentinel. *)
+
 val events : t -> (float * event) list
 (** Timestamped event log, oldest first. *)
+
+val outcomes : t -> (float * Asn.t * outcome) list
+(** Terminal state per handled target, oldest first: [Repaired] when the
+    sentinel confirmed the repair and the poison was withdrawn,
+    [Stood_down] when the pipeline ended without (or before) a poison. *)
+
+val monitors : t -> Measurement.Monitor.t list
+(** Monitors started by {!watch}, oldest first. *)
 
 val plan : t -> Remediate.plan

@@ -23,3 +23,4 @@ module Damping = Damping
 module Tab1_summary = Tab1_summary
 module Tab2_load = Tab2_load
 module Case_study = Case_study
+module Fleet_study = Fleet_study

@@ -1,0 +1,47 @@
+(** A day of continuous fleet operations at deployment scale: shard
+    {!Fleet.Service} worlds across domains, pool repair latencies into a
+    CDF and check the measured update stream against the paper's Table 2
+    load model. The shard decomposition is a pure function of [targets]
+    and [config.target_count] — never of [jobs] — so every rendered
+    table is byte-identical for any worker count. *)
+
+type result = {
+  shards : int;  (** Share-nothing worlds the fleet decomposed into. *)
+  targets : int;  (** Monitored networks fleet-wide. *)
+  days : float;
+  injected : int;
+  drawn : int;
+  unplaceable : int;
+  detected : int;
+  repaired : int;
+  stood_down : int;
+  gave_up : int;
+  unfinished : int;
+  poisons : int;
+  unpoisons : int;
+  time_to_repair : float list;  (** Pooled across worlds, ascending (s). *)
+  monitor_pairs : int;
+  monitor_skipped : int;
+  probes_sent : int;
+  budget_granted : int;
+  budget_denied : int;
+  isolation_retries : int;
+  vp_crashes : int;
+  lost_probes : int;
+  stale_refreshes : int;
+  collector_updates : int;
+  injected_h15 : float;  (** Fleet-wide injected outages/day >= 15 min. *)
+  measured_updates_per_day : float;
+  predicted_updates_per_day : float;  (** Table 2 model, summed over worlds. *)
+}
+
+val run :
+  ?config:Fleet.Service.config -> ?targets:int -> ?jobs:int -> seed:int -> unit -> result
+(** Run [ceil (targets / config.target_count)] independent service worlds
+    (default 250 targets in worlds of [config.target_count]) and merge.
+    Deterministic in [(config, targets, seed)]. *)
+
+val ttr_cdf : result -> Stats.Ecdf.t option
+(** Pooled detection-to-repair CDF; [None] when nothing was repaired. *)
+
+val to_tables : result -> Stats.Table.t list

@@ -70,7 +70,7 @@ let run_shard ~ases ~days ~failures_per_day ~seed ~shard () =
       Sim.Engine.schedule engine ~at (fun () ->
           let target = Prng.pick_list rng bed.Scenarios.targets in
           let shape = Outage_gen.shape rng in
-          (match Scenarios.Placement.on_path rng bed ~src:central ~dst:target ~shape with
+          (match Scenarios.Placement.on_path rng bed ~src:central ~dst:target ~shape () with
           | Some placed ->
               incr injected;
               Dataplane.Failure.add bed.Scenarios.failures

@@ -78,7 +78,7 @@ let run_shard ~ases ~seed ~shard ~quota () =
     let src = Prng.pick_list rng vps in
     let dst = Prng.pick_list rng targets in
     let shape = Outage_gen.shape rng in
-    match Scenarios.Placement.on_path rng bed ~src ~dst ~shape with
+    match Scenarios.Placement.on_path rng bed ~src ~dst ~shape () with
     | None -> ()
     | Some placed ->
         Dataplane.Failure.inject bed.Scenarios.net bed.Scenarios.failures

@@ -1,0 +1,89 @@
+open Net
+
+type t = {
+  rate : float;
+  burst : float;
+  mutable tokens : float;
+  mutable updated : float;
+  mutable granted : int;
+  mutable denied : int;
+}
+
+let create ~rate ~burst () =
+  if rate <= 0.0 then invalid_arg "Budget.create: rate must be positive";
+  if burst < 1.0 then invalid_arg "Budget.create: burst must be at least 1";
+  { rate; burst; tokens = burst; updated = 0.0; granted = 0; denied = 0 }
+
+(* Lazy refill: tokens accrue linearly with simulation time, capped at the
+   burst size; the bucket never needs its own timer. *)
+let refill t ~now =
+  if now > t.updated then begin
+    t.tokens <- Float.min t.burst (t.tokens +. ((now -. t.updated) *. t.rate));
+    t.updated <- now
+  end
+
+let admit t ~now ~cost =
+  if cost < 0 then invalid_arg "Budget.admit: negative cost";
+  refill t ~now;
+  let c = float_of_int cost in
+  if t.tokens >= c then begin
+    t.tokens <- t.tokens -. c;
+    t.granted <- t.granted + cost;
+    true
+  end
+  else begin
+    t.denied <- t.denied + cost;
+    false
+  end
+
+let granted t = t.granted
+let denied t = t.denied
+
+type scheduler = {
+  global : t;
+  per_vp_rate : float;
+  per_vp_burst : float;
+  vps : (Asn.t, t) Hashtbl.t;
+}
+
+let scheduler ?(per_vp_rate = infinity) ?(per_vp_burst = infinity) ~global () =
+  { global; per_vp_rate; per_vp_burst; vps = Hashtbl.create 8 }
+
+let vp_bucket s vp =
+  match Hashtbl.find_opt s.vps vp with
+  | Some b -> b
+  | None ->
+      let b =
+        {
+          rate = s.per_vp_rate;
+          burst = s.per_vp_burst;
+          tokens = s.per_vp_burst;
+          updated = 0.0;
+          granted = 0;
+          denied = 0;
+        }
+      in
+      Hashtbl.replace s.vps vp b;
+      b
+
+(* Both caps must admit; an unlimited per-VP cap short-circuits so the
+   common (no per-VP limit) case touches one bucket. *)
+let admit_vp s ~vp ~now ~cost =
+  if s.per_vp_rate = infinity then admit s.global ~now ~cost
+  else begin
+    let b = vp_bucket s vp in
+    refill b ~now;
+    if b.tokens < float_of_int cost then begin
+      b.denied <- b.denied + cost;
+      false
+    end
+    else if admit s.global ~now ~cost then begin
+      b.tokens <- b.tokens -. float_of_int cost;
+      b.granted <- b.granted + cost;
+      true
+    end
+    else false
+  end
+
+let scheduler_granted s = granted s.global
+let scheduler_denied s = denied s.global

@@ -1,0 +1,8 @@
+(** Continuous multi-outage LIFEGUARD operations: probe budgets, bounded
+    retries, damping-aware remediation pacing and chaos injection on top
+    of the core control loop. *)
+
+module Budget = Budget
+module Retry = Retry
+module Chaos = Chaos
+module Service = Service

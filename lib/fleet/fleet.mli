@@ -1,0 +1,9 @@
+(** Continuous multi-outage LIFEGUARD operations: probe budgets, bounded
+    retries, damping-aware remediation pacing and chaos injection on top
+    of the core control loop. This interface pins the library surface to
+    exactly these modules. *)
+
+module Budget = Budget
+module Retry = Retry
+module Chaos = Chaos
+module Service = Service

@@ -1,0 +1,30 @@
+type policy = {
+  max_attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+}
+
+let default = { max_attempts = 3; base_delay = 60.0; multiplier = 2.0; max_delay = 600.0 }
+
+let validate p =
+  if p.max_attempts < 1 then invalid_arg "Retry: max_attempts must be >= 1";
+  if p.base_delay < 0.0 then invalid_arg "Retry: negative base delay";
+  if p.multiplier < 1.0 then invalid_arg "Retry: multiplier must be >= 1";
+  if p.max_delay < p.base_delay then invalid_arg "Retry: max_delay below base_delay";
+  p
+
+let delay_for p ~attempt =
+  if attempt < 1 then invalid_arg "Retry.delay_for: attempts count from 1";
+  Float.min p.max_delay (p.base_delay *. (p.multiplier ** float_of_int (attempt - 1)))
+
+let exhausted p ~attempt = attempt >= p.max_attempts
+
+(* Worst case a pipeline spends retrying before its terminal give-up —
+   the bound behind "every outage reaches a terminal state". *)
+let total_delay_bound p =
+  let rec go attempt acc =
+    if attempt >= p.max_attempts then acc
+    else go (attempt + 1) (acc +. delay_for p ~attempt)
+  in
+  go 1 0.0

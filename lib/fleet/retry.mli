@@ -1,0 +1,25 @@
+(** Bounded exponential backoff for lost or denied isolation attempts. *)
+
+type policy = {
+  max_attempts : int;  (** Attempts per outage before giving up (>= 1). *)
+  base_delay : float;  (** Delay after the first lost attempt (s). *)
+  multiplier : float;  (** Exponential factor between consecutive delays. *)
+  max_delay : float;  (** Delay ceiling (s). *)
+}
+
+val default : policy
+(** 3 attempts, 60 s first delay, doubling, capped at 600 s. *)
+
+val validate : policy -> policy
+(** Returns the policy; raises [Invalid_argument] on nonsense. *)
+
+val delay_for : policy -> attempt:int -> float
+(** Backoff after failed attempt number [attempt] (counting from 1):
+    [min max_delay (base_delay * multiplier^(attempt-1))]. *)
+
+val exhausted : policy -> attempt:int -> bool
+(** Has attempt number [attempt] used up the budget? *)
+
+val total_delay_bound : policy -> float
+(** Sum of every backoff a pipeline can possibly wait — an upper bound on
+    retry-induced latency before the terminal give-up. *)

@@ -1,0 +1,311 @@
+open Net
+open Workloads
+
+(* Fleet observability: per-run totals recorded at teardown so a trial
+   world's whole story lands in one snapshot (merged across domains by
+   Obs when trials run in parallel). *)
+let m_injected = Obs.Metrics.counter "fleet.outages.injected"
+let m_detected = Obs.Metrics.counter "fleet.outages.detected"
+let m_repaired = Obs.Metrics.counter "fleet.repaired"
+let m_stood_down = Obs.Metrics.counter "fleet.stood_down"
+let m_gave_up = Obs.Metrics.counter "fleet.gave_up"
+let m_poisons = Obs.Metrics.counter "fleet.poisons"
+let m_unpoisons = Obs.Metrics.counter "fleet.unpoisons"
+let m_monitor_pairs = Obs.Metrics.counter "fleet.monitor.pairs"
+let m_monitor_skipped = Obs.Metrics.counter "fleet.monitor.skipped"
+let m_budget_denied = Obs.Metrics.counter "fleet.budget.denied"
+let m_isolation_retries = Obs.Metrics.counter "fleet.isolation.retries"
+let m_vp_crashes = Obs.Metrics.counter "fleet.chaos.vp_crashes"
+
+type config = {
+  ases : int;
+  target_count : int;
+  duration : float;
+  outages_per_day : float;
+  monitor_interval : float;
+  atlas_refresh_interval : float;
+  probe_rate : float;
+  probe_burst : float;
+  per_vp_rate : float;
+  per_vp_burst : float;
+  isolation_cost : int;
+  announce_spacing : float;
+  min_outage_age : float;
+  recheck_interval : float;
+  retry : Retry.policy;
+  chaos : Chaos.config;
+}
+
+let default_config =
+  {
+    ases = 150;
+    target_count = 25;
+    duration = 86400.0;
+    outages_per_day = 12.0;
+    monitor_interval = 30.0;
+    atlas_refresh_interval = 3600.0;
+    probe_rate = 8.0;
+    probe_burst = 400.0;
+    per_vp_rate = infinity;
+    per_vp_burst = infinity;
+    isolation_cost = 35;
+    announce_spacing = 5400.0;
+    min_outage_age = 300.0;
+    recheck_interval = 120.0;
+    retry = Retry.default;
+    chaos = Chaos.none;
+  }
+
+type report = {
+  days : float;
+  injected : int;
+  drawn : int;
+  unplaceable : int;
+  detected : int;
+  repaired : int;
+  stood_down : int;
+  gave_up : int;
+  unfinished : int;
+  poisons : int;
+  unpoisons : int;
+  time_to_repair : float list;
+  monitor_pairs : int;
+  monitor_skipped : int;
+  probes_sent : int;
+  budget_granted : int;
+  budget_denied : int;
+  isolation_retries : int;
+  vp_crashes : int;
+  lost_probes : int;
+  stale_refreshes : int;
+  collector_updates : int;
+  injected_h15 : float;
+  measured_updates_per_day : float;
+  predicted_updates_per_day : float;
+}
+
+(* The terminal give-up reasons the orchestrator emits; everything else
+   stood down benignly (transient resolved before or during handling). *)
+let is_give_up reason =
+  reason = "isolation retry budget exhausted" || reason = "pipeline timeout"
+
+(* Predicted daily update load, per the paper's Table 2 model with i = t
+   = 1 (this deployment handles every outage it detects, toward every
+   target): the anchor is the run's own injected rate of outages >= 15
+   min scaled to the poisonable-direction share (Hubble's H counts
+   poisonable outages only), d is the age an outage must actually reach
+   before the poison goes out — the decision gate plus the detection lag
+   — and each remediated outage costs two announcements (poison +
+   unpoison). *)
+let predict_updates_per_day ~seed ~h15 ~min_outage_age ~monitor_interval =
+  if h15 <= 0.0 then 0.0
+  else begin
+    let durations = Outage_gen.durations ~seed:(seed + 77) ~n:4096 () in
+    let poisonable_direction_share = 0.6 (* 40% reverse + 20% bidirectional *) in
+    let params =
+      {
+        Lifeguard.Load_model.h15_per_day = h15 *. poisonable_direction_share;
+        ih = 1.0;
+        th = 1.0;
+        updates_per_poison = 2.0;
+      }
+    in
+    let detection_lag = 4.0 *. monitor_interval (* the monitor's threshold crossing *) in
+    Lifeguard.Load_model.daily_path_changes params ~durations ~i:1.0 ~t:1.0
+      ~d_minutes:((min_outage_age +. detection_lag) /. 60.0)
+  end
+
+let pick_targets rng mux ~count =
+  let bed = mux.Scenarios.bed in
+  let vps = Asn.Set.of_list bed.Scenarios.vantage_points in
+  let pool =
+    match bed.Scenarios.gen with
+    | Some gen ->
+        List.filter
+          (fun a -> not (Asn.Set.mem a vps) && not (Asn.equal a mux.Scenarios.origin))
+          gen.Topology.Topo_gen.stub_list
+    | None -> []
+  in
+  if pool = [] then invalid_arg "Service: testbed has no stub pool to monitor";
+  let count = min count (List.length pool) in
+  Array.to_list (Prng.sample_without_replacement rng count (Array.of_list pool))
+
+let run ?(config = default_config) ~seed () =
+  let retry = Retry.validate config.retry in
+  let mux =
+    Scenarios.bgpmux ~ases:config.ases ~infrastructure:Scenarios.No_infrastructure ~seed ()
+  in
+  let bed = mux.Scenarios.bed in
+  let engine = bed.Scenarios.engine in
+  let origin = mux.Scenarios.origin in
+  let pick_rng = Prng.create ~seed:(seed + 1013) in
+  let targets = pick_targets pick_rng mux ~count:config.target_count in
+  (* Announce only what the fleet probes: the origin's spaces plus the
+     monitored targets' and vantage points' infrastructure prefixes. *)
+  Dataplane.Forward.announce_infrastructure_for bed.Scenarios.net
+    ((origin :: bed.Scenarios.vantage_points) @ targets);
+  Bgp.Network.run_until_quiet ~timeout:36000.0 bed.Scenarios.net;
+  let atlas = Measurement.Atlas.create () in
+  let responsiveness = Measurement.Responsiveness.create () in
+  let chaos =
+    Chaos.create ~config:config.chaos ~rng:(Prng.create ~seed:(seed + 2027)) ~engine ()
+  in
+  let sched =
+    Budget.scheduler ~per_vp_rate:config.per_vp_rate ~per_vp_burst:config.per_vp_burst
+      ~global:(Budget.create ~rate:config.probe_rate ~burst:config.probe_burst ()) ()
+  in
+  let hooks =
+    {
+      Lifeguard.Orchestrator.probe_gate =
+        Some (fun ~now ~cost -> Budget.admit_vp sched ~vp:origin ~now ~cost);
+      monitor_loss = Some (fun () -> Chaos.lose_probe chaos);
+      isolation_attempt =
+        Some
+          (fun ~target:_ ~attempt:_ ->
+            let now = Sim.Engine.now engine in
+            if not (Budget.admit_vp sched ~vp:origin ~now ~cost:config.isolation_cost) then
+              `Denied
+            else if Chaos.lose_probe chaos then `Lost
+            else `Proceed);
+      vantage_filter = Some (fun vp -> Chaos.vp_alive chaos vp);
+    }
+  in
+  let orch_config =
+    {
+      Lifeguard.Orchestrator.default_config with
+      Lifeguard.Orchestrator.decide =
+        { Lifeguard.Decide.default_config with min_outage_age = config.min_outage_age };
+      recheck_interval = config.recheck_interval;
+      monitor_interval = config.monitor_interval;
+      announce_spacing = config.announce_spacing;
+      max_isolation_attempts = retry.Retry.max_attempts;
+      retry_backoff = retry.Retry.base_delay;
+      backoff_multiplier = retry.Retry.multiplier;
+      max_backoff = retry.Retry.max_delay;
+    }
+  in
+  let orch =
+    Lifeguard.Orchestrator.create ~config:orch_config ~hooks ~env:bed.Scenarios.probe ~atlas
+      ~responsiveness ~plan:mux.Scenarios.plan ~vantage_points:bed.Scenarios.vantage_points ()
+  in
+  (* Let the baseline converge before the clock starts counting. *)
+  Bgp.Network.run_until_quiet ~timeout:36000.0 bed.Scenarios.net;
+  Bgp.Network.Collector.clear mux.Scenarios.collector;
+  let t0 = Sim.Engine.now engine in
+  let horizon = t0 +. config.duration in
+  Lifeguard.Orchestrator.watch orch ~targets;
+  let arrivals = Arrivals.create () in
+  Arrivals.start ~toward_src:Scenarios.sentinel_prefix arrivals
+    ~rng:(Prng.create ~seed:(seed + 3041))
+    ~bed ~src:origin ~targets
+    ~mean_interarrival:(86400.0 /. config.outages_per_day)
+    ~until:horizon ();
+  Chaos.start chaos ~vantage_points:bed.Scenarios.vantage_points ~until:horizon;
+  (* Periodic atlas refreshes keep isolation off the on-demand slow path;
+     the staleness knob makes them silently unreliable. *)
+  ignore
+    (Sim.Engine.every engine ~every:config.atlas_refresh_interval ~until:horizon (fun now ->
+         if not (Chaos.skip_refresh chaos) then
+           Measurement.Atlas.refresh_all atlas bed.Scenarios.probe ~vps:[ origin ]
+             ~dsts:targets ~now;
+         `Continue));
+  Sim.Engine.run ~until:horizon engine;
+  (* Harvest: the event log and per-target outcomes are the run's story. *)
+  let events = Lifeguard.Orchestrator.events orch in
+  let count_events f = List.length (List.filter f events) in
+  let detected =
+    count_events (function _, Lifeguard.Orchestrator.Outage_detected _ -> true | _ -> false)
+  in
+  let poisons =
+    count_events (function _, Lifeguard.Orchestrator.Poison_announced _ -> true | _ -> false)
+  in
+  let unpoisons =
+    count_events (function _, Lifeguard.Orchestrator.Unpoisoned -> true | _ -> false)
+  in
+  let isolation_retries =
+    count_events (function _, Lifeguard.Orchestrator.Isolation_retry _ -> true | _ -> false)
+  in
+  let detections =
+    List.filter_map
+      (function
+        | at, Lifeguard.Orchestrator.Outage_detected { target; _ } -> Some (at, target)
+        | _ -> None)
+      events
+  in
+  let detection_before ~target ~at =
+    List.fold_left
+      (fun acc (dt, dtarget) ->
+        if Asn.equal dtarget target && dt <= at then Some dt else acc)
+      None detections
+  in
+  let outcomes = Lifeguard.Orchestrator.outcomes orch in
+  let repaired = ref 0 and stood_down = ref 0 and gave_up = ref 0 in
+  let ttr = ref [] in
+  List.iter
+    (fun (at, target, outcome) ->
+      match outcome with
+      | Lifeguard.Orchestrator.Repaired ->
+          incr repaired;
+          (match detection_before ~target ~at with
+          | Some dt -> ttr := (at -. dt) :: !ttr
+          | None -> ())
+      | Lifeguard.Orchestrator.Stood_down reason ->
+          if is_give_up reason then incr gave_up else incr stood_down)
+    outcomes;
+  let monitors = Lifeguard.Orchestrator.monitors orch in
+  let monitor_pairs =
+    List.fold_left (fun acc m -> acc + Measurement.Monitor.probe_count m) 0 monitors
+  in
+  let monitor_skipped =
+    List.fold_left (fun acc m -> acc + Measurement.Monitor.skipped_count m) 0 monitors
+  in
+  let days = config.duration /. 86400.0 in
+  let injected_h15 = Arrivals.daily_rate_at_least arrivals ~observed_days:days ~d_minutes:15.0 in
+  let measured_updates_per_day = float_of_int (poisons + unpoisons) /. days in
+  let report =
+    {
+      days;
+      injected = Arrivals.injected_count arrivals;
+      drawn = Arrivals.drawn_count arrivals;
+      unplaceable = Arrivals.unplaceable_count arrivals;
+      detected;
+      repaired = !repaired;
+      stood_down = !stood_down;
+      gave_up = !gave_up;
+      unfinished =
+        Lifeguard.Orchestrator.active_pipelines orch
+        + Lifeguard.Orchestrator.queued_poisons orch
+        + Lifeguard.Orchestrator.awaiting_repair orch;
+      poisons;
+      unpoisons;
+      time_to_repair = List.rev !ttr;
+      monitor_pairs;
+      monitor_skipped;
+      probes_sent = bed.Scenarios.probe.Dataplane.Probe.probes_sent;
+      budget_granted = Budget.scheduler_granted sched;
+      budget_denied = Budget.scheduler_denied sched;
+      isolation_retries;
+      vp_crashes = Chaos.crash_count chaos;
+      lost_probes = Chaos.lost_probe_count chaos;
+      stale_refreshes = Chaos.stale_refresh_count chaos;
+      collector_updates = List.length (Bgp.Network.Collector.log mux.Scenarios.collector);
+      injected_h15;
+      measured_updates_per_day;
+      predicted_updates_per_day =
+        predict_updates_per_day ~seed ~h15:injected_h15 ~min_outage_age:config.min_outage_age
+          ~monitor_interval:config.monitor_interval;
+    }
+  in
+  Obs.Metrics.add m_injected report.injected;
+  Obs.Metrics.add m_detected report.detected;
+  Obs.Metrics.add m_repaired report.repaired;
+  Obs.Metrics.add m_stood_down report.stood_down;
+  Obs.Metrics.add m_gave_up report.gave_up;
+  Obs.Metrics.add m_poisons report.poisons;
+  Obs.Metrics.add m_unpoisons report.unpoisons;
+  Obs.Metrics.add m_monitor_pairs report.monitor_pairs;
+  Obs.Metrics.add m_monitor_skipped report.monitor_skipped;
+  Obs.Metrics.add m_budget_denied report.budget_denied;
+  Obs.Metrics.add m_isolation_retries report.isolation_retries;
+  Obs.Metrics.add m_vp_crashes report.vp_crashes;
+  report

@@ -1,0 +1,75 @@
+(** The continuous LIFEGUARD operations loop: one long-running service
+    simulation over a BGP-Mux-style world.
+
+    Where the batch experiments inject one failure and watch one pipeline,
+    the service runs the paper's system as it would actually be deployed:
+    Poisson outage arrivals over a live topology, per-target reachability
+    monitoring under a global probe budget, concurrent isolation pipelines
+    with bounded retries and exponential backoff, and a remediation queue
+    that paces announcements to stay clear of route-flap damping —
+    optionally under chaos (probe loss, vantage-point crashes, stale path
+    atlases). Everything is seeded, so a day of fleet operations is a pure
+    function of its configuration. *)
+
+type config = {
+  ases : int;  (** Synthetic Internet size (default 150). *)
+  target_count : int;  (** Monitored edge networks (default 25). *)
+  duration : float;  (** Observation window in seconds (default 86400). *)
+  outages_per_day : float;  (** Poisson arrival rate (default 12/day). *)
+  monitor_interval : float;  (** Ping-pair period per target (default 30 s). *)
+  atlas_refresh_interval : float;  (** Path-atlas refresh period (default 3600 s). *)
+  probe_rate : float;  (** Global budget: probe pairs per second (default 4). *)
+  probe_burst : float;  (** Global budget bucket size (default 120). *)
+  per_vp_rate : float;  (** Per-VP cap rate; [infinity] = uncapped (default). *)
+  per_vp_burst : float;  (** Per-VP cap bucket size. *)
+  isolation_cost : int;  (** Budget cost of one isolation attempt (default 35). *)
+  announce_spacing : float;
+      (** Seconds between BGP announcements — the paper's ~90 min damping
+          margin (default 5400). *)
+  min_outage_age : float;  (** Decision age gate (default 300 s). *)
+  recheck_interval : float;  (** Wait/recovery recheck period (default 120 s). *)
+  retry : Retry.policy;  (** Isolation retry/backoff policy. *)
+  chaos : Chaos.config;  (** Chaos knobs (default {!Chaos.none}). *)
+}
+
+val default_config : config
+
+(** Everything a day of operations produced. *)
+type report = {
+  days : float;
+  injected : int;  (** Ground-truth failures injected. *)
+  drawn : int;  (** Poisson arrivals drawn (incl. unplaceable). *)
+  unplaceable : int;
+  detected : int;  (** Monitor threshold crossings handed to pipelines. *)
+  repaired : int;  (** Outages ending in sentinel-confirmed repair + unpoison. *)
+  stood_down : int;  (** Resolved before or instead of poisoning. *)
+  gave_up : int;  (** Terminal failures: retry budget or pipeline timeout. *)
+  unfinished : int;
+      (** Still open at the horizon: running pipelines, queued poisons,
+          and targets attached to a standing poison awaiting repair. *)
+  poisons : int;
+  unpoisons : int;
+  time_to_repair : float list;
+      (** Detection-to-repair latency per repaired outage, in order of
+          repair (s). *)
+  monitor_pairs : int;  (** Ping pairs the monitors sent. *)
+  monitor_skipped : int;  (** Monitor rounds the budget refused. *)
+  probes_sent : int;  (** All data-plane probes (incl. isolation). *)
+  budget_granted : int;
+  budget_denied : int;
+  isolation_retries : int;
+  vp_crashes : int;
+  lost_probes : int;
+  stale_refreshes : int;
+  collector_updates : int;  (** Route-collector records during the window. *)
+  injected_h15 : float;  (** Injected outages/day lasting >= 15 min. *)
+  measured_updates_per_day : float;  (** (poisons + unpoisons) / days. *)
+  predicted_updates_per_day : float;
+      (** Table 2 model anchored at [injected_h15] (i = 1, t = the
+          poisonable direction share, d = the age gate, two updates per
+          remediated outage). *)
+}
+
+val run : ?config:config -> seed:int -> unit -> report
+(** Build the world, run the service for [config.duration] simulated
+    seconds, and account for everything. Deterministic in [(config, seed)]. *)

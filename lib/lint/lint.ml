@@ -101,7 +101,7 @@ let usage =
    Static analysis for domain-safety, determinism and hot-path hygiene.\n\
    Default directories: lib bin bench examples."
 
-let main argv =
+let main ?(out = Format.std_formatter) argv =
   let check = ref false in
   let update = ref false in
   let json = ref false in
@@ -129,10 +129,12 @@ let main argv =
       prerr_string msg;
       2
   | exception Arg.Help msg ->
-      print_string msg;
+      Format.pp_print_string out msg;
+      Format.pp_print_flush out ();
       0
   | exception Exit ->
-      List.iter (fun r -> Printf.printf "%-16s %s\n" (Rule.id r) (Rule.describe r)) Rule.all;
+      List.iter (fun r -> Format.fprintf out "%-16s %s\n" (Rule.id r) (Rule.describe r)) Rule.all;
+      Format.pp_print_flush out ();
       0
   | () ->
       let dirs = if !dirs = [] then default_dirs else List.rev !dirs in
@@ -144,7 +146,7 @@ let main argv =
         if r.errors <> [] then 2
         else if !update then begin
           Baseline.save !baseline_path (Baseline.of_violations r.violations);
-          Printf.printf "lifeguard-lint: wrote %s (%d grandfathered violations)\n"
+          Format.fprintf out "lifeguard-lint: wrote %s (%d grandfathered violations)@."
             !baseline_path (List.length r.violations);
           0
         end

@@ -29,5 +29,8 @@ val run_check : oc:out_channel -> baseline_path:string -> report -> int
     staleness notes; return the process exit code (0 clean, 1 fresh
     violations, 2 unreadable baseline). *)
 
-val main : string array -> int
-(** The CLI ([bin/lifeguard_lint]): returns the exit code. *)
+val main : ?out:Format.formatter -> string array -> int
+(** The CLI ([bin/lifeguard_lint]): returns the exit code. Informational
+    output (help, rule listing, baseline-write confirmation) goes to
+    [out] (default [Format.std_formatter]); reports go to stdout/stderr
+    as before. *)

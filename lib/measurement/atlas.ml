@@ -14,10 +14,13 @@ type pair_state = {
   mutable reverse : snapshot list;
 }
 
-type t = { pairs : (int * int, pair_state) Hashtbl.t; mutable snapshots : int }
+type t = { pairs : (int, pair_state) Hashtbl.t; mutable snapshots : int }
 
 let create () = { pairs = Hashtbl.create 256; snapshots = 0 }
-let key ~vp ~dst = (Asn.to_int vp, Asn.to_int dst)
+
+(* Pack the (vp, dst) ASN pair into one immediate int key: ASNs fit in
+   31 bits, so the pair fits a 63-bit OCaml int without collision. *)
+let key ~vp ~dst = (Asn.to_int vp lsl 31) lor Asn.to_int dst
 
 let state t ~vp ~dst =
   let k = key ~vp ~dst in

@@ -29,21 +29,30 @@ type t = {
   on_recovery : outage -> unit;
   responsiveness : Responsiveness.t option;
   src_ip : Ipv4.t option;
+  gate : (now:float -> cost:int -> bool) option;
+  loss : (unit -> bool) option;
   vp : Asn.t;
   targets : target_state list;
   mutable stopped : bool;
   mutable history : outage list;  (** newest first *)
   mutable pairs_sent : int;
+  mutable pairs_skipped : int;
 }
 
 let probe_target t state now =
   t.pairs_sent <- t.pairs_sent + 1;
   (* A "pair" of pings: in the simulator both probes of a pair see the
      same network state, so one delivery check decides the pair. *)
-  let ok =
+  let delivered =
     match t.src_ip with
     | Some src_ip -> Dataplane.Probe.ping_from t.env ~src:t.vp ~src_ip ~dst:state.address
     | None -> Dataplane.Probe.ping t.env ~src:t.vp ~dst:state.address
+  in
+  (* Chaos hook: a lost pair looks exactly like an unreachable target —
+     the failure-counting logic below cannot tell the difference, which
+     is the point. *)
+  let ok =
+    delivered && (match t.loss with Some lost -> not (lost ()) | None -> true)
   in
   (match t.responsiveness with
   | Some db -> Responsiveness.note db state.address ~now ok
@@ -60,7 +69,7 @@ let probe_target t state now =
   else begin
     if state.consecutive_failures = 0 then state.first_failure_at <- now;
     state.consecutive_failures <- state.consecutive_failures + 1;
-    if state.consecutive_failures = t.fail_threshold && state.current = None then begin
+    if state.consecutive_failures = t.fail_threshold && Option.is_none state.current then begin
       let o =
         {
           vp = t.vp;
@@ -77,7 +86,7 @@ let probe_target t state now =
   end
 
 let create ~env ~engine ?(interval = 30.0) ?(fail_threshold = 4) ?(on_outage = ignore)
-    ?(on_recovery = ignore) ?responsiveness ?src_ip ~vp ~targets () =
+    ?(on_recovery = ignore) ?responsiveness ?src_ip ?gate ?loss ~vp ~targets () =
   if interval <= 0.0 then invalid_arg "Monitor.create: interval must be positive";
   if fail_threshold < 1 then invalid_arg "Monitor.create: threshold must be >= 1";
   let t =
@@ -90,6 +99,8 @@ let create ~env ~engine ?(interval = 30.0) ?(fail_threshold = 4) ?(on_outage = i
       on_recovery;
       responsiveness;
       src_ip;
+      gate;
+      loss;
       vp;
       targets =
         List.map
@@ -99,17 +110,29 @@ let create ~env ~engine ?(interval = 30.0) ?(fail_threshold = 4) ?(on_outage = i
       stopped = false;
       history = [];
       pairs_sent = 0;
+      pairs_skipped = 0;
     }
   in
   Sim.Engine.schedule_every engine ~every:interval (fun now ->
       if t.stopped then `Stop
       else begin
-        List.iter (fun state -> probe_target t state now) t.targets;
+        List.iter
+          (fun state ->
+            (* Budget gate: a denied round is skipped outright — no probe,
+               no state change — so budget pressure slows detection rather
+               than fabricating failures. *)
+            let granted =
+              match t.gate with Some admit -> admit ~now ~cost:1 | None -> true
+            in
+            if granted then probe_target t state now
+            else t.pairs_skipped <- t.pairs_skipped + 1)
+          t.targets;
         `Continue
       end);
   t
 
 let stop t = t.stopped <- true
 let outages t = List.rev t.history
-let open_outages t = List.filter (fun o -> o.ended_at = None) (outages t)
+let open_outages t = List.filter (fun o -> Option.is_none o.ended_at) (outages t)
 let probe_count t = t.pairs_sent
+let skipped_count t = t.pairs_skipped

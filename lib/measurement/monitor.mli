@@ -33,6 +33,8 @@ val create :
   ?on_recovery:(outage -> unit) ->
   ?responsiveness:Responsiveness.t ->
   ?src_ip:Ipv4.t ->
+  ?gate:(now:float -> cost:int -> bool) ->
+  ?loss:(unit -> bool) ->
   vp:Asn.t ->
   targets:Ipv4.t list ->
   unit ->
@@ -42,7 +44,13 @@ val create :
     consecutive failed pairs trigger [on_outage]. Probe results are noted
     in [responsiveness] when provided. [src_ip] overrides the address
     replies are sent to (a LIFEGUARD origin monitors from inside its
-    production prefix). *)
+    production prefix).
+
+    [gate] is consulted once per target per round with [cost:1] (one ping
+    pair); when it refuses, the round is skipped for that target — no
+    probe, no failure-count change (see {!skipped_count}). [loss] is a
+    chaos hook sampled once per sent pair; returning [true] makes the
+    pair count as failed even if the network delivered it. *)
 
 val stop : t -> unit
 (** Cease probing at the next tick. *)
@@ -53,3 +61,6 @@ val outages : t -> outage list
 val open_outages : t -> outage list
 val probe_count : t -> int
 (** Ping pairs sent so far. *)
+
+val skipped_count : t -> int
+(** Target rounds skipped because the budget [gate] refused them. *)

@@ -4,13 +4,17 @@ open Topology
 type record = { mutable successes : int; mutable failures : int; mutable last : float }
 
 type t = {
-  silent : (int32, unit) Hashtbl.t;
-  history : (int32, record) Hashtbl.t;
+  silent : (int, unit) Hashtbl.t;
+  history : (int, record) Hashtbl.t;
   mutable observations : int;
 }
 
+(* Addresses are keyed as immediate ints, not boxed int32s, so lookups on
+   the probe path stay allocation-free. *)
+let address_key ip = Int32.to_int (Ipv4.to_int32 ip)
+
 let create () = { silent = Hashtbl.create 64; history = Hashtbl.create 256; observations = 0 }
-let configure_silent t ip = Hashtbl.replace t.silent (Ipv4.to_int32 ip) ()
+let configure_silent t ip = Hashtbl.replace t.silent (address_key ip) ()
 
 let configure_silent_fraction t rng graph ~fraction =
   List.iter
@@ -21,11 +25,11 @@ let configure_silent_fraction t rng graph ~fraction =
         (As_graph.routers graph asn))
     (As_graph.as_list graph)
 
-let is_silent t ip = Hashtbl.mem t.silent (Ipv4.to_int32 ip)
+let is_silent t ip = Hashtbl.mem t.silent (address_key ip)
 
 let note t ip ~now success =
   t.observations <- t.observations + 1;
-  let key = Ipv4.to_int32 ip in
+  let key = address_key ip in
   let r =
     match Hashtbl.find_opt t.history key with
     | Some r -> r
@@ -38,14 +42,14 @@ let note t ip ~now success =
   r.last <- now
 
 let ever_responded t ip =
-  match Hashtbl.find_opt t.history (Ipv4.to_int32 ip) with
+  match Hashtbl.find_opt t.history (address_key ip) with
   | Some r -> r.successes > 0
   | None -> false
 
 let expect_response t ip =
   if is_silent t ip then false
   else begin
-    match Hashtbl.find_opt t.history (Ipv4.to_int32 ip) with
+    match Hashtbl.find_opt t.history (address_key ip) with
     | Some r -> r.successes > 0
     | None -> true
   end

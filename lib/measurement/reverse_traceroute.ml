@@ -30,12 +30,14 @@ type t = {
 let create ?(config = default_config) ~env ~vantage_points () =
   { config; env; vantage_points }
 
-(* Option support is a stable property of a router: derive it from a hash
-   of its address so measurements are reproducible. *)
+(* Option support is a stable property of a router: derive it from an
+   explicit integer mix of its address so measurements are reproducible
+   and cannot drift with the runtime's generic [Hashtbl.hash]. *)
 let support_hash t asn salt =
   let address = Dataplane.Forward.probe_address t.env.Dataplane.Probe.net asn in
-  let h = Hashtbl.hash (Ipv4.to_int32 address, salt) land 0xFFFF in
-  float_of_int h /. 65536.0
+  let z = (Int32.to_int (Ipv4.to_int32 address) * 0x9E3779B1) lxor (salt * 0x85EBCA6B) in
+  let z = z lxor (z lsr 16) in
+  float_of_int (z land 0xFFFF) /. 65536.0
 
 let supports_rr t asn = support_hash t asn 0x5252 < t.config.rr_support
 let supports_ts t asn = support_hash t asn 0x5453 < t.config.ts_support

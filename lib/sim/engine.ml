@@ -105,6 +105,25 @@ let schedule_every t ~every ?until f =
   in
   schedule_after t ~delay:every tick
 
+(* Cancellable timers: the heap has no random-access removal, so a timer
+   is a shared flag the wrapped action checks at fire time. A cancelled
+   one-shot fires as a no-op; a cancelled recurring timer stops
+   rescheduling at its next tick. *)
+type timer = { mutable cancelled : bool }
+
+let after t ~delay action =
+  let tm = { cancelled = false } in
+  schedule_after t ~delay (fun () -> if not tm.cancelled then action ());
+  tm
+
+let every t ~every ?until f =
+  let tm = { cancelled = false } in
+  schedule_every t ~every ?until (fun now -> if tm.cancelled then `Stop else f now);
+  tm
+
+let cancel tm = tm.cancelled <- true
+let active tm = not tm.cancelled
+
 let step t =
   match pop t with
   | None -> false

@@ -34,6 +34,31 @@ val schedule_every :
     [every], then repeatedly every [every] seconds while it returns
     [`Continue] (and, if [until] is given, while the clock is before it). *)
 
+(** {2 Cancellable timers}
+
+    The fleet service arms per-target timeouts and retry backoffs that it
+    must be able to disarm when the pipeline reaches a terminal state
+    first. Timers are cancellation flags checked at fire time: the event
+    stays in the heap but does nothing (one-shot) or stops rescheduling
+    (recurring). *)
+
+type timer
+
+val after : t -> delay:float -> (unit -> unit) -> timer
+(** Like {!schedule_after}, but returns a handle that {!cancel} disarms. *)
+
+val every :
+  t -> every:float -> ?until:float -> (float -> [ `Continue | `Stop ]) -> timer
+(** Like {!schedule_every}, but returns a handle that {!cancel} stops at
+    the next tick. *)
+
+val cancel : timer -> unit
+(** Disarm a timer; idempotent. A cancelled one-shot never runs its
+    action; a cancelled recurring timer stops rescheduling. *)
+
+val active : timer -> bool
+(** [true] until {!cancel} is called. *)
+
 val run : ?until:float -> t -> unit
 (** Execute events in order until the queue empties, or until the clock
     would pass [until] (remaining events stay queued and the clock is left

@@ -34,9 +34,9 @@ let render t =
   List.iter (fun row -> Buffer.add_string buf (render_row row ^ "\n")) rows;
   Buffer.contents buf
 
-let print t =
-  print_string (render t);
-  print_newline ()
+let print ?(out = Format.std_formatter) t =
+  Format.pp_print_string out (render t);
+  Format.pp_print_newline out ()
 
 let cell_float ?(decimals = 2) x = Printf.sprintf "%.*f" decimals x
 let cell_pct ?(decimals = 1) x = Printf.sprintf "%.*f%%" decimals (100.0 *. x)

@@ -18,8 +18,9 @@ val add_rows : t -> string list list -> unit
 val render : t -> string
 (** Render with a title, a header, a separator and aligned columns. *)
 
-val print : t -> unit
-(** [render] to stdout followed by a blank line. *)
+val print : ?out:Format.formatter -> t -> unit
+(** [render] to [out] (default [Format.std_formatter]) followed by a
+    blank line. *)
 
 val cell_float : ?decimals:int -> float -> string
 (** Format a float cell ([decimals] defaults to 2). *)

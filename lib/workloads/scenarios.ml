@@ -266,8 +266,12 @@ module Placement = struct
     | [] | [ _ ] | [ _; _ ] -> []
     | _ :: interior -> List.filteri (fun i _ -> i < List.length interior - 1) interior
 
-  let on_path rng bed ~src ~dst ~shape =
-    let toward_src = Dataplane.Forward.infrastructure_prefix src in
+  let on_path rng bed ?toward_src ~src ~dst ~shape () =
+    let toward_src =
+      match toward_src with
+      | Some prefix -> prefix
+      | None -> Dataplane.Forward.infrastructure_prefix src
+    in
     let toward_dst = Dataplane.Forward.infrastructure_prefix dst in
     let direction = shape.Outage_gen.direction in
     let hops =

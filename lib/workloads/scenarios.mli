@@ -145,14 +145,18 @@ module Placement : sig
   val on_path :
     Prng.t ->
     testbed ->
+    ?toward_src:Prefix.t ->
     src:Asn.t ->
     dst:Asn.t ->
     shape:Outage_gen.shape ->
+    unit ->
     placed option
   (** Choose a transit AS (or inter-AS link) on the current data-plane
       path matching [shape]: reverse failures sit on the [dst -> src]
       path and are scoped toward [src]'s infrastructure prefix, forward
       failures on the [src -> dst] path toward [dst]'s, bidirectional
-      failures are unscoped. Returns [None] when the path has no transit
-      hops to break. *)
+      failures are unscoped. [toward_src] overrides the reverse scope — a
+      LIFEGUARD origin passes its sentinel prefix so reverse failures hit
+      the whole announced space, monitors included. Returns [None] when
+      the path has no transit hops to break. *)
 end

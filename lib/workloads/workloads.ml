@@ -1,6 +1,8 @@
 (** Workload generation: outage datasets calibrated to the paper's EC2
     measurements and scenario builders standing in for its testbeds
-    (PlanetLab mesh, BGP-Mux deployment, the §6 case study). *)
+    (PlanetLab mesh, BGP-Mux deployment, the §6 case study), plus the
+    continuous Poisson arrival process the fleet service runs on. *)
 
 module Outage_gen = Outage_gen
+module Arrivals = Arrivals
 module Scenarios = Scenarios

@@ -1,0 +1,199 @@
+(* The fleet layer: probe budgets, retry policies, chaos knobs, and the
+   continuous service loop end to end. *)
+
+open Net
+
+(* ------------------------------------------------------------------ *)
+(* Token buckets. *)
+
+let test_budget_bucket () =
+  let b = Fleet.Budget.create ~rate:2.0 ~burst:10.0 () in
+  (* Starts full: 10 tokens. *)
+  Alcotest.(check bool) "full bucket admits" true (Fleet.Budget.admit b ~now:0.0 ~cost:10);
+  Alcotest.(check bool) "empty bucket refuses" false (Fleet.Budget.admit b ~now:0.0 ~cost:1);
+  (* Refusal consumes nothing; 3 s at 2/s refills 6. *)
+  Alcotest.(check bool) "refill admits" true (Fleet.Budget.admit b ~now:3.0 ~cost:6);
+  Alcotest.(check bool) "but no more" false (Fleet.Budget.admit b ~now:3.0 ~cost:1);
+  (* The bucket never overflows [burst]. *)
+  Alcotest.(check bool) "capped at burst" false (Fleet.Budget.admit b ~now:1000.0 ~cost:11);
+  Alcotest.(check bool) "burst itself fits" true (Fleet.Budget.admit b ~now:1000.0 ~cost:10);
+  Alcotest.(check int) "granted accounting" 26 (Fleet.Budget.granted b);
+  Alcotest.(check int) "denied accounting" 13 (Fleet.Budget.denied b)
+
+let test_budget_scheduler () =
+  let global = Fleet.Budget.create ~rate:1.0 ~burst:100.0 () in
+  let s = Fleet.Budget.scheduler ~per_vp_rate:1.0 ~per_vp_burst:5.0 ~global () in
+  let vp1 = Asn.of_int 101 and vp2 = Asn.of_int 102 in
+  Alcotest.(check bool) "vp1 within cap" true (Fleet.Budget.admit_vp s ~vp:vp1 ~now:0.0 ~cost:5);
+  Alcotest.(check bool) "vp1 over cap" false (Fleet.Budget.admit_vp s ~vp:vp1 ~now:0.0 ~cost:1);
+  (* Per-VP refusal must not drain the global bucket. *)
+  Alcotest.(check bool) "vp2 unaffected" true (Fleet.Budget.admit_vp s ~vp:vp2 ~now:0.0 ~cost:5);
+  Alcotest.(check int) "global spent only admitted cost" 10 (Fleet.Budget.granted global)
+
+let test_budget_validation () =
+  let raises f = Alcotest.(check bool) "rejects" true (try ignore (f ()); false with Invalid_argument _ -> true) in
+  raises (fun () -> Fleet.Budget.create ~rate:(-1.0) ~burst:10.0 ());
+  raises (fun () -> Fleet.Budget.create ~rate:1.0 ~burst:0.0 ())
+
+(* ------------------------------------------------------------------ *)
+(* Retry policy. *)
+
+let test_retry_policy () =
+  let p = { Fleet.Retry.max_attempts = 4; base_delay = 60.0; multiplier = 2.0; max_delay = 200.0 } in
+  Alcotest.(check (float 0.001)) "first delay" 60.0 (Fleet.Retry.delay_for p ~attempt:1);
+  Alcotest.(check (float 0.001)) "doubles" 120.0 (Fleet.Retry.delay_for p ~attempt:2);
+  Alcotest.(check (float 0.001)) "capped" 200.0 (Fleet.Retry.delay_for p ~attempt:3);
+  Alcotest.(check bool) "not exhausted early" false (Fleet.Retry.exhausted p ~attempt:3);
+  Alcotest.(check bool) "exhausted at budget" true (Fleet.Retry.exhausted p ~attempt:4);
+  Alcotest.(check (float 0.001)) "total bound" (60.0 +. 120.0 +. 200.0)
+    (Fleet.Retry.total_delay_bound p);
+  let raises f = Alcotest.(check bool) "rejects" true (try ignore (f ()); false with Invalid_argument _ -> true) in
+  raises (fun () -> Fleet.Retry.validate { p with Fleet.Retry.max_attempts = 0 });
+  raises (fun () -> Fleet.Retry.validate { p with Fleet.Retry.multiplier = 0.5 })
+
+(* ------------------------------------------------------------------ *)
+(* Chaos. *)
+
+let test_chaos_determinism () =
+  let sample seed =
+    let engine = Sim.Engine.create () in
+    let chaos =
+      Fleet.Chaos.create
+        ~config:{ Fleet.Chaos.none with Fleet.Chaos.probe_loss = 0.3; atlas_staleness = 0.5 }
+        ~rng:(Prng.create ~seed) ~engine ()
+    in
+    List.init 64 (fun _ -> Fleet.Chaos.lose_probe chaos)
+  in
+  Alcotest.(check (list bool)) "same seed, same coins" (sample 7) (sample 7);
+  let losses = List.length (List.filter Fun.id (sample 7)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss rate plausible (got %d/64)" losses)
+    true
+    (losses > 8 && losses < 32)
+
+let test_chaos_vp_crashes () =
+  let engine = Sim.Engine.create () in
+  let chaos =
+    Fleet.Chaos.create
+      ~config:{ Fleet.Chaos.none with Fleet.Chaos.vp_mtbf = 600.0; vp_mttr = 300.0 }
+      ~rng:(Prng.create ~seed:11) ~engine ()
+  in
+  let vp = Asn.of_int 77 in
+  Fleet.Chaos.start chaos ~vantage_points:[ vp ] ~until:86400.0;
+  Alcotest.(check bool) "alive initially" true (Fleet.Chaos.vp_alive chaos vp);
+  (* Over a day with a 10-minute MTBF the VP must crash many times, and
+     every crash must eventually recover (alive at the horizon whenever
+     the last sampled downtime has elapsed). *)
+  Sim.Engine.run ~until:86400.0 engine;
+  Alcotest.(check bool)
+    (Printf.sprintf "many crashes (got %d)" (Fleet.Chaos.crash_count chaos))
+    true
+    (Fleet.Chaos.crash_count chaos > 20);
+  Sim.Engine.run ~until:172800.0 engine;
+  Alcotest.(check bool) "recovered once the process stops" true (Fleet.Chaos.vp_alive chaos vp)
+
+let test_chaos_validation () =
+  let raises f = Alcotest.(check bool) "rejects" true (try ignore (f ()); false with Invalid_argument _ -> true) in
+  raises (fun () -> Fleet.Chaos.validate { Fleet.Chaos.none with Fleet.Chaos.probe_loss = 1.5 });
+  raises (fun () -> Fleet.Chaos.validate { Fleet.Chaos.none with Fleet.Chaos.vp_mtbf = -1.0 })
+
+(* ------------------------------------------------------------------ *)
+(* The service loop. *)
+
+(* Small worlds keep the suite fast: 10 targets, a quarter-day window,
+   arrivals brisk enough that pipelines actually open. *)
+let small_config =
+  {
+    Fleet.Service.default_config with
+    Fleet.Service.target_count = 10;
+    duration = 21600.0;
+    outages_per_day = 48.0;
+  }
+
+let test_service_deterministic () =
+  let a = Fleet.Service.run ~config:small_config ~seed:5 () in
+  let b = Fleet.Service.run ~config:small_config ~seed:5 () in
+  Alcotest.(check int) "same injected" a.Fleet.Service.injected b.Fleet.Service.injected;
+  Alcotest.(check int) "same detected" a.Fleet.Service.detected b.Fleet.Service.detected;
+  Alcotest.(check int) "same probes" a.Fleet.Service.probes_sent b.Fleet.Service.probes_sent;
+  Alcotest.(check int) "same poisons" a.Fleet.Service.poisons b.Fleet.Service.poisons;
+  Alcotest.(check bool) "something happened" true (a.Fleet.Service.detected > 0)
+
+let test_service_accounting () =
+  let r = Fleet.Service.run ~config:small_config ~seed:5 () in
+  let open Fleet.Service in
+  Alcotest.(check int) "every pipeline accounted for" r.detected
+    (r.repaired + r.stood_down + r.gave_up + r.unfinished);
+  Alcotest.(check int) "each repair has a latency" r.repaired (List.length r.time_to_repair);
+  List.iter
+    (fun ttr -> Alcotest.(check bool) "repair latency positive" true (ttr > 0.0))
+    r.time_to_repair;
+  Alcotest.(check bool) "unpoisons never exceed poisons" true (r.unpoisons <= r.poisons);
+  Alcotest.(check bool) "budget was consulted" true (r.budget_granted > 0)
+
+let test_service_chaos_terminates () =
+  (* The acceptance bar: with 20% probe loss every opened pipeline still
+     reaches a terminal state within the retry budget — nothing wedges.
+     Arrivals that open near the horizon are the only open pipelines
+     allowed, and the window ends with a quiet tail longer than the
+     retry bound, so here [unfinished] must be zero. *)
+  let config =
+    {
+      small_config with
+      Fleet.Service.chaos = { Fleet.Chaos.none with Fleet.Chaos.probe_loss = 0.2 };
+    }
+  in
+  let r = Fleet.Service.run ~config ~seed:9 () in
+  let open Fleet.Service in
+  Alcotest.(check bool) "pipelines opened" true (r.detected > 0);
+  Alcotest.(check bool) "chaos actually bit" true (r.lost_probes > 0);
+  Alcotest.(check int) "all pipelines terminal" r.detected
+    (r.repaired + r.stood_down + r.gave_up + r.unfinished);
+  Alcotest.(check bool)
+    (Printf.sprintf "only horizon-adjacent pipelines open (got %d)" r.unfinished)
+    true
+    (r.unfinished <= 2)
+
+(* ------------------------------------------------------------------ *)
+(* The fleet study: jobs-invariance is the whole point of sharding. *)
+
+let render_study ~jobs =
+  let config = { small_config with Fleet.Service.duration = 10800.0 } in
+  let r = Experiments.Fleet_study.run ~config ~targets:20 ~jobs ~seed:3 () in
+  String.concat "\n" (List.map Stats.Table.render (Experiments.Fleet_study.to_tables r))
+
+let test_study_jobs_invariant () =
+  let t1 = render_study ~jobs:1 in
+  let t2 = render_study ~jobs:2 in
+  let t4 = render_study ~jobs:4 in
+  Alcotest.(check string) "jobs 1 = jobs 2" t1 t2;
+  Alcotest.(check string) "jobs 1 = jobs 4" t1 t4
+
+let test_study_merge () =
+  let config = { small_config with Fleet.Service.duration = 10800.0 } in
+  let merged = Experiments.Fleet_study.run ~config ~targets:20 ~jobs:1 ~seed:3 () in
+  Alcotest.(check int) "two worlds" 2 merged.Experiments.Fleet_study.shards;
+  let w0 = Fleet.Service.run ~config ~seed:3 () in
+  let w1 = Fleet.Service.run ~config ~seed:4 () in
+  Alcotest.(check int) "injected sums across worlds"
+    (w0.Fleet.Service.injected + w1.Fleet.Service.injected)
+    merged.Experiments.Fleet_study.injected;
+  Alcotest.(check int) "poisons sum across worlds"
+    (w0.Fleet.Service.poisons + w1.Fleet.Service.poisons)
+    merged.Experiments.Fleet_study.poisons
+
+let suite =
+  [
+    Alcotest.test_case "budget: token bucket" `Quick test_budget_bucket;
+    Alcotest.test_case "budget: per-VP scheduler" `Quick test_budget_scheduler;
+    Alcotest.test_case "budget: validation" `Quick test_budget_validation;
+    Alcotest.test_case "retry: backoff policy" `Quick test_retry_policy;
+    Alcotest.test_case "chaos: deterministic coins" `Quick test_chaos_determinism;
+    Alcotest.test_case "chaos: VP crash/recover" `Quick test_chaos_vp_crashes;
+    Alcotest.test_case "chaos: validation" `Quick test_chaos_validation;
+    Alcotest.test_case "service: deterministic" `Quick test_service_deterministic;
+    Alcotest.test_case "service: pipeline accounting" `Quick test_service_accounting;
+    Alcotest.test_case "service: terminates under chaos" `Quick test_service_chaos_terminates;
+    Alcotest.test_case "study: byte-identical across jobs" `Quick test_study_jobs_invariant;
+    Alcotest.test_case "study: worlds merge by summation" `Quick test_study_merge;
+  ]

@@ -258,6 +258,90 @@ let test_orchestrator_end_to_end () =
     (has (function Lifeguard.Orchestrator.Unpoisoned -> true | _ -> false));
   ignore (addr w e)
 
+(* Two overlapping outages on disjoint prefixes: one reverse failure at A
+   breaks both monitored targets at once. E (dual-homed) gets the poison;
+   F (captive behind A, invisible to the vantage points valley-free) runs
+   its own concurrent pipeline and stands down as unreachable. The
+   unpoison is paced: even though the sentinel sees the repair early, the
+   withdrawal waits out [announce_spacing] from the poison announcement. *)
+let test_orchestrator_reentrancy () =
+  let w = fig2_world () in
+  announce_all_infrastructure w;
+  let plan = Lifeguard.Remediate.plan ~sentinel ~origin:o ~production () in
+  let atlas = Measurement.Atlas.create () in
+  let responsiveness = Measurement.Responsiveness.create () in
+  let config =
+    {
+      Lifeguard.Orchestrator.default_config with
+      Lifeguard.Orchestrator.decide =
+        { Lifeguard.Decide.default_config with Lifeguard.Decide.min_outage_age = 200.0 };
+      announce_spacing = 3600.0;
+    }
+  in
+  let orc =
+    Lifeguard.Orchestrator.create ~config ~env:w.probe ~atlas ~responsiveness ~plan
+      ~vantage_points:[ d; c ] ()
+  in
+  converge w;
+  Lifeguard.Orchestrator.watch orc ~targets:[ e; f ];
+  Sim.Engine.run ~until:600.0 w.engine;
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  (* Shortly after detection both targets must be mid-pipeline at once. *)
+  Sim.Engine.run ~until:730.0 w.engine;
+  Alcotest.(check int) "two concurrent pipelines" 2
+    (Lifeguard.Orchestrator.active_pipelines orc);
+  Sim.Engine.run ~until:2000.0 w.engine;
+  (match Lifeguard.Orchestrator.state orc with
+  | Lifeguard.Orchestrator.Poisoned target ->
+      Alcotest.(check int) "poisoned A" 30 (Asn.to_int target)
+  | _ -> Alcotest.fail "expected poisoned state");
+  let events () = Lifeguard.Orchestrator.events orc in
+  let count f = List.length (List.filter (fun (_, ev) -> f ev) (events ())) in
+  Alcotest.(check int) "both targets detected" 2
+    (count (function Lifeguard.Orchestrator.Outage_detected _ -> true | _ -> false));
+  Alcotest.(check int) "one poison for the shared prefix" 1
+    (count (function Lifeguard.Orchestrator.Poison_announced _ -> true | _ -> false));
+  (* Heal. The sentinel sees the repair quickly, but the withdrawal must
+     wait out the damping margin from the poison announcement. *)
+  Dataplane.Failure.remove w.failures reverse_failure_spec;
+  Sim.Engine.run ~until:4000.0 w.engine;
+  Alcotest.(check int) "repair seen" 1
+    (count (function Lifeguard.Orchestrator.Recovery_detected _ -> true | _ -> false));
+  Alcotest.(check int) "unpoison still paced" 0
+    (count (function Lifeguard.Orchestrator.Unpoisoned -> true | _ -> false));
+  Sim.Engine.run ~until:7200.0 w.engine;
+  Alcotest.(check int) "unpoisoned after the spacing" 1
+    (count (function Lifeguard.Orchestrator.Unpoisoned -> true | _ -> false));
+  Alcotest.(check bool) "idle again" true
+    (Lifeguard.Orchestrator.state orc = Lifeguard.Orchestrator.Idle);
+  Alcotest.(check int) "no pipelines left" 0 (Lifeguard.Orchestrator.active_pipelines orc);
+  (* Pacing is measurable in the log: poison -> unpoison >= spacing. *)
+  let time_of f =
+    match List.find_opt (fun (_, ev) -> f ev) (events ()) with
+    | Some (ts, _) -> ts
+    | None -> Alcotest.fail "expected event"
+  in
+  let poison_at =
+    time_of (function Lifeguard.Orchestrator.Poison_announced _ -> true | _ -> false)
+  in
+  let unpoison_at = time_of (function Lifeguard.Orchestrator.Unpoisoned -> true | _ -> false) in
+  Alcotest.(check bool) "damping margin respected" true (unpoison_at -. poison_at >= 3600.0);
+  (* Terminal accounting: E repaired, F stood down (captive behind A). *)
+  let outcomes = Lifeguard.Orchestrator.outcomes orc in
+  let outcome_of target =
+    List.find_map
+      (fun (_, t', oc) -> if Asn.equal t' target then Some oc else None)
+      outcomes
+  in
+  (match outcome_of e with
+  | Some Lifeguard.Orchestrator.Repaired -> ()
+  | _ -> Alcotest.fail "expected E repaired");
+  (match outcome_of f with
+  | Some (Lifeguard.Orchestrator.Stood_down _) -> ()
+  | _ -> Alcotest.fail "expected F stood down");
+  check_path "E back on the short path" [ 30; 20; 10; 10; 10 ]
+    (path_of_best (Bgp.Network.best_route w.net e production))
+
 let suite =
   [
     Alcotest.test_case "isolation: reverse failure" `Quick test_isolation_reverse_failure;
@@ -273,6 +357,8 @@ let suite =
     Alcotest.test_case "selective poison remediation" `Quick test_selective_poison_remediation;
     Alcotest.test_case "recovery detection" `Quick test_is_recovered;
     Alcotest.test_case "load model" `Quick test_load_model;
+    Alcotest.test_case "orchestrator re-entrancy + paced unpoison" `Quick
+      test_orchestrator_reentrancy;
     Alcotest.test_case "residual durations" `Quick test_residual;
     Alcotest.test_case "orchestrator end-to-end" `Quick test_orchestrator_end_to_end;
   ]

@@ -12,6 +12,7 @@ let () =
       ("measurement", Test_measurement.suite);
       ("lifeguard", Test_lifeguard.suite);
       ("workloads", Test_workloads.suite);
+      ("fleet", Test_fleet.suite);
       ("par", Test_par.suite);
       ("experiments", Test_experiments.suite);
       ("behaviors", Test_behaviors.suite);

@@ -113,7 +113,7 @@ let test_placement () =
   let src = List.nth bed.Scenarios.vantage_points 0 in
   let dst = List.nth bed.Scenarios.vantage_points 1 in
   let shape = { Outage_gen.direction = Outage_gen.Reverse; on_link = false; duration = 600.0 } in
-  match Scenarios.Placement.on_path rng bed ~src ~dst ~shape with
+  match Scenarios.Placement.on_path rng bed ~src ~dst ~shape () with
   | None -> Alcotest.fail "no placement found"
   | Some placed ->
       (* The failure must actually break dst -> src while src -> dst
