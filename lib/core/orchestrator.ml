@@ -223,18 +223,25 @@ let rec apply_poison t ~vp ~target ~poison_target =
   end
 
 (* Drain the remediation queue once the prefix is free: the next poison
-   goes out after the damping-aware spacing, re-checked at send time. *)
+   goes out after the damping-aware spacing, re-checked at send time. The
+   head stays queued until its announcement actually goes out, so the
+   unfinished accounting and notify_outage's re-entrancy guard keep seeing
+   it while it waits out the spacing, and FIFO order is preserved. *)
 and pump_queue t =
-  match (t.active, Queue.take_opt t.queue) with
-  | Some _, _ | None, None -> ()
-  | None, Some (target, poison_target) ->
-      let vp = t.plan.Remediate.origin in
-      let send () =
-        if Option.is_none t.active then apply_poison t ~vp ~target ~poison_target
-        else Queue.add (target, poison_target) t.queue
-      in
-      let delay = announce_delay t in
-      if delay <= 0.0 then send () else Sim.Engine.schedule_after (engine t) ~delay send
+  match t.active with
+  | Some _ -> ()
+  | None ->
+      if Queue.is_empty t.queue then ()
+      else begin
+        let delay = announce_delay t in
+        if delay > 0.0 then
+          Sim.Engine.schedule_after (engine t) ~delay (fun () -> pump_queue t)
+        else
+          match Queue.take_opt t.queue with
+          | None -> ()
+          | Some (target, poison_target) ->
+              apply_poison t ~vp:t.plan.Remediate.origin ~target ~poison_target
+      end
 
 (* A pipeline reached a Poison verdict: announce, attach, or queue. *)
 let request_poison t ~vp ~target ~poison_target =

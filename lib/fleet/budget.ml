@@ -69,7 +69,7 @@ let vp_bucket s vp =
 (* Both caps must admit; an unlimited per-VP cap short-circuits so the
    common (no per-VP limit) case touches one bucket. *)
 let admit_vp s ~vp ~now ~cost =
-  if s.per_vp_rate = infinity then admit s.global ~now ~cost
+  if s.per_vp_rate = infinity && s.per_vp_burst = infinity then admit s.global ~now ~cost
   else begin
     let b = vp_bucket s vp in
     refill b ~now;
@@ -86,4 +86,8 @@ let admit_vp s ~vp ~now ~cost =
   end
 
 let scheduler_granted s = granted s.global
-let scheduler_denied s = denied s.global
+
+(* A request is denied by exactly one stage: a per-VP refusal never reaches
+   the global bucket, and a global refusal leaves the VP bucket untouched —
+   so summing the two never double-counts. *)
+let scheduler_denied s = Hashtbl.fold (fun _ b acc -> acc + b.denied) s.vps (denied s.global)

@@ -36,4 +36,8 @@ val admit_vp : scheduler -> vp:Asn.t -> now:float -> cost:int -> bool
     refusal by either consumes nothing from the global bucket. *)
 
 val scheduler_granted : scheduler -> int
+(** Total cost admitted through the global bucket. *)
+
 val scheduler_denied : scheduler -> int
+(** Total cost refused by either the global bucket or any per-VP cap;
+    each refusal is counted exactly once. *)

@@ -342,6 +342,101 @@ let test_orchestrator_reentrancy () =
   check_path "E back on the short path" [ 30; 20; 10; 10; 10 ]
     (path_of_best (Bgp.Network.best_route w.net e production))
 
+(* Regression for a dropped remediation: two pipelines blame *different*
+   ASes and both verdicts land inside the announce-spacing window left by
+   a previous unpoison, so both poisons queue and two delayed pumps fire
+   back to back. The first pump announces its poison; the second must
+   leave the other target's remediation queued — not dequeue and discard
+   it — so every outage still reaches a terminal outcome. Extends fig. 2
+   with A2/G mirroring A/E: G prefers the short path through A2 and falls
+   back to G-D-C-B-O when A2 is poisoned. *)
+let a2 = asn 80
+let g = asn 90
+
+let fig2_plus_graph () =
+  let gr = fig2_graph () in
+  Topology.As_graph.add_as gr ~tier:2 a2;
+  Topology.As_graph.add_as gr ~tier:4 g;
+  Topology.As_graph.add_link gr ~a:b ~b:a2 ~rel:Topology.Relationship.Provider;
+  Topology.As_graph.add_link gr ~a:g ~b:a2 ~rel:Topology.Relationship.Provider;
+  Topology.As_graph.add_link gr ~a:g ~b:d ~rel:Topology.Relationship.Provider;
+  gr
+
+let test_orchestrator_queue_not_dropped () =
+  let w = world_of_graph (fig2_plus_graph ()) in
+  announce_all_infrastructure w;
+  let plan = Lifeguard.Remediate.plan ~sentinel ~origin:o ~production () in
+  let atlas = Measurement.Atlas.create () in
+  let responsiveness = Measurement.Responsiveness.create () in
+  let config =
+    {
+      Lifeguard.Orchestrator.default_config with
+      Lifeguard.Orchestrator.decide =
+        { Lifeguard.Decide.default_config with Lifeguard.Decide.min_outage_age = 200.0 };
+      announce_spacing = 3600.0;
+    }
+  in
+  let orc =
+    Lifeguard.Orchestrator.create ~config ~env:w.probe ~atlas ~responsiveness ~plan
+      ~vantage_points:[ d; c ] ()
+  in
+  converge w;
+  Lifeguard.Orchestrator.watch orc ~targets:[ e; g ];
+  let fail_a = reverse_failure_spec in
+  let fail_a2 = Dataplane.Failure.spec ~toward:sentinel (Dataplane.Failure.Node a2) in
+  (* Round 1: a single outage, poisoned and repaired, so last_announce is
+     recent when round 2's verdicts arrive. *)
+  Sim.Engine.run ~until:600.0 w.engine;
+  Dataplane.Failure.add w.failures fail_a;
+  Sim.Engine.run ~until:2500.0 w.engine;
+  (match Lifeguard.Orchestrator.state orc with
+  | Lifeguard.Orchestrator.Poisoned target ->
+      Alcotest.(check int) "round 1 poisons A" 30 (Asn.to_int target)
+  | _ -> Alcotest.fail "expected poisoned state");
+  Dataplane.Failure.remove w.failures fail_a;
+  Sim.Engine.run ~until:6000.0 w.engine;
+  Alcotest.(check bool) "idle between rounds" true
+    (Lifeguard.Orchestrator.state orc = Lifeguard.Orchestrator.Idle);
+  (* Round 2: two concurrent outages blamed on different ASes. Both
+     verdicts arrive while the prefix is free but inside the spacing
+     window from round 1's unpoison, so both remediations queue. *)
+  Dataplane.Failure.add w.failures fail_a;
+  Dataplane.Failure.add w.failures fail_a2;
+  Sim.Engine.run ~until:9500.0 w.engine;
+  (match Lifeguard.Orchestrator.state orc with
+  | Lifeguard.Orchestrator.Poisoned _ -> ()
+  | _ -> Alcotest.fail "expected one round-2 poison announced");
+  Alcotest.(check int) "the other remediation is still queued" 1
+    (Lifeguard.Orchestrator.queued_poisons orc);
+  Alcotest.(check int) "no pipeline left open" 0 (Lifeguard.Orchestrator.active_pipelines orc);
+  (* Heal everything: the announced poison unpoisons after the spacing;
+     the queued remediation is taken only at send time and stands down as
+     already resolved — it must not have been silently discarded. *)
+  Dataplane.Failure.remove w.failures fail_a;
+  Dataplane.Failure.remove w.failures fail_a2;
+  Sim.Engine.run ~until:18000.0 w.engine;
+  Alcotest.(check bool) "idle at the end" true
+    (Lifeguard.Orchestrator.state orc = Lifeguard.Orchestrator.Idle);
+  Alcotest.(check int) "queue drained" 0 (Lifeguard.Orchestrator.queued_poisons orc);
+  let events = Lifeguard.Orchestrator.events orc in
+  let count f = List.length (List.filter (fun (_, ev) -> f ev) events) in
+  Alcotest.(check int) "three detections, none duplicated" 3
+    (count (function Lifeguard.Orchestrator.Outage_detected _ -> true | _ -> false));
+  Alcotest.(check int) "two poisons announced" 2
+    (count (function Lifeguard.Orchestrator.Poison_announced _ -> true | _ -> false));
+  Alcotest.(check int) "two withdrawals" 2
+    (count (function Lifeguard.Orchestrator.Unpoisoned -> true | _ -> false));
+  let outcomes = Lifeguard.Orchestrator.outcomes orc in
+  Alcotest.(check int) "every outage reached a terminal outcome" 3 (List.length outcomes);
+  let repaired =
+    List.filter
+      (fun (_, _, oc) ->
+        match oc with Lifeguard.Orchestrator.Repaired -> true | _ -> false)
+      outcomes
+  in
+  Alcotest.(check int) "round 1 and the announced round-2 poison repaired" 2
+    (List.length repaired)
+
 let suite =
   [
     Alcotest.test_case "isolation: reverse failure" `Quick test_isolation_reverse_failure;
@@ -359,6 +454,8 @@ let suite =
     Alcotest.test_case "load model" `Quick test_load_model;
     Alcotest.test_case "orchestrator re-entrancy + paced unpoison" `Quick
       test_orchestrator_reentrancy;
+    Alcotest.test_case "orchestrator queued poisons are never dropped" `Quick
+      test_orchestrator_queue_not_dropped;
     Alcotest.test_case "residual durations" `Quick test_residual;
     Alcotest.test_case "orchestrator end-to-end" `Quick test_orchestrator_end_to_end;
   ]
