@@ -6,7 +6,7 @@
                    [--jobs N] [--json [PATH]] [--trace FILE] [--metrics]
    Experiment names: fig1 fig5 alt-paths efficacy fig6 loss selective
    accuracy scalability load hubble anomalies sentinel ablation damping
-   fleet case-study table1.
+   fleet faults case-study table1.
 
    --jobs N shards experiment trials over N domains (default: the
    machine's recommended domain count; 1 forces the sequential path).
@@ -560,6 +560,24 @@ let () =
             ~jobs:!jobs ~seed ())
     in
     print_tables (Experiments.Fleet_study.to_tables r)
+  end;
+
+  if wanted "faults" then begin
+    banner "Fault study: repair robustness under control-plane faults";
+    let config =
+      {
+        Fleet.Service.default_config with
+        Fleet.Service.duration = (if !quick then 10800.0 else 21600.0);
+      }
+    in
+    let r =
+      timed "faults" (fun () ->
+          Experiments.Fault_study.run ~config
+            ~intensities:(if !quick then [ 0.0; 1.0 ] else Experiments.Fault_study.default_intensities)
+            ~targets:(if !quick then 25 else 100)
+            ~jobs:!jobs ~seed ())
+    in
+    print_tables (Experiments.Fault_study.to_tables r)
   end;
 
   if wanted "case-study" then begin

@@ -330,6 +330,24 @@ let poison_cmd =
     (Cmd.info "poison" ~doc:"Poison one AS on a synthetic Internet and show who reroutes")
     Term.(const run $ seed $ ases $ target)
 
+(* Flag-domain validation: cmdliner catches malformed values (a
+   non-numeric seed), but in-domain nonsense (negative durations, zero
+   targets) must not reach the simulator. One line on stderr, exit 2. *)
+let check cond msg =
+  if not cond then begin
+    prerr_endline ("lifeguard: " ^ msg);
+    exit 2
+  end
+
+let check_positive_f flag v = check (v > 0.0) (Printf.sprintf "%s must be positive (got %g)" flag v)
+let check_positive_i flag v = check (v > 0) (Printf.sprintf "%s must be positive (got %d)" flag v)
+
+let check_rate flag v =
+  check (v >= 0.0) (Printf.sprintf "%s must be non-negative (got %g)" flag v)
+
+let check_probability flag v =
+  check (v >= 0.0 && v <= 1.0) (Printf.sprintf "%s must be within [0,1] (got %g)" flag v)
+
 let fleet_cmd =
   let duration =
     Arg.(
@@ -367,6 +385,13 @@ let fleet_cmd =
           ~doc:"Chaos: probability an atlas refresh is skipped.")
   in
   let run obs seed duration targets outages probe_loss vp_mtbf staleness jobs =
+    check_positive_f "--duration" duration;
+    check_positive_i "--targets" targets;
+    check_rate "--outages-per-day" outages;
+    check_probability "--probe-loss" probe_loss;
+    check_rate "--vp-mtbf" vp_mtbf;
+    check_probability "--atlas-staleness" staleness;
+    check_positive_i "--jobs" jobs;
     with_obs obs (fun () ->
         let config =
           {
@@ -390,6 +415,135 @@ let fleet_cmd =
       const run $ obs_term $ seed $ duration $ targets $ outages $ probe_loss $ vp_mtbf $ staleness
       $ jobs)
 
+let faults_cmd =
+  let duration =
+    Arg.(
+      value
+      & opt float 21600.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated observation window per world.")
+  in
+  let targets =
+    Arg.(value & opt int 50 & info [ "targets" ] ~docv:"N" ~doc:"Monitored networks fleet-wide.")
+  in
+  let outages =
+    Arg.(
+      value
+      & opt float 12.0
+      & info [ "outages-per-day" ] ~docv:"R" ~doc:"Poisson outage arrival rate per world.")
+  in
+  let intensities =
+    Arg.(
+      value
+      & opt (list float) Experiments.Fault_study.default_intensities
+      & info [ "intensities" ] ~docv:"I,..."
+          ~doc:"Fault intensities to sweep; 0 is the fault-free control.")
+  in
+  let flap_mtbf =
+    Arg.(
+      value
+      & opt float Experiments.Fault_study.default_profile.Bgp.Faults.session_flap_mtbf
+      & info [ "flap-mtbf" ] ~docv:"SECONDS"
+          ~doc:"Mean seconds between BGP session flaps per link at intensity 1 (0 disables).")
+  in
+  let flap_downtime =
+    Arg.(
+      value
+      & opt float Experiments.Fault_study.default_profile.Bgp.Faults.session_flap_downtime
+      & info [ "flap-downtime" ] ~docv:"SECONDS" ~doc:"Mean seconds a flapped session stays down.")
+  in
+  let link_mtbf =
+    Arg.(
+      value
+      & opt float Experiments.Fault_study.default_profile.Bgp.Faults.link_mtbf
+      & info [ "link-mtbf" ] ~docv:"SECONDS"
+          ~doc:"Mean link uptime at intensity 1 (0 disables link failures).")
+  in
+  let link_mttr =
+    Arg.(
+      value
+      & opt float Experiments.Fault_study.default_profile.Bgp.Faults.link_mttr
+      & info [ "link-mttr" ] ~docv:"SECONDS" ~doc:"Mean seconds to repair a failed link.")
+  in
+  let router_mtbf =
+    Arg.(
+      value
+      & opt float Experiments.Fault_study.default_profile.Bgp.Faults.router_mtbf
+      & info [ "router-mtbf" ] ~docv:"SECONDS"
+          ~doc:"Mean router uptime at intensity 1 (0 disables crashes).")
+  in
+  let router_mttr =
+    Arg.(
+      value
+      & opt float Experiments.Fault_study.default_profile.Bgp.Faults.router_mttr
+      & info [ "router-mttr" ] ~docv:"SECONDS" ~doc:"Mean seconds a crashed router stays down.")
+  in
+  let update_loss =
+    Arg.(
+      value
+      & opt float Experiments.Fault_study.default_profile.Bgp.Faults.update_loss
+      & info [ "update-loss" ] ~docv:"P"
+          ~doc:"Per-message update loss probability at intensity 1.")
+  in
+  let update_dup =
+    Arg.(
+      value
+      & opt float Experiments.Fault_study.default_profile.Bgp.Faults.update_dup
+      & info [ "update-dup" ] ~docv:"P"
+          ~doc:"Per-message update duplication probability at intensity 1.")
+  in
+  let run obs seed duration targets outages intensities flap_mtbf flap_downtime link_mtbf
+      link_mttr router_mtbf router_mttr update_loss update_dup jobs =
+    check_positive_f "--duration" duration;
+    check_positive_i "--targets" targets;
+    check_rate "--outages-per-day" outages;
+    check (intensities <> []) "--intensities must list at least one intensity";
+    List.iter
+      (fun i -> check (i >= 0.0) (Printf.sprintf "--intensities must be >= 0 (got %g)" i))
+      intensities;
+    check_rate "--flap-mtbf" flap_mtbf;
+    check_rate "--link-mtbf" link_mtbf;
+    check_rate "--router-mtbf" router_mtbf;
+    check_probability "--update-loss" update_loss;
+    check_probability "--update-dup" update_dup;
+    check_positive_i "--jobs" jobs;
+    let profile =
+      {
+        Bgp.Faults.session_flap_mtbf = flap_mtbf;
+        session_flap_downtime = flap_downtime;
+        link_mtbf;
+        link_mttr;
+        router_mtbf;
+        router_mttr;
+        update_loss;
+        update_dup;
+      }
+    in
+    (* Cross-field domain errors (loss + dup > 1, non-positive repair
+       times on an enabled class) surface from the library's validator. *)
+    let profile =
+      try Bgp.Faults.validate profile
+      with Invalid_argument msg ->
+        prerr_endline ("lifeguard: " ^ msg);
+        exit 2
+    in
+    with_obs obs (fun () ->
+        let config =
+          { Fleet.Service.default_config with Fleet.Service.duration; outages_per_day = outages }
+        in
+        print_tables
+          (Experiments.Fault_study.to_tables
+             (Experiments.Fault_study.run ~config ~profile ~intensities ~targets ~jobs ~seed ())))
+  in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:
+         "Fault study: fleet operations under control-plane fault injection (session flaps, \
+          link failures, router crashes, update loss/duplication) at increasing intensity")
+    Term.(
+      const run $ obs_term $ seed $ duration $ targets $ outages $ intensities $ flap_mtbf
+      $ flap_downtime $ link_mtbf $ link_mttr $ router_mtbf $ router_mttr $ update_loss
+      $ update_dup $ jobs)
+
 let main =
   let doc = "LIFEGUARD (SIGCOMM 2012) reproduction: failure localization and BGP-poisoning repair" in
   Cmd.group (Cmd.info "lifeguard" ~version:"1.0.0" ~doc)
@@ -410,6 +564,7 @@ let main =
       ablation_cmd;
       damping_cmd;
       fleet_cmd;
+      faults_cmd;
       case_study_cmd;
       topo_cmd;
       poison_cmd;

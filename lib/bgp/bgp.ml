@@ -10,4 +10,5 @@ module Policy = Policy
 module Decision = Decision
 module Speaker = Speaker
 module Network = Network
+module Faults = Faults
 module Convergence = Convergence

@@ -42,7 +42,13 @@ type t = {
   delay_of : Asn.t -> Asn.t -> float;
   sessions : (Asn.t * Asn.t, session) Hashtbl.t;  (** keyed (from, to) *)
   owners : (Prefix.t, Asn.t) Hashtbl.t;
+  mutable originations : (Asn.t -> As_path.t option) Prefix.Map.t;
+      (** Administrative intent: the latest per-neighbor path function
+          each originated prefix was announced with. Survives a router
+          crash (the config outlives the loc-RIB) so {!restart_node} can
+          re-originate from it. *)
   mutable owner_trie : Asn.t Prefix_trie.t;
+  mutable link_faults : (from:Asn.t -> to_:Asn.t -> [ `Deliver | `Drop | `Duplicate ]) option;
   mutable collectors : collector_state list;
   mutable bgp_events : int;  (** BGP events currently in the engine queue *)
   mutable delivered : int;
@@ -160,10 +166,27 @@ and schedule_delivery t ~from ~to_ action =
   (match action with
   | Speaker.Announce _ -> Obs.Metrics.incr m_announce_sent
   | Speaker.Withdraw _ -> Obs.Metrics.incr m_withdraw_sent);
-  t.bgp_events <- t.bgp_events + 1;
-  Sim.Engine.schedule_after t.engine ~delay (fun () ->
-      t.bgp_events <- t.bgp_events - 1;
-      deliver t ~from ~to_ action)
+  let send ~delay =
+    t.bgp_events <- t.bgp_events + 1;
+    Sim.Engine.schedule_after t.engine ~delay (fun () ->
+        t.bgp_events <- t.bgp_events - 1;
+        deliver t ~from ~to_ action)
+  in
+  match t.link_faults with
+  | None -> send ~delay
+  | Some verdict -> begin
+      (* Fault injection samples once per wire message, after the MRAI
+         batching decided what goes out: a dropped update is silently
+         lost (the far side keeps whatever it had), a duplicated one
+         arrives twice with the copy trailing by half a propagation
+         delay. *)
+      match verdict ~from ~to_ with
+      | `Deliver -> send ~delay
+      | `Drop -> ()
+      | `Duplicate ->
+          send ~delay;
+          send ~delay:(delay *. 1.5)
+    end
 
 let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
     ?(fib_install_delay = 0.0) () =
@@ -188,7 +211,9 @@ let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
       delay_of;
       sessions = Hashtbl.create 1024;
       owners = Hashtbl.create 16;
+      originations = Prefix.Map.empty;
       owner_trie = Prefix_trie.empty;
+      link_faults = None;
       collectors = [];
       bgp_events = 0;
       delivered = 0;
@@ -248,6 +273,7 @@ let announce t ~origin ~prefix ?per_neighbor () =
     | None -> fun _ -> Some (As_path.plain ~origin)
   in
   Hashtbl.replace t.owners prefix origin;
+  t.originations <- Prefix.Map.add prefix per_neighbor t.originations;
   t.owner_trie <- Prefix_trie.add prefix origin t.owner_trie;
   let out =
     Speaker.originate (speaker t origin) ~now:(Sim.Engine.now t.engine) ~prefix ~per_neighbor
@@ -256,8 +282,13 @@ let announce t ~origin ~prefix ?per_neighbor () =
 
 let withdraw t ~origin ~prefix =
   Hashtbl.remove t.owners prefix;
+  t.originations <- Prefix.Map.remove prefix t.originations;
   t.owner_trie <- Prefix_trie.remove prefix t.owner_trie;
   let out = Speaker.stop_originating (speaker t origin) ~now:(Sim.Engine.now t.engine) ~prefix in
+  emit_all t origin out
+
+let refresh t ~origin ~prefix =
+  let out = Speaker.refresh_prefix (speaker t origin) ~prefix in
   emit_all t origin out
 
 let owner t prefix = Hashtbl.find_opt t.owners prefix
@@ -294,6 +325,40 @@ let fail_node t asn =
 let restore_node t asn =
   List.iter (fun (n, _) -> restore_link t ~a:asn ~b:n) (As_graph.neighbors t.graph asn)
 
+let owned_prefixes t asn =
+  Hashtbl.fold (fun p o acc -> if Asn.equal o asn then p :: acc else acc) t.owners []
+  |> List.sort Prefix.compare
+
+(* A crash loses the whole loc-RIB: sessions drop (flushing the adj-RIBs
+   on both sides) and local originations are forgotten. The
+   administrative intent in [originations] survives, which is what
+   {!restart_node} re-originates from — so a restarted origin re-announces
+   whatever it was last configured to announce (a standing poison
+   included), as a router reloading its config would. *)
+let crash_node t asn =
+  fail_node t asn;
+  let sp = speaker t asn in
+  let now = Sim.Engine.now t.engine in
+  List.iter
+    (fun prefix -> emit_all t asn (Speaker.stop_originating sp ~now ~prefix))
+    (Speaker.originated sp)
+
+let reoriginate t asn =
+  let sp = speaker t asn in
+  let now = Sim.Engine.now t.engine in
+  List.iter
+    (fun prefix ->
+      match Prefix.Map.find_opt prefix t.originations with
+      | Some per_neighbor -> emit_all t asn (Speaker.originate sp ~now ~prefix ~per_neighbor)
+      | None -> ())
+    (owned_prefixes t asn)
+
+let restart_node t asn =
+  restore_node t asn;
+  reoriginate t asn
+
+let set_link_faults t f = t.link_faults <- f
+
 module Collector = struct
   type net = t
   type t = collector_state
@@ -323,6 +388,8 @@ module Collector = struct
     match Hashtbl.find_opt c.clatest (peer, prefix) with
     | Some route -> route
     | None -> None
+
+  let route_view c ~peer ~prefix = Hashtbl.find_opt c.clatest (peer, prefix)
 end
 
 let message_count t = t.delivered

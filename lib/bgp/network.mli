@@ -64,6 +64,13 @@ val announce :
 val withdraw : t -> origin:Asn.t -> prefix:Prefix.t -> unit
 (** Withdraw an originated prefix. *)
 
+val refresh : t -> origin:Asn.t -> prefix:Prefix.t -> unit
+(** Idempotently re-advertise [prefix]'s current origination toward every
+    up neighbor, bypassing the adj-RIB-out diff (see
+    {!Speaker.refresh_prefix}). Use after a fault may have flushed or
+    lost the announcement downstream: re-calling {!announce} with the
+    same paths is a no-op, this is not. MRAI pacing still applies. *)
+
 val owner : t -> Prefix.t -> Asn.t option
 (** The AS currently originating exactly this prefix. *)
 
@@ -99,6 +106,32 @@ val fail_node : t -> Asn.t -> unit
 
 val restore_node : t -> Asn.t -> unit
 
+val crash_node : t -> Asn.t -> unit
+(** Router crash with loc-RIB loss: every session drops {e and} the AS
+    forgets its local originations. Learned routes were already flushed
+    by the session drops; after {!restart_node} the speaker re-learns
+    the world from its neighbors and re-originates from the
+    administrative intent recorded by {!announce}. *)
+
+val restart_node : t -> Asn.t -> unit
+(** Bring a crashed router back: sessions re-establish (neighbors
+    re-advertise their tables) and every prefix this AS was configured
+    to originate is re-announced with its last-announced paths. *)
+
+val reoriginate : t -> Asn.t -> unit
+(** Just the re-origination half of {!restart_node}: re-announce every
+    prefix the AS is configured to originate. For callers (the fault
+    injector) that restore sessions selectively. *)
+
+val set_link_faults :
+  t -> (from:Asn.t -> to_:Asn.t -> [ `Deliver | `Drop | `Duplicate ]) option -> unit
+(** Install (or clear, with [None]) the wire-fault hook. It is sampled
+    once per scheduled update message, after MRAI batching: [`Drop]
+    silently loses the message, [`Duplicate] delivers it twice (the copy
+    trailing by half a propagation delay). With no hook installed the
+    wire is perfectly reliable and behavior is byte-identical to a
+    build without fault injection. *)
+
 (** Passive feeds recording peers' loc-RIB changes. *)
 module Collector : sig
   type net := t
@@ -121,6 +154,12 @@ module Collector : sig
   val current_route : t -> peer:Asn.t -> prefix:Prefix.t -> Route.entry option
   (** The peer's best route as of its latest record; [None] when the feed
       has no record for that (peer, prefix) or the peer lost the route. *)
+
+  val route_view : t -> peer:Asn.t -> prefix:Prefix.t -> Route.entry option option
+  (** Like {!current_route} but distinguishing the feed having no record
+      at all ([None]) from the peer having explicitly lost the route
+      ([Some None]) — the distinction the remediation watchdog needs to
+      tell "no data" from "collateral damage". *)
 end
 
 val message_count : t -> int

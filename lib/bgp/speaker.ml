@@ -344,6 +344,16 @@ let session_up t ~now ~neighbor =
     List.concat_map (fun p -> refresh_best t ~now p) (Prefix.Set.elements all)
   end
 
+let refresh_prefix t ~prefix =
+  (* Forget what was last sent so [sync_exports] re-emits the current
+     desired announcement even when it is unchanged: the receiving side
+     may have flushed or lost it (session reset, filtered update), which
+     the diff against our own adj-RIB-out cannot see. *)
+  List.iter
+    (fun (n, _) -> if not (session_is_down t n) then Hashtbl.remove t.adj_out (n, prefix))
+    (neighbors t);
+  sync_exports t prefix
+
 let best t prefix = Hashtbl.find_opt t.best_table prefix
 let fib_lookup t ip = Prefix_trie.lookup ip t.fib
 

@@ -54,6 +54,14 @@ val session_up : t -> now:float -> neighbor:Asn.t -> (Asn.t * action) list
 (** Re-enable the session and produce the full-table advertisement for
     that neighbor. *)
 
+val refresh_prefix : t -> prefix:Prefix.t -> (Asn.t * action) list
+(** Force a re-advertisement of the current desired export for [prefix]
+    toward every up neighbor, even when the adj-RIB-out says it was
+    already sent. This is the idempotent re-announce primitive the
+    remediation watchdog uses after a session reset or a lost update:
+    the plain {!originate} diff is a no-op when our own book-keeping
+    still holds the announcement the far side has since flushed. *)
+
 val best : t -> Prefix.t -> Route.entry option
 (** Current loc-RIB best route for exactly this prefix. *)
 

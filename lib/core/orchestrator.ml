@@ -10,6 +10,8 @@ type config = {
   backoff_multiplier : float;
   max_backoff : float;
   pipeline_timeout : float;
+  poison_deadline : float;
+  max_poison_announcements : int;
 }
 
 let default_config =
@@ -23,6 +25,8 @@ let default_config =
     backoff_multiplier = 2.0;
     max_backoff = 600.0;
     pipeline_timeout = 21600.0;
+    poison_deadline = 3600.0;
+    max_poison_announcements = 3;
   }
 
 type hooks = {
@@ -42,6 +46,10 @@ type event =
   | Isolation_retry of { target : Asn.t; attempt : int; delay : float }
   | Poison_queued of { target : Asn.t; poison : Asn.t }
   | Poison_announced of Asn.t
+  | Poison_confirmed of Asn.t
+  | Poison_reannounced of { target : Asn.t; announcement : int }
+  | Poison_rolled_back of { target : Asn.t; reason : string }
+  | Breaker_open of Asn.t
   | Recovery_detected of Asn.t
   | Unpoisoned
   | Gave_up of string
@@ -58,17 +66,27 @@ let pp_event fmt = function
       Format.fprintf fmt "queued poison of %a for %a behind an active announcement" Asn.pp
         poison Asn.pp target
   | Poison_announced a -> Format.fprintf fmt "poisoned %a" Asn.pp a
+  | Poison_confirmed a ->
+      Format.fprintf fmt "poison of %a confirmed in force at the vantage feeds" Asn.pp a
+  | Poison_reannounced { target; announcement } ->
+      Format.fprintf fmt "re-announced poison of %a (announcement %d)" Asn.pp target
+        announcement
+  | Poison_rolled_back { target; reason } ->
+      Format.fprintf fmt "rolled back poison of %a: %s" Asn.pp target reason
+  | Breaker_open a ->
+      Format.fprintf fmt "circuit breaker open for %a; refusing to re-poison" Asn.pp a
   | Recovery_detected a -> Format.fprintf fmt "recovery detected through %a" Asn.pp a
   | Unpoisoned -> Format.pp_print_string fmt "unpoisoned: back to baseline"
   | Gave_up reason -> Format.fprintf fmt "gave up: %s" reason
 
 type state = Idle | Isolating | Poisoned of Asn.t
 
-type outcome = Repaired | Stood_down of string
+type outcome = Repaired | Stood_down of string | Gave_up_on of string
 
 let pp_outcome fmt = function
   | Repaired -> Format.pp_print_string fmt "repaired"
   | Stood_down reason -> Format.fprintf fmt "stood down: %s" reason
+  | Gave_up_on reason -> Format.fprintf fmt "gave up: %s" reason
 
 let log_src = Logs.Src.create "lifeguard.orchestrator" ~doc:"LIFEGUARD control loop"
 
@@ -84,8 +102,19 @@ type pipeline = {
 
 (* The single poison currently announced for the production prefix, with
    every target it is meant to repair: concurrent outages blamed on the
-   same AS attach here instead of queueing a duplicate announcement. *)
-type active_poison = { ap_target : Asn.t; mutable ap_affected : Asn.t list }
+   same AS attach here instead of queueing a duplicate announcement. The
+   watchdog fields supervise the announcement itself: when it was first
+   sent, how many times (initial + idempotent re-announces), whether the
+   vantage feeds ever showed it in force, and whether a rollback is
+   already scheduled (awaiting spacing). *)
+type active_poison = {
+  ap_target : Asn.t;
+  mutable ap_affected : Asn.t list;
+  ap_first : float;
+  mutable ap_announcements : int;
+  mutable ap_confirmed : bool;
+  mutable ap_rolling_back : bool;
+}
 
 type t = {
   config : config;
@@ -105,6 +134,19 @@ type t = {
   outage_started : (Asn.t, float) Hashtbl.t;
       (** First-failure estimate per target, persisted across isolation
           rounds so the age gate measures the true outage age. *)
+  collector : Bgp.Network.Collector.t;
+      (** The watchdog's BGP feed: loc-RIB views of the vantage points,
+          attached before the baseline goes out so every view is known.
+          This is how LIFEGUARD verifies a poison actually propagated —
+          public route collectors, not data-plane probes (the data plane
+          is exactly what's broken during an outage). *)
+  breaker : (Asn.t, unit) Hashtbl.t;
+      (** Per-target circuit breaker: ASes whose poisons were rolled back
+          (flushed, filtered, never propagated, or collateral) are not
+          poisoned again. *)
+  mutable reannounced : int;
+  mutable rolled_back : int;
+  mutable breaker_trips : int;
 }
 
 let engine t = Bgp.Network.engine t.env.Dataplane.Probe.net
@@ -118,6 +160,12 @@ let finish t target outcome = t.outcomes <- (now t, target, outcome) :: t.outcom
 
 let create ?(config = default_config) ?(hooks = no_hooks) ~env ~atlas ~responsiveness ~plan
     ~vantage_points () =
+  (* Attach the watchdog feed before the baseline goes out, so the
+     vantage views are populated by the baseline convergence itself. *)
+  let collector =
+    Bgp.Network.Collector.attach env.Dataplane.Probe.net ~name:"lifeguard-watchdog"
+      ~peers:vantage_points
+  in
   Remediate.announce_baseline env.Dataplane.Probe.net plan;
   {
     config;
@@ -135,6 +183,11 @@ let create ?(config = default_config) ?(hooks = no_hooks) ~env ~atlas ~responsiv
     outcomes = [];
     monitors = [];
     outage_started = Hashtbl.create 8;
+    collector;
+    breaker = Hashtbl.create 4;
+    reannounced = 0;
+    rolled_back = 0;
+    breaker_trips = 0;
   }
 
 (* The origin's probes are sourced from its production prefix: reverse
@@ -176,13 +229,119 @@ let stand_down t ~target reason =
   log t (Gave_up reason);
   finish t target (Stood_down reason)
 
-(* While poisoned, test the sentinel periodically; unpoison on repair. *)
+(* A terminal failure of the repair itself (retry budgets, deadlines,
+   the circuit breaker): same bookkeeping as a stand-down, but the
+   outcome records the give-up reason so operators can tell "nothing to
+   do" from "tried and failed". *)
+let give_up t ~target reason =
+  Hashtbl.remove t.outage_started target;
+  Hashtbl.remove t.pipelines target;
+  log t (Gave_up reason);
+  finish t target (Gave_up_on reason)
+
+(* Withdraw a failed poison (paced like any announcement), give up on
+   every target it covered, and open the breaker for the poisoned AS:
+   its routers flushed, filtered or choked on the announcement, so
+   re-poisoning it would repeat the failure. *)
+let rollback t ap ~pump reason =
+  if not ap.ap_rolling_back then begin
+    ap.ap_rolling_back <- true;
+    log t (Poison_rolled_back { target = ap.ap_target; reason });
+    Hashtbl.replace t.breaker ap.ap_target ();
+    let do_roll () =
+      match t.active with
+      | Some current when current == ap ->
+          Remediate.unpoison t.env.Dataplane.Probe.net t.plan;
+          t.active <- None;
+          t.last_announce <- now t;
+          t.rolled_back <- t.rolled_back + 1;
+          log t Unpoisoned;
+          List.iter (fun target -> give_up t ~target reason) (List.rev ap.ap_affected);
+          pump ()
+      | _ -> ()
+    in
+    let delay = announce_delay t in
+    if delay <= 0.0 then do_roll ()
+    else Sim.Engine.schedule_after (engine t) ~delay do_roll
+  end
+
+(* The poison watchdog: one tick per recheck while the poison stands and
+   the sentinel shows no repair. The vantage-point BGP feeds say whether
+   the announcement actually took — every known view's route for the
+   production prefix should carry the poisoned AS. A view with a route
+   that avoids it is stale (some router flushed or lost the poison):
+   re-announce idempotently, paced by the spacing and capped by the
+   per-target breaker. A majority of views with no route at all is
+   collateral damage; no poisoned view anywhere past the deadline means
+   the poison never propagated. Both roll back. *)
+let watchdog_tick t ap ~pump =
+  if not ap.ap_rolling_back then begin
+    let prefix = t.plan.Remediate.production in
+    let views =
+      List.filter_map
+        (fun vp ->
+          match Bgp.Network.Collector.route_view t.collector ~peer:vp ~prefix with
+          | Some view -> Some (vp, view)
+          | None -> None)
+        t.vantage_points
+    in
+    match views with
+    | [] -> ()  (* no feed data: the watchdog has no evidence to act on *)
+    | _ :: _ ->
+        let carries_poison = function
+          | Some entry -> Bgp.As_path.contains ap.ap_target entry.Bgp.Route.ann.Bgp.Route.path
+          | None -> false
+        in
+        let poisoned, rest = List.partition (fun (_, v) -> carries_poison v) views in
+        let stale, lost =
+          List.partition (fun (_, v) -> match v with Some _ -> true | None -> false) rest
+        in
+        (* Let a fresh announcement converge before judging the views. *)
+        let settled = now t -. t.last_announce >= 2.0 *. t.config.recheck_interval in
+        if 2 * List.length lost > List.length views then begin
+          if settled then
+            rollback t ap ~pump
+              (Printf.sprintf "collateral damage: %d of %d vantage feeds lost the route"
+                 (List.length lost) (List.length views))
+        end
+        else if poisoned = [] && now t -. ap.ap_first > t.config.poison_deadline then
+          rollback t ap ~pump "poison never propagated within deadline"
+        else if stale = [] then begin
+          match poisoned with
+          | [] -> ()  (* not propagated yet; the deadline above arbitrates *)
+          | _ :: _ ->
+              if not ap.ap_confirmed then begin
+                ap.ap_confirmed <- true;
+                log t (Poison_confirmed ap.ap_target)
+              end
+        end
+        else if settled then begin
+          (* Stale views: some router flushed or filtered the poison. *)
+          if ap.ap_announcements >= t.config.max_poison_announcements then
+            rollback t ap ~pump
+              (Printf.sprintf "poison flushed or filtered after %d announcements"
+                 ap.ap_announcements)
+          else if announce_delay t <= 0.0 then begin
+            Remediate.reannounce t.env.Dataplane.Probe.net t.plan;
+            t.last_announce <- now t;
+            ap.ap_announcements <- ap.ap_announcements + 1;
+            t.reannounced <- t.reannounced + 1;
+            log t (Poison_reannounced { target = ap.ap_target; announcement = ap.ap_announcements })
+          end
+          (* else: spacing not yet satisfied; the next tick retries *)
+        end
+  end
+
+(* While poisoned, test the sentinel periodically; unpoison on repair,
+   otherwise let the watchdog supervise the announcement itself. *)
 let rec schedule_recovery_checks t ap ~pump =
   Sim.Engine.schedule_after (engine t) ~delay:t.config.recheck_interval (fun () ->
       match t.active with
       | Some current when current == ap ->
           if
-            Remediate.is_recovered t.env t.plan ~through:ap.ap_target ~targets:ap.ap_affected
+            (not ap.ap_rolling_back)
+            && Remediate.is_recovered t.env t.plan ~through:ap.ap_target
+                 ~targets:ap.ap_affected
           then begin
             log t (Recovery_detected ap.ap_target);
             let unpoison () =
@@ -200,13 +359,26 @@ let rec schedule_recovery_checks t ap ~pump =
             if delay <= 0.0 then unpoison ()
             else Sim.Engine.schedule_after (engine t) ~delay unpoison
           end
-          else schedule_recovery_checks t ap ~pump
+          else begin
+            watchdog_tick t ap ~pump;
+            match t.active with
+            | Some current when current == ap -> schedule_recovery_checks t ap ~pump
+            | _ -> ()
+          end
       | _ -> ())
 
 (* Apply a poison now (spacing already satisfied), unless the outage
-   resolved while the announcement waited its turn. *)
+   resolved while the announcement waited its turn or the blamed AS has
+   already proven unpoisonable. *)
 let rec apply_poison t ~vp ~target ~poison_target =
-  if target_reachable t ~vp ~target then begin
+  if Hashtbl.mem t.breaker poison_target then begin
+    t.breaker_trips <- t.breaker_trips + 1;
+    log t (Breaker_open poison_target);
+    give_up t ~target
+      (Printf.sprintf "circuit breaker open for %s" (Asn.to_string poison_target));
+    pump_queue t
+  end
+  else if target_reachable t ~vp ~target then begin
     Hashtbl.remove t.outage_started target;
     log t (Gave_up "outage resolved before poisoning");
     finish t target (Stood_down "outage resolved before poisoning");
@@ -215,7 +387,16 @@ let rec apply_poison t ~vp ~target ~poison_target =
   else begin
     Hashtbl.remove t.outage_started target;
     Remediate.poison t.env.Dataplane.Probe.net t.plan ~target:poison_target;
-    let ap = { ap_target = poison_target; ap_affected = [ target ] } in
+    let ap =
+      {
+        ap_target = poison_target;
+        ap_affected = [ target ];
+        ap_first = now t;
+        ap_announcements = 1;
+        ap_confirmed = false;
+        ap_rolling_back = false;
+      }
+    in
     t.active <- Some ap;
     t.last_announce <- now t;
     log t (Poison_announced poison_target);
@@ -243,9 +424,17 @@ and pump_queue t =
               apply_poison t ~vp:t.plan.Remediate.origin ~target ~poison_target
       end
 
-(* A pipeline reached a Poison verdict: announce, attach, or queue. *)
+(* A pipeline reached a Poison verdict: announce, attach, or queue —
+   unless the breaker already proved the blamed AS unpoisonable. *)
 let request_poison t ~vp ~target ~poison_target =
   Hashtbl.remove t.pipelines target;
+  if Hashtbl.mem t.breaker poison_target then begin
+    t.breaker_trips <- t.breaker_trips + 1;
+    log t (Breaker_open poison_target);
+    give_up t ~target
+      (Printf.sprintf "circuit breaker open for %s" (Asn.to_string poison_target))
+  end
+  else
   match t.active with
   | Some ap when Asn.equal ap.ap_target poison_target ->
       (* Same blamed AS: the standing poison already works around it. *)
@@ -286,7 +475,7 @@ let run_decision t p diagnosis =
      resolves on its own, poison once it has aged past the gate. *)
   let rec decide_and_act () =
     if now t -. p.p_started > t.config.pipeline_timeout then
-      stand_down t ~target "pipeline timeout"
+      give_up t ~target "pipeline timeout"
     else begin
       match decide_now () with
       | Decide.Poison poison_target -> request_poison t ~vp ~target ~poison_target
@@ -323,7 +512,7 @@ let rec attempt_isolation t p =
             if pipeline_alive t p then run_decision t p diagnosis)
     | `Lost | `Denied ->
         if p.p_attempt >= t.config.max_isolation_attempts then
-          stand_down t ~target:p.p_target "isolation retry budget exhausted"
+          give_up t ~target:p.p_target "isolation retry budget exhausted"
         else begin
           let delay = backoff_delay t.config p.p_attempt in
           log t (Isolation_retry { target = p.p_target; attempt = p.p_attempt; delay });
@@ -391,6 +580,11 @@ let queued_poisons t = Queue.length t.queue
 
 let awaiting_repair t =
   match t.active with Some ap -> List.length ap.ap_affected | None -> 0
+
+let reannounce_count t = t.reannounced
+let rollback_count t = t.rolled_back
+let breaker_trip_count t = t.breaker_trips
+let breaker_open t ~target = Hashtbl.mem t.breaker target
 let events t = List.rev t.events
 let outcomes t = List.rev t.outcomes
 let monitors t = List.rev t.monitors

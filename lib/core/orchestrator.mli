@@ -34,6 +34,14 @@ type config = {
   pipeline_timeout : float;
       (** Overall per-outage deadline: a pipeline still undecided after
           this long stands down (s). *)
+  poison_deadline : float;
+      (** Watchdog: if no vantage feed shows the poison in force within
+          this long of the first announcement, it never propagated —
+          roll back (s, default 3600). *)
+  max_poison_announcements : int;
+      (** Watchdog: total announcements (initial + re-announces) per
+          poison before the circuit breaker trips and the poison is
+          rolled back (default 3). *)
 }
 
 val default_config : config
@@ -68,6 +76,21 @@ type event =
   | Poison_queued of { target : Asn.t; poison : Asn.t }
       (** A poison verdict is waiting (for the prefix, or for spacing). *)
   | Poison_announced of Asn.t
+  | Poison_confirmed of Asn.t
+      (** Every vantage feed with a route shows the poisoned path: the
+          announcement took effect. *)
+  | Poison_reannounced of { target : Asn.t; announcement : int }
+      (** A vantage feed showed a route avoiding the poisoned AS (the
+          poison was flushed or lost, e.g. by a session reset); the
+          announcement was idempotently re-sent. [announcement] counts
+          all sends of this poison including the first. *)
+  | Poison_rolled_back of { target : Asn.t; reason : string }
+      (** The watchdog withdrew a failed poison: collateral damage,
+          never propagated within the deadline, or flushed more times
+          than [max_poison_announcements] tolerates. *)
+  | Breaker_open of Asn.t
+      (** A poison verdict against an AS whose breaker is open was
+          refused outright. *)
   | Recovery_detected of Asn.t  (** The poisoned AS works again. *)
   | Unpoisoned
   | Gave_up of string
@@ -78,8 +101,13 @@ type state = Idle | Isolating | Poisoned of Asn.t
 (** Coarse position in the per-prefix machine: [Poisoned] while any
     poison is announced, else [Isolating] while any pipeline runs. *)
 
-(** Terminal state of one target's outage. *)
-type outcome = Repaired | Stood_down of string
+(** Terminal state of one target's outage: [Repaired] when the sentinel
+    confirmed the repair, [Stood_down] when there was nothing to do
+    (transient, hopeless diagnosis), [Gave_up_on] when the repair itself
+    failed — retry budgets exhausted, the pipeline timed out, the poison
+    was rolled back, or the circuit breaker refused it — with the
+    give-up reason. *)
+type outcome = Repaired | Stood_down of string | Gave_up_on of string
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
@@ -119,6 +147,18 @@ val queued_poisons : t -> int
 
 val awaiting_repair : t -> int
 (** Targets attached to the standing poison, waiting on the sentinel. *)
+
+val reannounce_count : t -> int
+(** Watchdog re-announcements across the run (excluding initial sends). *)
+
+val rollback_count : t -> int
+(** Poisons the watchdog withdrew as failed. *)
+
+val breaker_trip_count : t -> int
+(** Poison verdicts refused because the target's breaker was open. *)
+
+val breaker_open : t -> target:Asn.t -> bool
+(** Whether the circuit breaker has opened for [target]. *)
 
 val events : t -> (float * event) list
 (** Timestamped event log, oldest first. *)

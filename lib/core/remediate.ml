@@ -71,6 +71,8 @@ let selective_poison net t ~target ~poisoned_via =
       if List.exists (Asn.equal neighbor) poisoned_via then Some poisoned else Some baseline)
     ()
 
+let reannounce net t = Bgp.Network.refresh net ~origin:t.origin ~prefix:t.production
+
 let unpoison net t =
   let path = baseline_path t in
   Bgp.Network.announce net ~origin:t.origin ~prefix:t.production

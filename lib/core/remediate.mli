@@ -47,6 +47,14 @@ val selective_poison : Bgp.Network.t -> plan -> target:Asn.t -> poisoned_via:Asn
     the unpoisoned route, shifting which of its links carries the
     origin's traffic. *)
 
+val reannounce : Bgp.Network.t -> plan -> unit
+(** Idempotently re-send the production prefix's {e current}
+    announcement (poisoned or baseline) toward every up neighbor, even
+    where the origin's adj-RIB-out believes it was already sent
+    ({!Bgp.Network.refresh}). The watchdog's repair primitive after a
+    session reset flushed the poison or a fault lost the update:
+    re-calling {!poison} with the same target diffs to nothing. *)
+
 val unpoison : Bgp.Network.t -> plan -> unit
 (** Revert production to the baseline announcement. *)
 

@@ -93,8 +93,10 @@ let run () =
     List.exists
       (fun (_, e) ->
         match e with
-        | Lifeguard.Orchestrator.Diagnosed d ->
-            Lifeguard.Isolation.blamed_as d.Lifeguard.Isolation.blame = Some cs.uunet
+        | Lifeguard.Orchestrator.Diagnosed d -> (
+            match Lifeguard.Isolation.blamed_as d.Lifeguard.Isolation.blame with
+            | Some blamed -> Asn.equal blamed cs.uunet
+            | None -> false)
         | _ -> false)
       events
   in

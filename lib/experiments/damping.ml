@@ -51,7 +51,8 @@ let cycles mux ~spacing =
   let cutoff =
     List.filter
       (fun asn ->
-        (not (Asn.equal asn origin)) && Bgp.Network.best_route net asn production = None)
+        (not (Asn.equal asn origin))
+        && Option.is_none (Bgp.Network.best_route net asn production))
       all
   in
   (List.length suppressors, List.length cutoff, List.length all)

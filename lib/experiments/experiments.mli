@@ -26,3 +26,4 @@ module Tab1_summary = Tab1_summary
 module Tab2_load = Tab2_load
 module Case_study = Case_study
 module Fleet_study = Fleet_study
+module Fault_study = Fault_study

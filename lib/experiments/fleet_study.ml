@@ -43,6 +43,14 @@ type result = {
   injected_h15 : float;
   measured_updates_per_day : float;
   predicted_updates_per_day : float;
+  reannounced : int;
+  rolled_back : int;
+  breaker_trips : int;
+  session_flaps : int;
+  link_failures : int;
+  router_crashes : int;
+  updates_dropped : int;
+  updates_duplicated : int;
 }
 
 let run ?(config = Fleet.Service.default_config) ?(targets = 250) ?(jobs = 1) ~seed () =
@@ -97,6 +105,14 @@ let run ?(config = Fleet.Service.default_config) ?(targets = 250) ?(jobs = 1) ~s
     injected_h15 = sumf (fun r -> r.injected_h15);
     measured_updates_per_day = sumf (fun r -> r.measured_updates_per_day);
     predicted_updates_per_day = sumf (fun r -> r.predicted_updates_per_day);
+    reannounced = sum (fun r -> r.reannounced);
+    rolled_back = sum (fun r -> r.rolled_back);
+    breaker_trips = sum (fun r -> r.breaker_trips);
+    session_flaps = sum (fun r -> r.session_flaps);
+    link_failures = sum (fun r -> r.link_failures);
+    router_crashes = sum (fun r -> r.router_crashes);
+    updates_dropped = sum (fun r -> r.updates_dropped);
+    updates_duplicated = sum (fun r -> r.updates_duplicated);
   }
 
 let ttr_cdf r =

@@ -33,6 +33,14 @@ type result = {
   injected_h15 : float;  (** Fleet-wide injected outages/day >= 15 min. *)
   measured_updates_per_day : float;
   predicted_updates_per_day : float;  (** Table 2 model, summed over worlds. *)
+  reannounced : int;  (** Watchdog re-announcements of flushed poisons. *)
+  rolled_back : int;  (** Poisons the watchdog withdrew as failed. *)
+  breaker_trips : int;  (** Poison verdicts refused by an open breaker. *)
+  session_flaps : int;  (** Injected control-plane faults, per class... *)
+  link_failures : int;
+  router_crashes : int;
+  updates_dropped : int;
+  updates_duplicated : int;  (** ...zero when [config.faults] is [none]. *)
 }
 
 val run :

@@ -138,7 +138,7 @@ let run ?(ases = 318) ?(outage_count = 400) ~seed () =
         let spliced =
           Topology.Splice.splice_around ~from_src ~to_dst ~tuples ~avoid:failed_as ~dst
         in
-        let found = spliced <> None in
+        let found = Option.is_some spliced in
         if found then begin
           if not forced_long then incr with_alt;
           if is_long then incr long_with_alt;

@@ -66,7 +66,7 @@ let poison_trial ~ases ~seed target () =
   announce_and_converge mux;
   let peers_via =
     List.filter
-      (fun peer -> peer_route_contains mux peer target = Some true)
+      (fun peer -> Option.value ~default:false (peer_route_contains mux peer target))
       mux.Workloads.Scenarios.feeds
   in
   if peers_via = [] then { t_cases = 0; t_rerouted = 0; t_captive = 0; t_agree = 0; t_live = 0 }

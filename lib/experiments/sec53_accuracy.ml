@@ -142,7 +142,8 @@ let run ?(ases = 318) ?(failure_count = 120) ?(jobs = 1) ~seed () =
   let cases = List.concat shard_cases in
   let isolated =
     List.filter
-      (fun c -> Lifeguard.Isolation.blamed_as c.diagnosis.Lifeguard.Isolation.blame <> None)
+      (fun c ->
+        Option.is_some (Lifeguard.Isolation.blamed_as c.diagnosis.Lifeguard.Isolation.blame))
       cases
   in
   let frac pred l =

@@ -110,19 +110,19 @@ let loop_trial ~ases ~relaxed_fraction ~seed target () =
   let w = build_world ~ases ~relaxed_fraction ~seed in
   baseline w;
   let net = w.w_net in
-  if Bgp.Network.best_route net target production = None then None
+  if Option.is_none (Bgp.Network.best_route net target production) then None
   else begin
     Bgp.Network.announce net ~origin:w.w_origin ~prefix:production
       ~per_neighbor:(fun _ -> Some (Bgp.As_path.poisoned ~origin:w.w_origin ~poison:target))
       ();
     Bgp.Network.run_until_quiet net;
-    let survived = Bgp.Network.best_route net target production <> None in
+    let survived = Option.is_some (Bgp.Network.best_route net target production) in
     Bgp.Network.announce net ~origin:w.w_origin ~prefix:production
       ~per_neighbor:(fun _ ->
         Some (Bgp.As_path.poisoned_multi ~origin:w.w_origin ~poisons:[ target; target ]))
       ();
     Bgp.Network.run_until_quiet net;
-    let doubled = survived && Bgp.Network.best_route net target production = None in
+    let doubled = survived && Option.is_none (Bgp.Network.best_route net target production) in
     Some (survived, doubled)
   end
 
@@ -140,7 +140,7 @@ let tier1_trial ~ases ~relaxed_fraction ~seed ~via_filtering () =
     ();
   Bgp.Network.run_until_quiet net;
   List.length
-    (List.filter (fun f -> Bgp.Network.best_route net f production <> None) w.w_feeds)
+    (List.filter (fun f -> Option.is_some (Bgp.Network.best_route net f production)) w.w_feeds)
 
 type outcome = Loop of (bool * bool) option | Tier1 of int
 

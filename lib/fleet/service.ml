@@ -16,6 +16,11 @@ let m_monitor_skipped = Obs.Metrics.counter "fleet.monitor.skipped"
 let m_budget_denied = Obs.Metrics.counter "fleet.budget.denied"
 let m_isolation_retries = Obs.Metrics.counter "fleet.isolation.retries"
 let m_vp_crashes = Obs.Metrics.counter "fleet.chaos.vp_crashes"
+let m_reannounced = Obs.Metrics.counter "fleet.watchdog.reannounced"
+let m_rolled_back = Obs.Metrics.counter "fleet.watchdog.rolled_back"
+let m_breaker_trips = Obs.Metrics.counter "fleet.watchdog.breaker_trips"
+let m_session_flaps = Obs.Metrics.counter "fleet.faults.session_flaps"
+let m_router_crashes = Obs.Metrics.counter "fleet.faults.router_crashes"
 
 type config = {
   ases : int;
@@ -34,6 +39,7 @@ type config = {
   recheck_interval : float;
   retry : Retry.policy;
   chaos : Chaos.config;
+  faults : Bgp.Faults.config;
 }
 
 let default_config =
@@ -54,6 +60,7 @@ let default_config =
     recheck_interval = 120.0;
     retry = Retry.default;
     chaos = Chaos.none;
+    faults = Bgp.Faults.none;
   }
 
 type report = {
@@ -82,12 +89,15 @@ type report = {
   injected_h15 : float;
   measured_updates_per_day : float;
   predicted_updates_per_day : float;
+  reannounced : int;
+  rolled_back : int;
+  breaker_trips : int;
+  session_flaps : int;
+  link_failures : int;
+  router_crashes : int;
+  updates_dropped : int;
+  updates_duplicated : int;
 }
-
-(* The terminal give-up reasons the orchestrator emits; everything else
-   stood down benignly (transient resolved before or during handling). *)
-let is_give_up reason =
-  reason = "isolation retry budget exhausted" || reason = "pipeline timeout"
 
 (* Predicted daily update load, per the paper's Table 2 model with i = t
    = 1 (this deployment handles every outage it detects, toward every
@@ -150,6 +160,11 @@ let run ?(config = default_config) ~seed () =
   let chaos =
     Chaos.create ~config:config.chaos ~rng:(Prng.create ~seed:(seed + 2027)) ~engine ()
   in
+  let faults =
+    Bgp.Faults.create ~config:config.faults
+      ~rng:(Prng.create ~seed:(seed + 4057))
+      ~net:bed.Scenarios.net ()
+  in
   let sched =
     Budget.scheduler ~per_vp_rate:config.per_vp_rate ~per_vp_burst:config.per_vp_burst
       ~global:(Budget.create ~rate:config.probe_rate ~burst:config.probe_burst ()) ()
@@ -201,6 +216,10 @@ let run ?(config = default_config) ~seed () =
     ~mean_interarrival:(86400.0 /. config.outages_per_day)
     ~until:horizon ();
   Chaos.start chaos ~vantage_points:bed.Scenarios.vantage_points ~until:horizon;
+  (* Control-plane faults begin once the baseline has converged; the
+     origin itself is never crashed (the service dying is a different
+     experiment), but its sessions still flap. *)
+  Bgp.Faults.start faults ~protect:[ origin ] ~until:horizon ();
   (* Periodic atlas refreshes keep isolation off the on-demand slow path;
      the staleness knob makes them silently unreliable. *)
   ignore
@@ -249,8 +268,8 @@ let run ?(config = default_config) ~seed () =
           (match detection_before ~target ~at with
           | Some dt -> ttr := (at -. dt) :: !ttr
           | None -> ())
-      | Lifeguard.Orchestrator.Stood_down reason ->
-          if is_give_up reason then incr gave_up else incr stood_down)
+      | Lifeguard.Orchestrator.Stood_down _ -> incr stood_down
+      | Lifeguard.Orchestrator.Gave_up_on _ -> incr gave_up)
     outcomes;
   let monitors = Lifeguard.Orchestrator.monitors orch in
   let monitor_pairs =
@@ -294,6 +313,14 @@ let run ?(config = default_config) ~seed () =
       predicted_updates_per_day =
         predict_updates_per_day ~seed ~h15:injected_h15 ~min_outage_age:config.min_outage_age
           ~monitor_interval:config.monitor_interval;
+      reannounced = Lifeguard.Orchestrator.reannounce_count orch;
+      rolled_back = Lifeguard.Orchestrator.rollback_count orch;
+      breaker_trips = Lifeguard.Orchestrator.breaker_trip_count orch;
+      session_flaps = Bgp.Faults.session_flap_count faults;
+      link_failures = Bgp.Faults.link_failure_count faults;
+      router_crashes = Bgp.Faults.router_crash_count faults;
+      updates_dropped = Bgp.Faults.updates_dropped faults;
+      updates_duplicated = Bgp.Faults.updates_duplicated faults;
     }
   in
   Obs.Metrics.add m_injected report.injected;
@@ -308,4 +335,9 @@ let run ?(config = default_config) ~seed () =
   Obs.Metrics.add m_budget_denied report.budget_denied;
   Obs.Metrics.add m_isolation_retries report.isolation_retries;
   Obs.Metrics.add m_vp_crashes report.vp_crashes;
+  Obs.Metrics.add m_reannounced report.reannounced;
+  Obs.Metrics.add m_rolled_back report.rolled_back;
+  Obs.Metrics.add m_breaker_trips report.breaker_trips;
+  Obs.Metrics.add m_session_flaps report.session_flaps;
+  Obs.Metrics.add m_router_crashes report.router_crashes;
   report

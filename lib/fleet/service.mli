@@ -30,6 +30,11 @@ type config = {
   recheck_interval : float;  (** Wait/recovery recheck period (default 120 s). *)
   retry : Retry.policy;  (** Isolation retry/backoff policy. *)
   chaos : Chaos.config;  (** Chaos knobs (default {!Chaos.none}). *)
+  faults : Bgp.Faults.config;
+      (** Control-plane fault schedule (default {!Bgp.Faults.none}):
+          session flaps, link failures, router crashes, update
+          loss/duplication. Armed after baseline convergence; the origin
+          is protected from crashes. *)
 }
 
 val default_config : config
@@ -43,7 +48,9 @@ type report = {
   detected : int;  (** Monitor threshold crossings handed to pipelines. *)
   repaired : int;  (** Outages ending in sentinel-confirmed repair + unpoison. *)
   stood_down : int;  (** Resolved before or instead of poisoning. *)
-  gave_up : int;  (** Terminal failures: retry budget or pipeline timeout. *)
+  gave_up : int;
+      (** Terminal failures of the repair itself: retry budget, pipeline
+          timeout, watchdog rollback, or circuit breaker. *)
   unfinished : int;
       (** Still open at the horizon: running pipelines, queued poisons,
           and targets attached to a standing poison awaiting repair. *)
@@ -68,6 +75,14 @@ type report = {
       (** Table 2 model anchored at [injected_h15] (i = 1, t = the
           poisonable direction share, d = the age gate, two updates per
           remediated outage). *)
+  reannounced : int;  (** Watchdog re-announcements after flushed/lost poisons. *)
+  rolled_back : int;  (** Poisons withdrawn as failed. *)
+  breaker_trips : int;  (** Poison verdicts refused by an open breaker. *)
+  session_flaps : int;  (** Injected control-plane faults... *)
+  link_failures : int;
+  router_crashes : int;
+  updates_dropped : int;
+  updates_duplicated : int;  (** ...per class. *)
 }
 
 val run : ?config:config -> seed:int -> unit -> report

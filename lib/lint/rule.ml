@@ -8,10 +8,11 @@ type t =
   | Perf_scan
   | Mli_missing
   | Obs_printf
+  | Rob_exn
 
 let all =
   [ Dom_mut; Det_random; Det_clock; Det_polyeq; Det_hashkey; Perf_append; Perf_scan; Mli_missing;
-    Obs_printf ]
+    Obs_printf; Rob_exn ]
 
 let id = function
   | Dom_mut -> "LG-DOM-MUT"
@@ -23,6 +24,7 @@ let id = function
   | Perf_scan -> "LG-PERF-SCAN"
   | Mli_missing -> "LG-MLI-MISSING"
   | Obs_printf -> "LG-OBS-PRINTF"
+  | Rob_exn -> "LG-ROB-EXN"
 
 let of_id s =
   let rec find = function
@@ -53,3 +55,6 @@ let describe = function
   | Obs_printf ->
       "bare stdout printing (Printf.printf / Format.printf / print_endline) in a library; \
        route diagnostics through Obs tracing and results through the table writers"
+  | Rob_exn ->
+      "catch-all exception handler (try ... with _ ->) in a library; swallows programming \
+       errors along with the expected failure — match the specific exceptions"

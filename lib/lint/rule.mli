@@ -12,6 +12,7 @@ type t =
   | Perf_scan  (** [List.mem]/[List.assoc] inside a [let rec] or iteration closure *)
   | Mli_missing  (** library [.ml] without a matching [.mli] *)
   | Obs_printf  (** bare stdout printing in [lib/] outside [lib/obs] *)
+  | Rob_exn  (** catch-all [try ... with _ ->] handler inside [lib/] *)
 
 val all : t list
 

@@ -105,6 +105,19 @@ let is_fun_expr e =
   in
   go e
 
+(* [with _ ->] and its aliases/disguises: a handler arm that matches
+   every exception. [with e ->] (a variable) is left alone — binding the
+   exception usually means it is logged or re-raised. *)
+let is_catch_all_pattern (p : pattern) =
+  let rec go p =
+    match p.ppat_desc with
+    | Ppat_any -> true
+    | Ppat_alias (p, _) | Ppat_constraint (p, _) -> go p
+    | Ppat_or (a, b) -> go a || go b
+    | _ -> false
+  in
+  go p
+
 let is_option_sentinel (e : expression) =
   match e.pexp_desc with
   | Pexp_construct ({ txt = Longident.Lident ("None" | "Some"); _ }, _) -> true
@@ -214,6 +227,16 @@ let scan_structure ~kind ~file str =
                 List.iter (fun vb -> it.value_binding it vb) vbs;
                 if bump then decr rec_depth;
                 it.expr it body
+            | Pexp_try (_, cases) ->
+                if kind.in_lib then
+                  List.iter
+                    (fun c ->
+                      if is_catch_all_pattern c.pc_lhs then
+                        add Rule.Rob_exn c.pc_lhs.ppat_loc
+                          "catch-all exception handler swallows programming errors along \
+                           with the expected failure; match the specific exceptions")
+                    cases;
+                Ast_iterator.default_iterator.expr it e
             | Pexp_apply (f, args) ->
                 check_apply f args e.pexp_loc;
                 it.expr it f;

@@ -45,7 +45,7 @@ let search graph ~src ~dst ~avoiding =
         else Queue.push (next, next_phase) queue
       end
     in
-    while !found = None && not (Queue.is_empty queue) do
+    while Option.is_none !found && not (Queue.is_empty queue) do
       let ((asn, phase) as state) = Queue.pop queue in
       let step (next, rel) =
         match (phase, (rel : Relationship.t)) with
@@ -72,7 +72,8 @@ let search graph ~src ~dst ~avoiding =
   end
 
 let policy_path graph ~src ~dst ~avoiding = search graph ~src ~dst ~avoiding
-let policy_reachable graph ~src ~dst ~avoiding = search graph ~src ~dst ~avoiding <> None
+let policy_reachable graph ~src ~dst ~avoiding =
+  Option.is_some (search graph ~src ~dst ~avoiding)
 
 module Tuples = struct
   (* Keys are (a,b,c) triples of raw ASN ints, stored in both orientations

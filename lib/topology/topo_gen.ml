@@ -118,7 +118,7 @@ let generate ?(params = default_params) ~seed () =
   let maybe_peer prob a b =
     if
       (not (Asn.equal a b))
-      && As_graph.relationship graph ~a ~b = None
+      && Option.is_none (As_graph.relationship graph ~a ~b)
       && Prng.bernoulli rng ~p:prob
     then As_graph.add_link graph ~a ~b ~rel:Relationship.Peer
   in

@@ -1,0 +1,9 @@
+(* Must-flag corpus for LG-ROB-EXN: catch-all exception handlers. *)
+
+let swallow_unit f = try f () with _ -> ()
+
+let swallow_default f = try f () with _ -> 0
+
+let swallow_aliased f = try f () with _ as _e -> ()
+
+let swallow_mixed f = try f () with Not_found -> 1 | _ -> 2

@@ -1,0 +1,10 @@
+(* Must-pass corpus for LG-ROB-EXN: specific handlers, bound exceptions,
+   and catch-all *match* arms (which are not exception handlers). *)
+
+let specific f = try f () with Not_found -> 0 | Invalid_argument _ -> 1
+
+let bound_and_reraised f = try f () with e -> raise e
+
+let exit_guard f = try f () with Exit -> ()
+
+let wildcard_match x = match x with Some v -> v | _ -> 0

@@ -155,6 +155,84 @@ let test_service_chaos_terminates () =
     (r.unfinished <= 2)
 
 (* ------------------------------------------------------------------ *)
+(* Control-plane fault injection. *)
+
+let test_faults_validation () =
+  let raises f =
+    Alcotest.(check bool) "rejects" true
+      (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  let p = Experiments.Fault_study.default_profile in
+  raises (fun () -> Bgp.Faults.validate { p with Bgp.Faults.session_flap_mtbf = -1.0 });
+  raises (fun () -> Bgp.Faults.validate { p with Bgp.Faults.session_flap_downtime = 0.0 });
+  raises (fun () -> Bgp.Faults.validate { p with Bgp.Faults.update_loss = 1.5 });
+  raises (fun () -> Bgp.Faults.validate { p with Bgp.Faults.update_loss = 0.7; update_dup = 0.7 });
+  raises (fun () -> Bgp.Faults.validate { p with Bgp.Faults.link_mttr = -5.0 });
+  (* Scaling to zero intensity disables every class. *)
+  let z = Bgp.Faults.scale p 0.0 in
+  Alcotest.(check (float 0.0)) "mtbf off" 0.0 z.Bgp.Faults.session_flap_mtbf;
+  Alcotest.(check (float 0.0)) "loss off" 0.0 z.Bgp.Faults.update_loss;
+  ignore (Bgp.Faults.validate z)
+
+(* The PR's acceptance bar: under a session-flap schedule (plus link,
+   router and wire faults) every detected outage still reaches the
+   terminal accounting identity, the injected-fault counters are live,
+   and the whole thing is deterministic. *)
+let test_service_faults_terminal () =
+  let faults = Bgp.Faults.scale Experiments.Fault_study.default_profile 2.0 in
+  let config = { small_config with Fleet.Service.faults } in
+  let r = Fleet.Service.run ~config ~seed:5 () in
+  let open Fleet.Service in
+  Alcotest.(check bool) "pipelines opened" true (r.detected > 0);
+  Alcotest.(check bool) "sessions flapped" true (r.session_flaps > 0);
+  Alcotest.(check bool) "links failed" true (r.link_failures > 0);
+  Alcotest.(check bool) "updates lost on the wire" true (r.updates_dropped > 0);
+  Alcotest.(check int) "every pipeline accounted for" r.detected
+    (r.repaired + r.stood_down + r.gave_up + r.unfinished);
+  let r' = Fleet.Service.run ~config ~seed:5 () in
+  Alcotest.(check int) "deterministic: detected" r.detected r'.detected;
+  Alcotest.(check int) "deterministic: flaps" r.session_flaps r'.session_flaps;
+  Alcotest.(check int) "deterministic: crashes" r.router_crashes r'.router_crashes;
+  Alcotest.(check int) "deterministic: dropped" r.updates_dropped r'.updates_dropped;
+  Alcotest.(check int) "deterministic: poisons" r.poisons r'.poisons
+
+let test_service_faults_off_inert () =
+  (* [Faults.none] draws nothing: all five counters stay zero and so do
+     the watchdog's fault-recovery counters. *)
+  let r = Fleet.Service.run ~config:small_config ~seed:5 () in
+  let open Fleet.Service in
+  Alcotest.(check int) "no flaps" 0 r.session_flaps;
+  Alcotest.(check int) "no link failures" 0 r.link_failures;
+  Alcotest.(check int) "no crashes" 0 r.router_crashes;
+  Alcotest.(check int) "no lost updates" 0 r.updates_dropped;
+  Alcotest.(check int) "no duplicated updates" 0 r.updates_duplicated;
+  Alcotest.(check int) "no re-announces" 0 r.reannounced;
+  Alcotest.(check int) "no rollbacks" 0 r.rolled_back;
+  Alcotest.(check int) "no breaker trips" 0 r.breaker_trips
+
+let test_fault_study_validation () =
+  let raises f =
+    Alcotest.(check bool) "rejects" true
+      (try ignore (f ()); false with Invalid_argument _ -> true)
+  in
+  raises (fun () -> Experiments.Fault_study.run ~intensities:[] ~seed:1 ());
+  raises (fun () -> Experiments.Fault_study.run ~intensities:[ 1.0; -0.5 ] ~seed:1 ());
+  raises (fun () ->
+      Experiments.Fault_study.run
+        ~profile:{ Experiments.Fault_study.default_profile with Bgp.Faults.update_loss = 2.0 }
+        ~seed:1 ())
+
+let test_fault_study_jobs_invariant () =
+  let render ~jobs =
+    let config = { small_config with Fleet.Service.duration = 10800.0 } in
+    let r =
+      Experiments.Fault_study.run ~config ~intensities:[ 0.0; 1.0 ] ~targets:10 ~jobs ~seed:7 ()
+    in
+    String.concat "\n" (List.map Stats.Table.render (Experiments.Fault_study.to_tables r))
+  in
+  Alcotest.(check string) "jobs 1 = jobs 2" (render ~jobs:1) (render ~jobs:2)
+
+(* ------------------------------------------------------------------ *)
 (* The fleet study: jobs-invariance is the whole point of sharding. *)
 
 let render_study ~jobs =
@@ -194,6 +272,12 @@ let suite =
     Alcotest.test_case "service: deterministic" `Quick test_service_deterministic;
     Alcotest.test_case "service: pipeline accounting" `Quick test_service_accounting;
     Alcotest.test_case "service: terminates under chaos" `Quick test_service_chaos_terminates;
+    Alcotest.test_case "faults: validation" `Quick test_faults_validation;
+    Alcotest.test_case "faults: terminal outcomes under fault schedule" `Quick
+      test_service_faults_terminal;
+    Alcotest.test_case "faults: disabled injector is inert" `Quick test_service_faults_off_inert;
+    Alcotest.test_case "fault study: validation" `Quick test_fault_study_validation;
+    Alcotest.test_case "fault study: jobs-invariant" `Quick test_fault_study_jobs_invariant;
     Alcotest.test_case "study: byte-identical across jobs" `Quick test_study_jobs_invariant;
     Alcotest.test_case "study: worlds merge by summation" `Quick test_study_merge;
   ]

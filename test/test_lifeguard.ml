@@ -437,6 +437,157 @@ let test_orchestrator_queue_not_dropped () =
   Alcotest.(check int) "round 1 and the announced round-2 poison repaired" 2
     (List.length repaired)
 
+(* Watchdog regressions. All three run the fig. 2 world with the A
+   reverse failure; they differ in what the control plane does to the
+   poison after it is announced. *)
+let watchdog_world ~announce_spacing ~poison_deadline =
+  let w = fig2_world () in
+  announce_all_infrastructure w;
+  let plan = Lifeguard.Remediate.plan ~sentinel ~origin:o ~production () in
+  let atlas = Measurement.Atlas.create () in
+  let responsiveness = Measurement.Responsiveness.create () in
+  let config =
+    {
+      Lifeguard.Orchestrator.default_config with
+      Lifeguard.Orchestrator.decide =
+        { Lifeguard.Decide.default_config with Lifeguard.Decide.min_outage_age = 200.0 };
+      announce_spacing;
+      poison_deadline;
+    }
+  in
+  let orc =
+    Lifeguard.Orchestrator.create ~config ~env:w.probe ~atlas ~responsiveness ~plan
+      ~vantage_points:[ d; c ] ()
+  in
+  converge w;
+  Lifeguard.Orchestrator.watch orc ~targets:[ e ];
+  (w, orc)
+
+let count_events orc f =
+  List.length (List.filter (fun (_, ev) -> f ev) (Lifeguard.Orchestrator.events orc))
+
+(* The poison announcement is lost on the wire (every O -> B update
+   dropped), so the vantage feeds keep showing the stale baseline. Once
+   the wire heals, the watchdog must re-announce idempotently — exactly
+   once, paced by announce_spacing — and the repair must then complete
+   normally. *)
+let test_watchdog_reannounce_after_lost_poison () =
+  let w, orc = watchdog_world ~announce_spacing:1800.0 ~poison_deadline:7200.0 in
+  Sim.Engine.run ~until:600.0 w.engine;
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  Bgp.Network.set_link_faults w.net
+    (Some (fun ~from ~to_ -> if Asn.equal from o && Asn.equal to_ b then `Drop else `Deliver));
+  Sim.Engine.run ~until:2400.0 w.engine;
+  (match Lifeguard.Orchestrator.state orc with
+  | Lifeguard.Orchestrator.Poisoned target -> Alcotest.(check int) "poisoned A" 30 (Asn.to_int target)
+  | _ -> Alcotest.fail "expected poisoned state");
+  Alcotest.(check int) "poison not yet confirmed (lost on the wire)" 0
+    (count_events orc
+       (function Lifeguard.Orchestrator.Poison_confirmed _ -> true | _ -> false));
+  (* Wire heals; the stale vantage views must now trigger exactly one
+     idempotent re-announcement once the spacing window opens. *)
+  Bgp.Network.set_link_faults w.net None;
+  Sim.Engine.run ~until:6000.0 w.engine;
+  Alcotest.(check int) "re-announced exactly once" 1 (Lifeguard.Orchestrator.reannounce_count orc);
+  Alcotest.(check int) "one re-announce event" 1
+    (count_events orc
+       (function Lifeguard.Orchestrator.Poison_reannounced _ -> true | _ -> false));
+  Alcotest.(check int) "confirmed after the re-announce" 1
+    (count_events orc
+       (function Lifeguard.Orchestrator.Poison_confirmed _ -> true | _ -> false));
+  Alcotest.(check int) "initial announcement not duplicated" 1
+    (count_events orc
+       (function Lifeguard.Orchestrator.Poison_announced _ -> true | _ -> false));
+  (* Heal the outage: the repair completes through the normal path. *)
+  Dataplane.Failure.remove w.failures reverse_failure_spec;
+  Sim.Engine.run ~until:12000.0 w.engine;
+  Alcotest.(check bool) "idle at the end" true
+    (Lifeguard.Orchestrator.state orc = Lifeguard.Orchestrator.Idle);
+  Alcotest.(check int) "no rollback" 0 (Lifeguard.Orchestrator.rollback_count orc);
+  Alcotest.(check bool) "breaker never opened" false
+    (Lifeguard.Orchestrator.breaker_open orc ~target:a);
+  (match Lifeguard.Orchestrator.outcomes orc with
+  | [ (_, t', Lifeguard.Orchestrator.Repaired) ] ->
+      Alcotest.(check int) "E repaired" 60 (Asn.to_int t')
+  | _ -> Alcotest.fail "expected exactly one Repaired outcome")
+
+(* The wire never heals: the poison cannot propagate, so the watchdog
+   must roll it back at the deadline, record a give-up, and open the
+   circuit breaker — and the next detection of the same outage must be
+   refused by the breaker instead of re-poisoning forever. *)
+let test_watchdog_rollback_and_breaker () =
+  let w, orc = watchdog_world ~announce_spacing:1800.0 ~poison_deadline:3600.0 in
+  Sim.Engine.run ~until:600.0 w.engine;
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  Bgp.Network.set_link_faults w.net
+    (Some (fun ~from ~to_ -> if Asn.equal from o && Asn.equal to_ b then `Drop else `Deliver));
+  Sim.Engine.run ~until:9000.0 w.engine;
+  Alcotest.(check int) "one rollback" 1 (Lifeguard.Orchestrator.rollback_count orc);
+  Alcotest.(check int) "one rollback event" 1
+    (count_events orc
+       (function Lifeguard.Orchestrator.Poison_rolled_back _ -> true | _ -> false));
+  Alcotest.(check bool) "watchdog retried the announcement first" true
+    (Lifeguard.Orchestrator.reannounce_count orc >= 1);
+  Alcotest.(check int) "the failed poison was withdrawn" 1
+    (count_events orc (function Lifeguard.Orchestrator.Unpoisoned -> true | _ -> false));
+  Alcotest.(check bool) "breaker open for A" true
+    (Lifeguard.Orchestrator.breaker_open orc ~target:a);
+  Alcotest.(check bool) "no poison left standing" true
+    (Lifeguard.Orchestrator.state orc <> Lifeguard.Orchestrator.Poisoned a);
+  Alcotest.(check int) "nothing queued" 0 (Lifeguard.Orchestrator.queued_poisons orc);
+  (* The same outage comes back (monitors are edge-triggered, so let it
+     recover first): the new pipeline's poison verdict must now be
+     refused by the open breaker instead of re-poisoning A. *)
+  Dataplane.Failure.remove w.failures reverse_failure_spec;
+  Sim.Engine.run ~until:9400.0 w.engine;
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  Sim.Engine.run ~until:13000.0 w.engine;
+  Alcotest.(check bool) "re-poisoning refused by the breaker" true
+    (Lifeguard.Orchestrator.breaker_trip_count orc >= 1);
+  Alcotest.(check bool) "breaker events logged" true
+    (count_events orc (function Lifeguard.Orchestrator.Breaker_open _ -> true | _ -> false) >= 1);
+  Alcotest.(check int) "still just the one rollback" 1 (Lifeguard.Orchestrator.rollback_count orc);
+  let outcomes = Lifeguard.Orchestrator.outcomes orc in
+  Alcotest.(check bool) "terminal outcomes recorded" true (List.length outcomes >= 1);
+  List.iter
+    (fun (_, _, oc) ->
+      match oc with
+      | Lifeguard.Orchestrator.Gave_up_on _ -> ()
+      | oc -> Alcotest.failf "expected give-ups only, got %a" Lifeguard.Orchestrator.pp_outcome oc)
+    outcomes
+
+(* A session reset while the poison stands: the flap flushes B's RIBs,
+   but re-establishment re-syncs the adj-RIB-out, so the poison comes
+   back on its own — the watchdog must NOT burn an announcement on it. *)
+let test_watchdog_session_reset_resync () =
+  let w, orc = watchdog_world ~announce_spacing:1800.0 ~poison_deadline:3600.0 in
+  Sim.Engine.run ~until:600.0 w.engine;
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  Sim.Engine.run ~until:2400.0 w.engine;
+  (match Lifeguard.Orchestrator.state orc with
+  | Lifeguard.Orchestrator.Poisoned _ -> ()
+  | _ -> Alcotest.fail "expected poisoned state");
+  Alcotest.(check int) "confirmed before the flap" 1
+    (count_events orc
+       (function Lifeguard.Orchestrator.Poison_confirmed _ -> true | _ -> false));
+  (* Flap the O-B session: RIB flush both sides, immediate re-sync. *)
+  Bgp.Network.fail_link w.net ~a:o ~b;
+  Bgp.Network.restore_link w.net ~a:o ~b;
+  Sim.Engine.run ~until:4800.0 w.engine;
+  Alcotest.(check int) "no watchdog re-announce needed" 0
+    (Lifeguard.Orchestrator.reannounce_count orc);
+  (match Lifeguard.Orchestrator.state orc with
+  | Lifeguard.Orchestrator.Poisoned _ -> ()
+  | _ -> Alcotest.fail "poison must survive the session reset");
+  Dataplane.Failure.remove w.failures reverse_failure_spec;
+  Sim.Engine.run ~until:9000.0 w.engine;
+  Alcotest.(check bool) "idle at the end" true
+    (Lifeguard.Orchestrator.state orc = Lifeguard.Orchestrator.Idle);
+  Alcotest.(check int) "no rollback" 0 (Lifeguard.Orchestrator.rollback_count orc);
+  (match Lifeguard.Orchestrator.outcomes orc with
+  | [ (_, _, Lifeguard.Orchestrator.Repaired) ] -> ()
+  | _ -> Alcotest.fail "expected exactly one Repaired outcome")
+
 let suite =
   [
     Alcotest.test_case "isolation: reverse failure" `Quick test_isolation_reverse_failure;
@@ -458,4 +609,10 @@ let suite =
       test_orchestrator_queue_not_dropped;
     Alcotest.test_case "residual durations" `Quick test_residual;
     Alcotest.test_case "orchestrator end-to-end" `Quick test_orchestrator_end_to_end;
+    Alcotest.test_case "watchdog re-announces a lost poison exactly once" `Quick
+      test_watchdog_reannounce_after_lost_poison;
+    Alcotest.test_case "watchdog rollback + circuit breaker" `Quick
+      test_watchdog_rollback_and_breaker;
+    Alcotest.test_case "session reset re-syncs the poison" `Quick
+      test_watchdog_session_reset_resync;
   ]

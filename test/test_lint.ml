@@ -58,6 +58,15 @@ let test_perf_fixtures () =
   check_rule "perf_bad" bad Rule.Perf_scan 2;
   Alcotest.(check int) "perf_good is clean" 0 (List.length (scan_fixture "perf_good.ml"))
 
+let test_rob_fixtures () =
+  let bad = scan_fixture "rob_bad.ml" in
+  check_rule "rob_bad" bad Rule.Rob_exn 4;
+  Alcotest.(check int) "rob_good is clean" 0 (List.length (scan_fixture "rob_good.ml"));
+  (* outside lib/, defensive catch-alls in a binary are its business *)
+  match Scan.scan_file ~kind:(Scan.classify "bench/main.ml") (fixture "rob_bad.ml") with
+  | Ok vs -> check_rule "rob_bad outside lib" vs Rule.Rob_exn 0
+  | Error e -> Alcotest.fail e
+
 let test_mli_fixtures () =
   let files = Lint.collect_ml_files [] (fixture "mli") in
   let vs = Scan.mli_violations ~force_lib:true files in
@@ -108,6 +117,7 @@ let suite =
     Alcotest.test_case "domain-safety fixtures" `Quick test_dom_fixtures;
     Alcotest.test_case "perf fixtures" `Quick test_perf_fixtures;
     Alcotest.test_case "obs/printf fixtures" `Quick test_obs_fixtures;
+    Alcotest.test_case "robustness/exception fixtures" `Quick test_rob_fixtures;
     Alcotest.test_case "mli fixtures" `Quick test_mli_fixtures;
     Alcotest.test_case "baseline semantics" `Quick test_baseline_semantics;
     Alcotest.test_case "check exit codes" `Quick test_check_exit_codes;
