@@ -160,7 +160,9 @@ let micro_benchmarks () =
             ~ann:
               (Bgp.Route.announcement
                  ~prefix:(Net.Prefix.of_string_exn "203.0.113.0/24")
-                 ~path:(List.init (3 + (i mod 4)) (fun j -> Net.Asn.of_int (100 + i + j)))
+                 ~path:
+                   (Bgp.As_path.of_list
+                      (List.init (3 + (i mod 4)) (fun j -> Net.Asn.of_int (100 + i + j))))
                  ())
             ~neighbor:(Net.Asn.of_int (100 + i))
             ~rel:
@@ -237,9 +239,72 @@ let micro_benchmarks () =
                 bed.Workloads.Scenarios.failures ~src
                 ~dst:(Dataplane.Forward.probe_address bed.Workloads.Scenarios.net dst))))
   in
+  (* O(1) interned equality vs a structural list walk, across path
+     lengths: the interned timings stay flat while the baseline grows.
+     The list representation survives only here, as the yardstick. *)
+  let equality_tests =
+    let store = Bgp.Path_store.create () in
+    let mk_pair len =
+      let asns = List.init len (fun i -> Net.Asn.of_int (64000 + i)) in
+      let p = Bgp.Path_store.intern_path store (Bgp.As_path.of_list asns) in
+      let q = Bgp.Path_store.intern_path store (Bgp.As_path.of_list asns) in
+      let l1 = List.init len (fun i -> Net.Asn.of_int (64000 + i)) in
+      let l2 = List.init len (fun i -> Net.Asn.of_int (64000 + i)) in
+      let rec list_eq a b =
+        match (a, b) with
+        | [], [] -> true
+        | x :: xs, y :: ys -> Net.Asn.equal x y && list_eq xs ys
+        | _ -> false
+      in
+      [
+        Test.make ~name:(Printf.sprintf "as_path equal: interned, len %d" len)
+          (Staged.stage (fun () -> ignore (Bgp.As_path.equal p q)));
+        Test.make ~name:(Printf.sprintf "as_path equal: list baseline, len %d" len)
+          (Staged.stage (fun () -> ignore (list_eq l1 l2)));
+      ]
+    in
+    List.concat_map mk_pair [ 4; 64; 512 ]
+  in
+  let ann_equal_test =
+    let store = Bgp.Path_store.create () in
+    let mk () =
+      Bgp.Route.announcement
+        ~prefix:(Net.Prefix.of_string_exn "203.0.113.0/24")
+        ~path:(Bgp.As_path.of_list (List.init 6 (fun i -> Net.Asn.of_int (65000 + i))))
+        ()
+    in
+    let a1 = Bgp.Path_store.intern_ann store (mk ()) in
+    let a2 = Bgp.Path_store.intern_ann store (mk ()) in
+    Test.make ~name:"announcement equal: interned"
+      (Staged.stage (fun () -> ignore (Bgp.Route.announcement_equal a1 a2)))
+  in
+  (* Incremental export sync: a full session flap only touches the flapped
+     neighbor's adj-RIB-out, not every (prefix x neighbor) pair. *)
+  let session_flap_test =
+    let neighbors =
+      List.init 4 (fun i -> (Net.Asn.of_int (200 + i), Topology.Relationship.Customer))
+    in
+    let sp =
+      Bgp.Speaker.create ~asn:(Net.Asn.of_int 100) ~config:Bgp.Policy.default ~neighbors ()
+    in
+    let plain = Bgp.As_path.plain ~origin:(Net.Asn.of_int 100) in
+    List.iter
+      (fun i ->
+        let prefix = Net.Prefix.make (Net.Ipv4.of_octets 10 i 0 0) 24 in
+        ignore
+          (Bgp.Speaker.originate sp ~now:0.0 ~prefix ~per_neighbor:(fun _ -> Some plain)))
+      (List.init 50 (fun i -> i));
+    let flapper = Net.Asn.of_int 200 in
+    Test.make ~name:"speaker: session flap, 50 prefixes x 4 neighbors"
+      (Staged.stage (fun () ->
+           ignore (Bgp.Speaker.session_down sp ~now:1.0 ~neighbor:flapper);
+           ignore (Bgp.Speaker.session_up sp ~now:2.0 ~neighbor:flapper)))
+  in
   let tests =
     Test.make_grouped ~name:"lifeguard"
-      [ decision_test; trie_test; reach_test; engine_test; walk_test ]
+      ([ decision_test; trie_test; reach_test; engine_test; walk_test ]
+      @ equality_tests
+      @ [ ann_equal_test; session_flap_test ])
   in
   let benchmark () =
     let ols =

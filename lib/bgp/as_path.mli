@@ -5,26 +5,41 @@
     announced the route and the last element is the origin. BGP's loop
     prevention — an AS rejects any path already containing its own number —
     is what poisoning exploits: the origin [O] announces [O-A-O] so that
-    [A] drops the route and other ASes route around it. *)
+    [A] drops the route and other ASes route around it.
+
+    Representation: a path is a hash-consed node — an immutable ASN array
+    plus a cached salted structural hash and an interner id. Constructors
+    build uninterned nodes; a per-world {!Path_store} deduplicates them so
+    that structurally-equal paths of one world are physically shared and
+    {!equal} is O(1) on the hot path. Interner ids are world-local and
+    never compared across worlds. *)
 
 open Net
 
-type t = Asn.t list
-(** Nearest AS first, origin last. *)
+type t
+(** Nearest AS first, origin last. Immutable; structurally-equal values
+    interned by the same {!Path_store} are physically equal. *)
 
 val empty : t
+val is_empty : t -> bool
+
 val origin : t -> Asn.t option
-(** The last AS (the originator), if the path is non-empty. *)
+(** The last AS (the originator), if the path is non-empty. O(1). *)
 
 val first_hop : t -> Asn.t option
-(** The head of the path — the next-hop AS from the receiver's view. *)
+(** The head of the path — the next-hop AS from the receiver's view. O(1). *)
 
 val length : t -> int
 (** Plain hop count, counting duplicates (so prepending lengthens a path,
-    which is why it lowers preference). *)
+    which is why it lowers preference). O(1). *)
 
 val prepend : Asn.t -> t -> t
+(** Returns a fresh uninterned node; intern it before storing in a RIB. *)
+
 val contains : Asn.t -> t -> bool
+val exists : (Asn.t -> bool) -> t -> bool
+val fold : ('a -> Asn.t -> 'a) -> 'a -> t -> 'a
+
 val count : Asn.t -> t -> int
 (** Occurrences of an AS in the path. *)
 
@@ -59,8 +74,31 @@ val poisoned_multi : origin:Asn.t -> poisons:Asn.t list -> t
     accept one occurrence of their own number, by inserting it twice —
     see §7.1). *)
 
+val of_list : Asn.t list -> t
+(** Build an (uninterned) path from a nearest-first ASN list. *)
+
+val to_list : t -> Asn.t list
+
 val equal : t -> t -> bool
+(** Physical equality, then cached-hash comparison, then a structural walk
+    only on hash collision — O(1) on values interned by one store, and
+    O(1) with high probability on unequal values from anywhere. *)
+
+val hash : t -> int
+(** The cached salted structural hash (computed once at construction). *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints as ["O A O"] style: space-separated ASNs, nearest first. *)
 
 val to_string : t -> string
+
+(** Interner plumbing for {!Path_store}; not for general use. *)
+module Internal : sig
+  val id : t -> int
+  (** The interner id, or [-1] if the node is uninterned. World-local:
+      meaningless to compare across worlds. *)
+
+  val with_id : t -> int -> t
+  (** A copy of the node carrying the given interner id (shares the ASN
+      array). *)
+end

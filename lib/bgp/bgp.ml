@@ -5,6 +5,7 @@
 
 module Community = Community
 module As_path = As_path
+module Path_store = Path_store
 module Route = Route
 module Policy = Policy
 module Decision = Decision

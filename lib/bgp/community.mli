@@ -11,6 +11,10 @@ type t = { asn : int; value : int }
 val make : asn:int -> value:int -> t
 val equal : t -> t -> bool
 val compare : t -> t -> int
+
+val hash : t -> int
+(** Deterministic integer mix of both fields (announcement interning). *)
+
 val pp : Format.formatter -> t -> unit
 
 val no_export : t

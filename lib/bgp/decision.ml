@@ -43,7 +43,7 @@ let best entries =
            first rest)
 
 let best_in_table table =
-  Hashtbl.fold
+  Asn.Table.fold
     (fun _ e acc ->
       match acc with
       | None -> Some e

@@ -28,5 +28,5 @@ val best : Route.entry list -> Route.entry option
     is what makes real forward and reverse routes asymmetric. Entries
     built without a salt fall back to lowest-neighbor-ASN. *)
 
-val best_in_table : (Asn.t, Route.entry) Hashtbl.t -> Route.entry option
+val best_in_table : Route.entry Asn.Table.t -> Route.entry option
 (** Most preferred entry among a neighbor-indexed table of candidates. *)

@@ -21,16 +21,34 @@ type update_record = {
 type session = {
   mutable last_sent : float;  (** When we last put updates on this session. *)
   pending : (Prefix.t, Speaker.action) Hashtbl.t;
+      (* Deliberately a polymorphic Hashtbl (grandfathered in the lint
+         baseline): the MRAI flush folds this table and its iteration
+         order fixes the batch emission order, so swapping the hash would
+         silently reorder update batches against recorded runs. *)
   mutable timer_armed : bool;
   jittered_mrai : float;
 }
+
+module Asn_pair_tbl = Hashtbl.Make (struct
+  type t = Asn.t * Asn.t
+
+  let equal (a1, b1) (a2, b2) = Asn.equal a1 a2 && Asn.equal b1 b2
+  let hash (a, b) = ((Asn.hash a * 0x9E3779B1) lxor Asn.hash b) land max_int
+end)
+
+module Peer_prefix_tbl = Hashtbl.Make (struct
+  type t = Asn.t * Prefix.t
+
+  let equal (a1, p1) (a2, p2) = Asn.equal a1 a2 && Prefix.equal p1 p2
+  let hash (a, p) = ((Asn.hash a * 0x9E3779B1) lxor Prefix.hash p) land max_int
+end)
 
 type collector_state = {
   cname : string;
   cpeers : Asn.t list;
   peer_set : Asn.Set.t;
   mutable records : update_record list;  (** newest first *)
-  clatest : (Asn.t * Prefix.t, Route.entry option) Hashtbl.t;
+  clatest : Route.entry option Peer_prefix_tbl.t;
       (** Latest recorded route per (peer, prefix), so [current_route]
           answers in O(1) instead of scanning [records]. *)
 }
@@ -39,9 +57,12 @@ type t = {
   engine : Sim.Engine.t;
   graph : As_graph.t;
   speakers : Speaker.t Asn.Table.t;
+  store : Path_store.t;
+      (** This world's path/announcement interner, shared by every speaker
+          of the network and by nothing outside it. *)
   delay_of : Asn.t -> Asn.t -> float;
-  sessions : (Asn.t * Asn.t, session) Hashtbl.t;  (** keyed (from, to) *)
-  owners : (Prefix.t, Asn.t) Hashtbl.t;
+  sessions : session Asn_pair_tbl.t;  (** keyed (from, to) *)
+  owners : Asn.t Prefix.Table.t;
   mutable originations : (Asn.t -> As_path.t option) Prefix.Map.t;
       (** Administrative intent: the latest per-neighbor path function
           each originated prefix was announced with. Survives a router
@@ -92,8 +113,10 @@ let speaker t asn =
   | Some sp -> sp
   | None -> invalid_arg (Printf.sprintf "Network: unknown %s" (Asn.to_string asn))
 
+let path_store t = t.store
+
 let session t a b =
-  match Hashtbl.find_opt t.sessions (a, b) with
+  match Asn_pair_tbl.find_opt t.sessions (a, b) with
   | Some s -> s
   | None ->
       invalid_arg
@@ -196,10 +219,12 @@ let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
     | None -> fun _ -> Policy.default
   in
   let speakers = Asn.Table.create 256 in
+  let store = Path_store.create () in
   List.iter
     (fun asn ->
       let sp =
-        Speaker.create ~asn ~config:(config_of asn) ~neighbors:(As_graph.neighbors graph asn)
+        Speaker.create ~store ~asn ~config:(config_of asn)
+          ~neighbors:(As_graph.neighbors graph asn) ()
       in
       Asn.Table.replace speakers asn sp)
     (As_graph.as_list graph);
@@ -208,9 +233,10 @@ let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
       engine;
       graph;
       speakers;
+      store;
       delay_of;
-      sessions = Hashtbl.create 1024;
-      owners = Hashtbl.create 16;
+      sessions = Asn_pair_tbl.create 1024;
+      owners = Prefix.Table.create 16;
       originations = Prefix.Map.empty;
       owner_trie = Prefix_trie.empty;
       link_faults = None;
@@ -228,7 +254,7 @@ let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
             (fun c ->
               if Asn.Set.mem asn c.peer_set then begin
                 c.records <- { time = now; speaker = asn; prefix; route } :: c.records;
-                Hashtbl.replace c.clatest (asn, prefix) route
+                Peer_prefix_tbl.replace c.clatest (asn, prefix) route
               end)
             t.collectors);
       (* Damping reuse timers: when a speaker suppresses a route, wake it
@@ -255,7 +281,7 @@ let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
     (fun a ->
       List.iter
         (fun (b, _) ->
-          Hashtbl.replace t.sessions (a, b)
+          Asn_pair_tbl.replace t.sessions (a, b)
             {
               last_sent = neg_infinity;
               pending = Hashtbl.create 4;
@@ -270,9 +296,11 @@ let announce t ~origin ~prefix ?per_neighbor () =
   let per_neighbor =
     match per_neighbor with
     | Some f -> f
-    | None -> fun _ -> Some (As_path.plain ~origin)
+    | None ->
+        let plain = Path_store.intern_path t.store (As_path.plain ~origin) in
+        fun _ -> Some plain
   in
-  Hashtbl.replace t.owners prefix origin;
+  Prefix.Table.replace t.owners prefix origin;
   t.originations <- Prefix.Map.add prefix per_neighbor t.originations;
   t.owner_trie <- Prefix_trie.add prefix origin t.owner_trie;
   let out =
@@ -281,7 +309,7 @@ let announce t ~origin ~prefix ?per_neighbor () =
   emit_all t origin out
 
 let withdraw t ~origin ~prefix =
-  Hashtbl.remove t.owners prefix;
+  Prefix.Table.remove t.owners prefix;
   t.originations <- Prefix.Map.remove prefix t.originations;
   t.owner_trie <- Prefix_trie.remove prefix t.owner_trie;
   let out = Speaker.stop_originating (speaker t origin) ~now:(Sim.Engine.now t.engine) ~prefix in
@@ -291,7 +319,7 @@ let refresh t ~origin ~prefix =
   let out = Speaker.refresh_prefix (speaker t origin) ~prefix in
   emit_all t origin out
 
-let owner t prefix = Hashtbl.find_opt t.owners prefix
+let owner t prefix = Prefix.Table.find_opt t.owners prefix
 let owner_of_address t ip = Prefix_trie.lookup ip t.owner_trie
 let best_route t asn prefix = Speaker.best (speaker t asn) prefix
 let fib_lookup t asn ip = Speaker.fib_lookup (speaker t asn) ip
@@ -326,7 +354,7 @@ let restore_node t asn =
   List.iter (fun (n, _) -> restore_link t ~a:asn ~b:n) (As_graph.neighbors t.graph asn)
 
 let owned_prefixes t asn =
-  Hashtbl.fold (fun p o acc -> if Asn.equal o asn then p :: acc else acc) t.owners []
+  Prefix.Table.fold (fun p o acc -> if Asn.equal o asn then p :: acc else acc) t.owners []
   |> List.sort Prefix.compare
 
 (* A crash loses the whole loc-RIB: sessions drop (flushing the adj-RIBs
@@ -370,7 +398,7 @@ module Collector = struct
         cpeers = peers;
         peer_set = List.fold_left (fun s p -> Asn.Set.add p s) Asn.Set.empty peers;
         records = [];
-        clatest = Hashtbl.create 64;
+        clatest = Peer_prefix_tbl.create 64;
       }
     in
     net.collectors <- c :: net.collectors;
@@ -382,14 +410,14 @@ module Collector = struct
   let since c time = List.rev (List.filter (fun r -> r.time >= time) c.records)
   let clear c =
     c.records <- [];
-    Hashtbl.reset c.clatest
+    Peer_prefix_tbl.reset c.clatest
 
   let current_route c ~peer ~prefix =
-    match Hashtbl.find_opt c.clatest (peer, prefix) with
+    match Peer_prefix_tbl.find_opt c.clatest (peer, prefix) with
     | Some route -> route
     | None -> None
 
-  let route_view c ~peer ~prefix = Hashtbl.find_opt c.clatest (peer, prefix)
+  let route_view c ~peer ~prefix = Peer_prefix_tbl.find_opt c.clatest (peer, prefix)
 end
 
 let message_count t = t.delivered

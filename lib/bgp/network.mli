@@ -49,6 +49,12 @@ val create :
 val engine : t -> Sim.Engine.t
 (** The shared discrete-event engine the network schedules on. *)
 
+val path_store : t -> Path_store.t
+(** This world's path/announcement interner. {!create} builds one store
+    and hands it to every speaker, so structurally-equal routes inside the
+    world are physically shared; it is never shared across worlds
+    (lib/par worlds are share-nothing). *)
+
 val graph : t -> As_graph.t
 (** The annotated AS topology the speakers were built from. *)
 

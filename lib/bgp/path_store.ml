@@ -1,0 +1,70 @@
+open Net
+
+(* Per-world interner for AS paths and announcements.
+
+   Per-world is load-bearing: lib/par worlds are share-nothing (LG-DOM-MUT
+   forbids module-level tables in libraries), so each [Network.create]
+   builds its own store and threads it through every [Speaker.create].
+   Interning is pure deduplication — it never changes what a table prints,
+   only which physical value backs it — so tables stay byte-identical at
+   any [--jobs]. Ids are assigned in first-intern order and are therefore
+   world-local; [As_path.equal] never compares them across values. *)
+
+module Path_key = struct
+  type t = As_path.t
+
+  (* Structural identity: the id stamped by interning must not influence
+     lookups, so an uninterned probe finds its interned twin. *)
+  let equal a b = As_path.equal a b
+  let hash = As_path.hash
+end
+
+module Path_tbl = Hashtbl.Make (Path_key)
+
+module Ann_key = struct
+  type t = Route.announcement
+
+  let equal (a : t) (b : t) =
+    Prefix.equal a.prefix b.prefix
+    && As_path.equal a.path b.path
+    && List.length a.communities = List.length b.communities
+    && List.for_all2 Community.equal a.communities b.communities
+    && Option.equal Int.equal a.med b.med
+
+  let hash (a : t) =
+    let h = Prefix.hash a.prefix lxor (As_path.hash a.path * 0x9E3779B1) in
+    let h = List.fold_left (fun h c -> h lxor Community.hash c) h a.communities in
+    let h = match a.med with None -> h | Some m -> h lxor ((m + 1) * 0x5F3759DF) in
+    h land max_int
+end
+
+module Ann_tbl = Hashtbl.Make (Ann_key)
+
+type t = {
+  mutable next_id : int;
+  paths : As_path.t Path_tbl.t;
+  anns : Route.announcement Ann_tbl.t;
+}
+
+let create () = { next_id = 0; paths = Path_tbl.create 1024; anns = Ann_tbl.create 1024 }
+
+let intern_path t path =
+  match Path_tbl.find_opt t.paths path with
+  | Some shared -> shared
+  | None ->
+      let stamped = As_path.Internal.with_id path t.next_id in
+      t.next_id <- t.next_id + 1;
+      Path_tbl.add t.paths stamped stamped;
+      stamped
+
+let intern_ann t (ann : Route.announcement) =
+  match Ann_tbl.find_opt t.anns ann with
+  | Some shared -> shared
+  | None ->
+      let path = intern_path t ann.path in
+      let stored = if path == ann.path then ann else { ann with path } in
+      Ann_tbl.add t.anns stored stored;
+      stored
+
+let path_count t = Path_tbl.length t.paths
+let ann_count t = Ann_tbl.length t.anns

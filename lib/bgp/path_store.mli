@@ -1,0 +1,28 @@
+(** Per-world interner for AS paths and announcements.
+
+    One store per simulated world: {!Network.create} builds it and threads
+    it through every {!Speaker.create}, so structurally-equal paths and
+    announcements inside a world collapse to one physical value and
+    [As_path.equal] / [Route.announcement_equal] settle on the [==] fast
+    path. There is deliberately no module-level default store — lib/par
+    worlds are share-nothing (LG-DOM-MUT), and a shared table would make
+    interner ids depend on world scheduling. Interning never changes what
+    a table prints, so experiment output stays byte-identical at any
+    [--jobs]. *)
+
+type t
+
+val create : unit -> t
+
+val intern_path : t -> As_path.t -> As_path.t
+(** The store's canonical physical value for this path; stamps a fresh
+    world-local id on first sight. Idempotent. *)
+
+val intern_ann : t -> Route.announcement -> Route.announcement
+(** Canonical announcement (its path interned too). Idempotent. *)
+
+val path_count : t -> int
+(** Distinct paths interned so far. *)
+
+val ann_count : t -> int
+(** Distinct announcements interned so far. *)

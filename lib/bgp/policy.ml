@@ -57,11 +57,16 @@ let import config ~self ~peers_of_self ~neighbor ~rel (ann : Route.announcement)
   else if
     config.reject_peers_in_customer_paths
     && Relationship.equal rel Relationship.Customer
-    && List.exists (fun a -> Asn.Set.mem a peers_of_self) ann.path
+    && As_path.exists (fun a -> Asn.Set.mem a peers_of_self) ann.path
   then Rejected "peer AS in customer-announced path"
   else Accepted (local_pref_for config ~self ~neighbor ~rel)
 
-let export config ~self ~entry ~to_neighbor ~to_rel =
+(* Export is split into the per-neighbor predicate [export_allowed] and the
+   neighbor-independent rewrite [export_ann], so a speaker syncing one
+   prefix toward many neighbors computes (and interns) the outgoing
+   announcement once and runs only the cheap predicate per neighbor. *)
+
+let export_allowed config ~self ~entry ~to_neighbor ~to_rel =
   let { Route.ann; rel = learned_from; neighbor; _ } = entry in
   let blocked_by_community =
     List.exists Community.is_no_export ann.Route.communities
@@ -71,13 +76,19 @@ let export config ~self ~entry ~to_neighbor ~to_rel =
             (Community.is_no_export_to_peers ~asn:(Asn.to_int self))
             ann.Route.communities)
   in
-  if Asn.equal to_neighbor neighbor && not (Route.is_local entry) then None
-  else if not (Relationship.export_ok ~learned_from ~to_:to_rel) then None
-  else if blocked_by_community then None
-  else begin
-    let communities = if config.strip_communities then [] else ann.Route.communities in
-    let path =
-      if Route.is_local entry then ann.Route.path else As_path.prepend self ann.Route.path
-    in
-    Some { ann with Route.path; communities; med = None }
-  end
+  (not (Asn.equal to_neighbor neighbor && not (Route.is_local entry)))
+  && Relationship.export_ok ~learned_from ~to_:to_rel
+  && not blocked_by_community
+
+let export_ann config ~self ~entry =
+  let ann = entry.Route.ann in
+  let communities = if config.strip_communities then [] else ann.Route.communities in
+  let path =
+    if Route.is_local entry then ann.Route.path else As_path.prepend self ann.Route.path
+  in
+  { ann with Route.path; communities; med = None }
+
+let export config ~self ~entry ~to_neighbor ~to_rel =
+  if export_allowed config ~self ~entry ~to_neighbor ~to_rel then
+    Some (export_ann config ~self ~entry)
+  else None

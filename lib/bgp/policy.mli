@@ -84,6 +84,22 @@ val import :
     loop prevention against [loop_limit], then the Cogent quirk against
     [peers_of_self]. *)
 
+val export_allowed :
+  config ->
+  self:Asn.t ->
+  entry:Route.entry ->
+  to_neighbor:Asn.t ->
+  to_rel:Relationship.t ->
+  bool
+(** The per-neighbor half of {!export}: valley-free check, no-echo back to
+    the learning neighbor, community blocks. Cheap — no allocation. *)
+
+val export_ann : config -> self:Asn.t -> entry:Route.entry -> Route.announcement
+(** The neighbor-independent half of {!export}: the announcement actually
+    sent when {!export_allowed} holds (prepends [self] unless the entry is
+    local, strips communities when configured, clears MED). Compute it
+    once per prefix and reuse it for every permitted neighbor. *)
+
 val export :
   config ->
   self:Asn.t ->

@@ -9,15 +9,19 @@ type announcement = {
 }
 
 let announcement ?(communities = []) ?med ~prefix ~path () =
-  if path = [] then invalid_arg "Route.announcement: empty AS path";
+  if As_path.is_empty path then invalid_arg "Route.announcement: empty AS path";
   { prefix; path; communities; med }
 
+(* Announcements interned by one world's [Path_store] are physically
+   shared, so the [==] test settles the hot-path duplicate check in O(1);
+   the attribute walk only runs for uninterned values. *)
 let announcement_equal a b =
-  Prefix.equal a.prefix b.prefix
-  && As_path.equal a.path b.path
-  && List.length a.communities = List.length b.communities
-  && List.for_all2 Community.equal a.communities b.communities
-  && Option.equal Int.equal a.med b.med
+  a == b
+  || (Prefix.equal a.prefix b.prefix
+     && As_path.equal a.path b.path
+     && List.length a.communities = List.length b.communities
+     && List.for_all2 Community.equal a.communities b.communities
+     && Option.equal Int.equal a.med b.med)
 
 let pp_announcement fmt a =
   Format.fprintf fmt "%a via [%a]" Prefix.pp a.prefix As_path.pp a.path
@@ -53,11 +57,12 @@ let make_entry ?salt ~ann ~neighbor ~rel ~local_pref ~learned_at () =
 
 let local_pref_local = 400
 
+let local_entry_of ~ann ~self ~now =
+  make_entry ~ann ~neighbor:self ~rel:Relationship.Customer
+    ~local_pref:local_pref_local ~learned_at:now ()
+
 let local_entry ~prefix ~self ~path ~now =
-  make_entry
-    ~ann:(announcement ~prefix ~path ())
-    ~neighbor:self ~rel:Relationship.Customer ~local_pref:local_pref_local
-    ~learned_at:now ()
+  local_entry_of ~ann:(announcement ~prefix ~path ()) ~self ~now
 
 let is_local e = e.local_pref = local_pref_local
 

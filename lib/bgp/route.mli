@@ -16,7 +16,8 @@ val announcement :
   announcement
 
 val announcement_equal : announcement -> announcement -> bool
-(** Full attribute equality — used to suppress duplicate updates. *)
+(** Full attribute equality — used to suppress duplicate updates. O(1)
+    ([==]) on announcements interned by one world's {!Path_store}. *)
 
 val pp_announcement : Format.formatter -> announcement -> unit
 
@@ -60,6 +61,10 @@ val make_entry :
 val local_entry : prefix:Prefix.t -> self:Asn.t -> path:As_path.t -> now:float -> entry
 (** The locally-originated route for a prefix: highest preference, treated
     as customer-learned for export purposes (exported to everyone). *)
+
+val local_entry_of : ann:announcement -> self:Asn.t -> now:float -> entry
+(** {!local_entry} from a pre-built (typically interned) announcement, so
+    a speaker can reuse one shared local announcement across refreshes. *)
 
 val is_local : entry -> bool
 (** Whether the entry is a local origination (neighbor = self). *)

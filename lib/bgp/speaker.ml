@@ -10,36 +10,57 @@ let m_loc_rib = Obs.Metrics.gauge "bgp.loc_rib"
 
 type action = Announce of Route.announcement | Withdraw of Prefix.t
 
-type origination = { per_neighbor : Asn.t -> As_path.t option }
+type origination = {
+  per_neighbor : Asn.t -> As_path.t option;
+  local_ann : Route.announcement;
+      (* The interned loc-RIB announcement ([self] plain path), built once
+         at [originate] so every [compute_best] reuses the same physical
+         value and the refresh change-check settles on [==]. *)
+}
+
+module Damp_key = struct
+  type t = Prefix.t * Asn.t
+
+  let equal (p1, n1) (p2, n2) = Prefix.equal p1 p2 && Asn.equal n1 n2
+  let hash (p, n) = (Prefix.hash p lxor (Asn.hash n * 0x9E3779B1)) land max_int
+end
+
+module Damp_tbl = Hashtbl.Make (Damp_key)
 
 type t = {
   self : Asn.t;
   config : Policy.config;
-  neighbor_rel : (Asn.t, Relationship.t) Hashtbl.t;
+  store : Path_store.t;
+      (* The world's interner: shared with every other speaker of the same
+         [Network], never across worlds (share-nothing). *)
+  neighbor_rel : Relationship.t Asn.Table.t;
   neighbor_list : (Asn.t * Relationship.t) list ref;
   peers_of_self : Asn.Set.t ref;
-  down_sessions : (Asn.t, unit) Hashtbl.t;
-  adj_in : (Prefix.t, (Asn.t, Route.entry) Hashtbl.t) Hashtbl.t;
+  down_sessions : unit Asn.Table.t;
+  adj_in : Route.entry Asn.Table.t Prefix.Table.t;
       (** prefix -> (neighbor -> candidate route) *)
-  neighbor_index : (Asn.t, (Prefix.t, unit) Hashtbl.t) Hashtbl.t;
+  neighbor_index : unit Prefix.Table.t Asn.Table.t;
       (** Reverse index of [adj_in]: neighbor -> prefixes it currently has a
           candidate for. Kept exactly in sync so [affected_prefixes] and
           [session_down] never fold the whole adj-RIB-in. *)
-  locals : (Prefix.t, origination) Hashtbl.t;
-  best_table : (Prefix.t, Route.entry) Hashtbl.t;
+  locals : origination Prefix.Table.t;
+  best_table : Route.entry Prefix.Table.t;
   mutable fib : Route.entry Prefix_trie.t;
-  adj_out : (Asn.t * Prefix.t, Route.announcement) Hashtbl.t;
+  adj_out : Route.announcement Prefix.Table.t Asn.Table.t;
+      (** Per-neighbor adj-RIB-out index: neighbor -> (prefix -> last sent).
+          Keyed by neighbor first so [session_down] clears one sub-table
+          instead of walking [best_table] + [locals]. *)
   mutable on_best_change : (now:float -> Prefix.t -> Route.entry option -> unit) option;
   mutable fib_commit : (Prefix.t -> Route.entry option -> unit) option;
-  damp : (Prefix.t * Asn.t, damp_state) Hashtbl.t;
+  damp : damp_state Damp_tbl.t;
   mutable reuse_scheduler : (delay:float -> Prefix.t -> unit) option;
 }
 
 and damp_state = { mutable penalty : float; mutable last : float; mutable suppressed : bool }
 
-let create ~asn ~config ~neighbors =
-  let neighbor_rel = Hashtbl.create 16 in
-  List.iter (fun (n, rel) -> Hashtbl.replace neighbor_rel n rel) neighbors;
+let create ?store ~asn ~config ~neighbors () =
+  let neighbor_rel = Asn.Table.create 16 in
+  List.iter (fun (n, rel) -> Asn.Table.replace neighbor_rel n rel) neighbors;
   let peers =
     List.fold_left
       (fun acc (n, rel) ->
@@ -49,24 +70,26 @@ let create ~asn ~config ~neighbors =
   {
     self = asn;
     config;
+    store = (match store with Some s -> s | None -> Path_store.create ());
     neighbor_rel;
     neighbor_list = ref neighbors;
     peers_of_self = ref peers;
-    down_sessions = Hashtbl.create 4;
-    adj_in = Hashtbl.create 64;
-    neighbor_index = Hashtbl.create 16;
-    locals = Hashtbl.create 4;
-    best_table = Hashtbl.create 16;
+    down_sessions = Asn.Table.create 4;
+    adj_in = Prefix.Table.create 64;
+    neighbor_index = Asn.Table.create 16;
+    locals = Prefix.Table.create 4;
+    best_table = Prefix.Table.create 16;
     fib = Prefix_trie.empty;
-    adj_out = Hashtbl.create 64;
+    adj_out = Asn.Table.create 16;
     on_best_change = None;
     fib_commit = None;
-    damp = Hashtbl.create 16;
+    damp = Damp_tbl.create 16;
     reuse_scheduler = None;
   }
 
 let asn t = t.self
 let config t = t.config
+let path_store t = t.store
 let neighbors t = !(t.neighbor_list)
 let set_on_best_change t f = t.on_best_change <- Some f
 let set_reuse_scheduler t f = t.reuse_scheduler <- Some f
@@ -87,11 +110,11 @@ let note_flap t ~now prefix neighbor =
   | Some cfg ->
       let key = (prefix, neighbor) in
       let state =
-        match Hashtbl.find_opt t.damp key with
+        match Damp_tbl.find_opt t.damp key with
         | Some s -> s
         | None ->
             let s = { penalty = 0.0; last = now; suppressed = false } in
-            Hashtbl.replace t.damp key s;
+            Damp_tbl.replace t.damp key s;
             s
       in
       state.penalty <- decayed_penalty cfg state ~now +. cfg.Policy.penalty_per_flap;
@@ -115,7 +138,7 @@ let is_suppressed t ~now prefix neighbor =
   match t.config.Policy.damping with
   | None -> false
   | Some cfg -> begin
-      match Hashtbl.find_opt t.damp (prefix, neighbor) with
+      match Damp_tbl.find_opt t.damp (prefix, neighbor) with
       | None -> false
       | Some state ->
           if not state.suppressed then false
@@ -136,101 +159,154 @@ let install_fib t prefix entry =
   | Some e -> t.fib <- Prefix_trie.add prefix e t.fib
   | None -> t.fib <- Prefix_trie.remove prefix t.fib
 
-let session_is_down t n = Hashtbl.mem t.down_sessions n
+let session_is_down t n = Asn.Table.mem t.down_sessions n
 
 let rel_of t n =
-  match Hashtbl.find_opt t.neighbor_rel n with
+  match Asn.Table.find_opt t.neighbor_rel n with
   | Some rel -> rel
   | None -> invalid_arg (Printf.sprintf "Speaker %s: unknown neighbor %s"
                            (Asn.to_string t.self) (Asn.to_string n))
 
 let adj_in_table t prefix =
-  match Hashtbl.find_opt t.adj_in prefix with
+  match Prefix.Table.find_opt t.adj_in prefix with
   | Some table -> table
   | None ->
-      let table = Hashtbl.create 8 in
-      Hashtbl.replace t.adj_in prefix table;
+      let table = Asn.Table.create 8 in
+      Prefix.Table.replace t.adj_in prefix table;
       table
+
+let adj_out_for t neighbor =
+  match Asn.Table.find_opt t.adj_out neighbor with
+  | Some out -> out
+  | None ->
+      let out = Prefix.Table.create 32 in
+      Asn.Table.replace t.adj_out neighbor out;
+      out
 
 let index_add t neighbor prefix =
   let tbl =
-    match Hashtbl.find_opt t.neighbor_index neighbor with
+    match Asn.Table.find_opt t.neighbor_index neighbor with
     | Some tbl -> tbl
     | None ->
-        let tbl = Hashtbl.create 16 in
-        Hashtbl.replace t.neighbor_index neighbor tbl;
+        let tbl = Prefix.Table.create 16 in
+        Asn.Table.replace t.neighbor_index neighbor tbl;
         tbl
   in
-  Hashtbl.replace tbl prefix ()
+  Prefix.Table.replace tbl prefix ()
 
 let index_remove t neighbor prefix =
-  match Hashtbl.find_opt t.neighbor_index neighbor with
-  | Some tbl -> Hashtbl.remove tbl prefix
+  match Asn.Table.find_opt t.neighbor_index neighbor with
+  | Some tbl -> Prefix.Table.remove tbl prefix
   | None -> ()
 
 (* The loc-RIB best for a prefix: a local origination wins outright;
    otherwise the decision process over the adj-RIB-in candidates. *)
 let compute_best t ~now prefix =
   Obs.Metrics.incr m_decisions;
-  if Hashtbl.mem t.locals prefix then
-    Some (Route.local_entry ~prefix ~self:t.self ~path:(As_path.plain ~origin:t.self) ~now)
-  else begin
-    match Hashtbl.find_opt t.adj_in prefix with
-    | None -> None
-    | Some table ->
-        if Hashtbl.length t.damp = 0 then Decision.best_in_table table
-        else begin
-          (* Damped candidates are ineligible until their penalty decays. *)
-          let eligible =
-            Hashtbl.fold
-              (fun neighbor entry acc ->
-                if is_suppressed t ~now prefix neighbor then acc else entry :: acc)
-              table []
-          in
-          Decision.best eligible
-        end
-  end
+  match Prefix.Table.find_opt t.locals prefix with
+  | Some { local_ann; _ } -> Some (Route.local_entry_of ~ann:local_ann ~self:t.self ~now)
+  | None -> begin
+      match Prefix.Table.find_opt t.adj_in prefix with
+      | None -> None
+      | Some table ->
+          if Damp_tbl.length t.damp = 0 then Decision.best_in_table table
+          else begin
+            (* Damped candidates are ineligible until their penalty decays. *)
+            let eligible =
+              Asn.Table.fold
+                (fun neighbor entry acc ->
+                  if is_suppressed t ~now prefix neighbor then acc else entry :: acc)
+                table []
+            in
+            Decision.best eligible
+          end
+    end
 
 (* Desired announcement toward one neighbor for a prefix, or None. *)
 let desired_export t prefix neighbor =
   if session_is_down t neighbor then None
   else begin
-    match Hashtbl.find_opt t.locals prefix with
-    | Some { per_neighbor } -> begin
+    match Prefix.Table.find_opt t.locals prefix with
+    | Some { per_neighbor; _ } -> begin
         match per_neighbor neighbor with
-        | Some path -> Some (Route.announcement ~prefix ~path ())
+        | Some path ->
+            Some (Path_store.intern_ann t.store (Route.announcement ~prefix ~path ()))
         | None -> None
       end
     | None -> begin
-        match Hashtbl.find_opt t.best_table prefix with
+        match Prefix.Table.find_opt t.best_table prefix with
         | None -> None
         | Some entry ->
-            Policy.export t.config ~self:t.self ~entry ~to_neighbor:neighbor
-              ~to_rel:(rel_of t neighbor)
+            if
+              Policy.export_allowed t.config ~self:t.self ~entry ~to_neighbor:neighbor
+                ~to_rel:(rel_of t neighbor)
+            then
+              Some (Path_store.intern_ann t.store (Policy.export_ann t.config ~self:t.self ~entry))
+            else None
       end
   end
 
 (* Diff desired exports against adj-RIB-out; mutate adj-RIB-out and return
-   the updates to put on the wire. *)
+   the updates to put on the wire. The best-route outgoing announcement is
+   neighbor-independent, so it is rewritten and interned at most once per
+   sync and shared by every permitted neighbor. *)
 let sync_exports t prefix =
+  let local = Prefix.Table.find_opt t.locals prefix in
+  let best = Prefix.Table.find_opt t.best_table prefix in
+  let best_out =
+    lazy
+      (match best with
+      | None -> None
+      | Some entry ->
+          Some (Path_store.intern_ann t.store (Policy.export_ann t.config ~self:t.self ~entry)))
+  in
+  let desired n =
+    if session_is_down t n then None
+    else begin
+      match local with
+      | Some { per_neighbor; _ } -> begin
+          match per_neighbor n with
+          | Some path ->
+              Some (Path_store.intern_ann t.store (Route.announcement ~prefix ~path ()))
+          | None -> None
+        end
+      | None -> begin
+          match best with
+          | None -> None
+          | Some entry ->
+              if
+                Policy.export_allowed t.config ~self:t.self ~entry ~to_neighbor:n
+                  ~to_rel:(rel_of t n)
+              then Lazy.force best_out
+              else None
+        end
+    end
+  in
   List.filter_map
     (fun (n, _) ->
-      let key = (n, prefix) in
-      let desired = desired_export t prefix n in
-      let current = Hashtbl.find_opt t.adj_out key in
+      let out = adj_out_for t n in
+      let desired = desired n in
+      let current = Prefix.Table.find_opt out prefix in
       match (desired, current) with
       | None, None -> None
       | Some d, Some c when Route.announcement_equal d c -> None
       | Some d, _ ->
-          Hashtbl.replace t.adj_out key d;
+          Prefix.Table.replace out prefix d;
           Some (n, Announce d)
       | None, Some _ ->
-          Hashtbl.remove t.adj_out key;
+          Prefix.Table.remove out prefix;
           Some (n, Withdraw prefix))
     (neighbors t)
 
-let refresh_best t ~now prefix =
-  let old_best = Hashtbl.find_opt t.best_table prefix in
+(* [force_sync] matters when per-neighbor desired exports can move without
+   the loc-RIB best changing: an origination change (the local best keeps
+   its plain path while [per_neighbor] now says something else) or an
+   explicit re-advertisement. The plain receive path skips the all-neighbor
+   sync whenever the best is unchanged — with an unchanged loc-RIB, every
+   desired export is unchanged too, so the old unconditional scan provably
+   emitted nothing. *)
+let refresh_best ?(force_sync = false) t ~now prefix =
+  let old_best = Prefix.Table.find_opt t.best_table prefix in
   let new_best = compute_best t ~now prefix in
   let changed =
     match (old_best, new_best) with
@@ -242,9 +318,9 @@ let refresh_best t ~now prefix =
   in
   if changed then begin
     (match new_best with
-    | Some e -> Hashtbl.replace t.best_table prefix e
-    | None -> Hashtbl.remove t.best_table prefix);
-    Obs.Metrics.observe_max m_loc_rib (Hashtbl.length t.best_table);
+    | Some e -> Prefix.Table.replace t.best_table prefix e
+    | None -> Prefix.Table.remove t.best_table prefix);
+    Obs.Metrics.observe_max m_loc_rib (Prefix.Table.length t.best_table);
     (match t.fib_commit with
     | Some commit -> commit prefix new_best
     | None -> install_fib t prefix new_best);
@@ -252,34 +328,36 @@ let refresh_best t ~now prefix =
     | Some f -> f ~now prefix new_best
     | None -> ()
   end;
-  (* Exports are resynced even when the best is unchanged: a session
-     coming back up or an origination change may alter per-neighbor
-     desired state without moving the loc-RIB. *)
-  sync_exports t prefix
+  if changed || force_sync then sync_exports t prefix else []
 
 let originate t ~now ~prefix ~per_neighbor =
-  Hashtbl.replace t.locals prefix { per_neighbor };
-  refresh_best t ~now prefix
+  let local_ann =
+    Path_store.intern_ann t.store
+      (Route.announcement ~prefix ~path:(As_path.plain ~origin:t.self) ())
+  in
+  Prefix.Table.replace t.locals prefix { per_neighbor; local_ann };
+  refresh_best ~force_sync:true t ~now prefix
 
 let stop_originating t ~now ~prefix =
-  Hashtbl.remove t.locals prefix;
-  refresh_best t ~now prefix
+  Prefix.Table.remove t.locals prefix;
+  refresh_best ~force_sync:true t ~now prefix
 
 let receive t ~now ~from action =
   if session_is_down t from then []
   else begin
     match action with
     | Withdraw prefix ->
-        if Hashtbl.mem (adj_in_table t prefix) from then
+        if Asn.Table.mem (adj_in_table t prefix) from then
           ignore (note_flap t ~now prefix from);
-        Hashtbl.remove (adj_in_table t prefix) from;
+        Asn.Table.remove (adj_in_table t prefix) from;
         index_remove t from prefix;
         refresh_best t ~now prefix
     | Announce ann -> begin
+        let ann = Path_store.intern_ann t.store ann in
         let prefix = ann.Route.prefix in
         (* A changed announcement from a neighbor that already had a route
            is a flap. *)
-        (match Hashtbl.find_opt (adj_in_table t prefix) from with
+        (match Asn.Table.find_opt (adj_in_table t prefix) from with
         | Some previous
           when not (Route.announcement_equal previous.Route.ann ann) ->
             ignore (note_flap t ~now prefix from)
@@ -292,11 +370,11 @@ let receive t ~now ~from action =
         | Policy.Rejected _ ->
             (* An update that fails import replaces (removes) whatever this
                neighbor previously announced for the prefix. *)
-            Hashtbl.remove (adj_in_table t prefix) from;
+            Asn.Table.remove (adj_in_table t prefix) from;
             index_remove t from prefix;
             refresh_best t ~now prefix
         | Policy.Accepted local_pref ->
-            Hashtbl.replace (adj_in_table t prefix) from
+            Asn.Table.replace (adj_in_table t prefix) from
               (Route.make_entry ~salt:(Asn.to_int t.self) ~ann ~neighbor:from
                  ~rel ~local_pref ~learned_at:now ());
             index_add t from prefix;
@@ -306,42 +384,59 @@ let receive t ~now ~from action =
 
 let affected_prefixes t neighbor =
   let from_adj =
-    match Hashtbl.find_opt t.neighbor_index neighbor with
+    match Asn.Table.find_opt t.neighbor_index neighbor with
     | None -> Prefix.Set.empty
-    | Some tbl -> Hashtbl.fold (fun p () acc -> Prefix.Set.add p acc) tbl Prefix.Set.empty
+    | Some tbl -> Prefix.Table.fold (fun p () acc -> Prefix.Set.add p acc) tbl Prefix.Set.empty
   in
-  Hashtbl.fold (fun p _ acc -> Prefix.Set.add p acc) t.locals from_adj
+  Prefix.Table.fold (fun p _ acc -> Prefix.Set.add p acc) t.locals from_adj
 
 let session_down t ~now ~neighbor =
   if session_is_down t neighbor then []
   else begin
-    Hashtbl.replace t.down_sessions neighbor ();
+    Asn.Table.replace t.down_sessions neighbor ();
     let affected = affected_prefixes t neighbor in
-    (match Hashtbl.find_opt t.neighbor_index neighbor with
+    (match Asn.Table.find_opt t.neighbor_index neighbor with
     | Some tbl ->
-        Hashtbl.iter (fun p () -> Hashtbl.remove (adj_in_table t p) neighbor) tbl;
-        Hashtbl.remove t.neighbor_index neighbor
+        Prefix.Table.iter (fun p () -> Asn.Table.remove (adj_in_table t p) neighbor) tbl;
+        Asn.Table.remove t.neighbor_index neighbor
     | None -> ());
     (* Clear adj-RIB-out toward the dead session so a later session_up
-       re-announces from scratch. *)
-    Hashtbl.iter
-      (fun p _ -> Hashtbl.remove t.adj_out (neighbor, p))
-      t.best_table;
-    Hashtbl.iter (fun p _ -> Hashtbl.remove t.adj_out (neighbor, p)) t.locals;
+       re-announces from scratch: one sub-table drop, not a walk of
+       best_table + locals. *)
+    Asn.Table.remove t.adj_out neighbor;
     List.concat_map (fun p -> refresh_best t ~now p) (Prefix.Set.elements affected)
   end
 
 let session_up t ~now ~neighbor =
   if not (session_is_down t neighbor) then []
   else begin
-    Hashtbl.remove t.down_sessions neighbor;
-    (* Re-announce current state for every known prefix to this
-       neighbor. *)
+    Asn.Table.remove t.down_sessions neighbor;
     let all =
-      Hashtbl.fold (fun p _ acc -> Prefix.Set.add p acc) t.best_table Prefix.Set.empty
-      |> fun s -> Hashtbl.fold (fun p _ acc -> Prefix.Set.add p acc) t.locals s
+      Prefix.Table.fold (fun p _ acc -> Prefix.Set.add p acc) t.best_table Prefix.Set.empty
+      |> fun s -> Prefix.Table.fold (fun p _ acc -> Prefix.Set.add p acc) t.locals s
     in
-    List.concat_map (fun p -> refresh_best t ~now p) (Prefix.Set.elements all)
+    if Damp_tbl.length t.damp <> 0 then
+      (* With damping state live, re-running the decision process can
+         lazily lift suppressions and move bests — keep the full refresh
+         so that timing is unchanged. *)
+      List.concat_map (fun p -> refresh_best ~force_sync:true t ~now p)
+        (Prefix.Set.elements all)
+    else begin
+      (* No damping: nothing about the loc-RIB moved while the session was
+         down that isn't already in best_table, and session_down cleared
+         this neighbor's adj-RIB-out — so the only possible updates are
+         announcements of current state toward the revived neighbor.
+         Same output, without an all-neighbors sync per prefix. *)
+      let out = adj_out_for t neighbor in
+      List.filter_map
+        (fun p ->
+          match desired_export t p neighbor with
+          | Some d ->
+              Prefix.Table.replace out p d;
+              Some (neighbor, Announce d)
+          | None -> None)
+        (Prefix.Set.elements all)
+    end
   end
 
 let refresh_prefix t ~prefix =
@@ -350,24 +445,27 @@ let refresh_prefix t ~prefix =
      may have flushed or lost it (session reset, filtered update), which
      the diff against our own adj-RIB-out cannot see. *)
   List.iter
-    (fun (n, _) -> if not (session_is_down t n) then Hashtbl.remove t.adj_out (n, prefix))
+    (fun (n, _) ->
+      if not (session_is_down t n) then Prefix.Table.remove (adj_out_for t n) prefix)
     (neighbors t);
   sync_exports t prefix
 
-let best t prefix = Hashtbl.find_opt t.best_table prefix
+let best t prefix = Prefix.Table.find_opt t.best_table prefix
 let fib_lookup t ip = Prefix_trie.lookup ip t.fib
 
 let prefixes t =
-  Hashtbl.fold (fun p _ acc -> p :: acc) t.best_table [] |> List.sort_uniq Prefix.compare
+  Prefix.Table.fold (fun p _ acc -> p :: acc) t.best_table [] |> List.sort_uniq Prefix.compare
 
 let originated t =
-  Hashtbl.fold (fun p _ acc -> p :: acc) t.locals [] |> List.sort_uniq Prefix.compare
+  Prefix.Table.fold (fun p _ acc -> p :: acc) t.locals [] |> List.sort_uniq Prefix.compare
 
-let adj_in_size t = Hashtbl.fold (fun _ table acc -> acc + Hashtbl.length table) t.adj_in 0
+let adj_in_size t =
+  Prefix.Table.fold (fun _ table acc -> acc + Asn.Table.length table) t.adj_in 0
+
 let reevaluate t ~now prefix = refresh_best t ~now prefix
 
 let suppressed_candidates t prefix =
-  Hashtbl.fold
+  Damp_tbl.fold
     (fun (p, neighbor) state acc ->
       if Prefix.equal p prefix && state.suppressed then neighbor :: acc else acc)
     t.damp []

@@ -18,8 +18,21 @@ type t
 type action = Announce of Route.announcement | Withdraw of Prefix.t
 (** An update destined to one neighbor. *)
 
-val create : asn:Asn.t -> config:Policy.config -> neighbors:(Asn.t * Relationship.t) list -> t
-(** A speaker for [asn] with the given neighbor sessions. *)
+val create :
+  ?store:Path_store.t ->
+  asn:Asn.t ->
+  config:Policy.config ->
+  neighbors:(Asn.t * Relationship.t) list ->
+  unit ->
+  t
+(** A speaker for [asn] with the given neighbor sessions. [store] is the
+    world's path/announcement interner — {!Network.create} passes one
+    store to every speaker of a world so their RIBs share physical values;
+    a standalone speaker (tests) defaults to a private store. Never share
+    a store across worlds: lib/par worlds are share-nothing. *)
+
+val path_store : t -> Path_store.t
+(** The interner this speaker stores paths and announcements in. *)
 
 val asn : t -> Asn.t
 (** The AS this speaker represents. *)

@@ -34,7 +34,7 @@ let taiwan_route cs =
   match
     Bgp.Network.best_route cs.bed.Scenarios.net cs.taiwan Scenarios.production_prefix
   with
-  | Some entry -> entry.Bgp.Route.ann.Bgp.Route.path
+  | Some entry -> Bgp.As_path.to_list entry.Bgp.Route.ann.Bgp.Route.path
   | None -> []
 
 let check cs label =

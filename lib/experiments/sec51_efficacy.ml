@@ -141,7 +141,7 @@ let run ?(ases = 318) ?(max_poisons = 40) ?(jobs = 1) ~seed () =
       match Bgp.Network.best_route net peer Workloads.Scenarios.production_prefix with
       | None -> ()
       | Some entry ->
-          let path = entry.Bgp.Route.ann.Bgp.Route.path in
+          let path = Bgp.As_path.to_list entry.Bgp.Route.ann.Bgp.Route.path in
           let interior =
             List.filter
               (fun a ->

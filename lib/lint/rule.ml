@@ -6,13 +6,14 @@ type t =
   | Det_hashkey
   | Perf_append
   | Perf_scan
+  | Perf_structeq
   | Mli_missing
   | Obs_printf
   | Rob_exn
 
 let all =
-  [ Dom_mut; Det_random; Det_clock; Det_polyeq; Det_hashkey; Perf_append; Perf_scan; Mli_missing;
-    Obs_printf; Rob_exn ]
+  [ Dom_mut; Det_random; Det_clock; Det_polyeq; Det_hashkey; Perf_append; Perf_scan;
+    Perf_structeq; Mli_missing; Obs_printf; Rob_exn ]
 
 let id = function
   | Dom_mut -> "LG-DOM-MUT"
@@ -22,6 +23,7 @@ let id = function
   | Det_hashkey -> "LG-DET-HASHKEY"
   | Perf_append -> "LG-PERF-APPEND"
   | Perf_scan -> "LG-PERF-SCAN"
+  | Perf_structeq -> "LG-PERF-STRUCTEQ"
   | Mli_missing -> "LG-MLI-MISSING"
   | Obs_printf -> "LG-OBS-PRINTF"
   | Rob_exn -> "LG-ROB-EXN"
@@ -51,6 +53,10 @@ let describe = function
   | Perf_scan ->
       "List.mem/List.assoc inside a let rec or iteration closure; quadratic scan — \
        use a Set/Map/Hashtbl"
+  | Perf_structeq ->
+      "structural =/compare on an interned BGP value (As_path.t / Route entry fields) \
+       outside lib/bgp; defeats O(1) hash-consed equality — use As_path.equal / \
+       Route.announcement_equal"
   | Mli_missing -> "library module without an .mli; accidental surface"
   | Obs_printf ->
       "bare stdout printing (Printf.printf / Format.printf / print_endline) in a library; \

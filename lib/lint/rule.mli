@@ -10,6 +10,9 @@ type t =
   | Det_hashkey  (** [Hashtbl.t] keyed by a structured or boxed type *)
   | Perf_append  (** [@] building an accumulator inside a [let rec] or fold *)
   | Perf_scan  (** [List.mem]/[List.assoc] inside a [let rec] or iteration closure *)
+  | Perf_structeq
+      (** structural [=]/[compare] on an interned BGP value ([As_path.t],
+          [Route] entry fields) outside [lib/bgp] *)
   | Mli_missing  (** library [.ml] without a matching [.mli] *)
   | Obs_printf  (** bare stdout printing in [lib/] outside [lib/obs] *)
   | Rob_exn  (** catch-all [try ... with _ ->] handler inside [lib/] *)

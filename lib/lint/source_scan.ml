@@ -9,7 +9,12 @@
 
 open Parsetree
 
-type file_kind = { in_lib : bool; prng_exempt : bool; obs_exempt : bool }
+type file_kind = {
+  in_lib : bool;
+  prng_exempt : bool;
+  obs_exempt : bool;
+  bgp_exempt : bool;
+}
 
 let classify path =
   let segs = String.split_on_char '/' path in
@@ -31,9 +36,13 @@ let classify path =
        that owns the output channel, so the domain-safety and printing
        rules do not apply to it. *)
     obs_exempt = under_lib "obs" segs;
+    (* lib/bgp owns the interned representations, so its internals (the
+       interner, the structural fallback in As_path.equal) legitimately
+       compare structurally; the STRUCTEQ rule applies everywhere else. *)
+    bgp_exempt = under_lib "bgp" segs;
   }
 
-let lib_kind = { in_lib = true; prng_exempt = false; obs_exempt = false }
+let lib_kind = { in_lib = true; prng_exempt = false; obs_exempt = false; bgp_exempt = false }
 
 type violation = {
   rule : Rule.t;
@@ -123,6 +132,41 @@ let is_option_sentinel (e : expression) =
   | Pexp_construct ({ txt = Longident.Lident ("None" | "Some"); _ }, _) -> true
   | _ -> false
 
+(* [As_path] functions whose result is an [As_path.t] (not a projection
+   like [length] or a conversion like [to_list]) — comparing one of these
+   structurally defeats the interned O(1) equality. *)
+let as_path_t_constructors =
+  [ "empty"; "plain"; "prepended"; "poisoned"; "poisoned_multi"; "prepend"; "traversed";
+    "of_list" ]
+
+(* Does this expression syntactically denote an interned BGP value? Purely
+   syntactic (no types): a field access reaching through [Route]
+   ([e.Bgp.Route.path], [e.Route.ann]) or an [As_path]-qualified
+   identifier/application returning a path. *)
+let is_bgp_valued (e : expression) =
+  let from_as_path p =
+    List.exists (String.equal "As_path") p
+    &&
+    match last_component p with
+    | Some c -> List.exists (String.equal c) as_path_t_constructors
+    | None -> false
+  in
+  match e.pexp_desc with
+  | Pexp_field (_, { txt; _ }) -> (
+      match path_of_lident txt with
+      | Some p -> (
+          List.exists (String.equal "Route") p
+          &&
+          match last_component p with
+          | Some ("path" | "ann") -> true
+          | _ -> false)
+      | None -> false)
+  | Pexp_ident { txt; _ } -> (
+      match path_of_lident txt with Some p -> from_as_path p | None -> false)
+  | Pexp_apply (f, _) -> (
+      match callee_path f with Some p -> from_as_path p | None -> false)
+  | _ -> false
+
 let flat_key (t : core_type) =
   match t.ptyp_desc with
   | Ptyp_constr ({ txt; _ }, []) -> (
@@ -194,8 +238,22 @@ let scan_structure ~kind ~file str =
           if List.exists (fun (_, a) -> is_option_sentinel a) args then
             add Rule.Det_polyeq loc
               "polymorphic (in)equality against None/Some; use Option.is_some/is_none or a \
-               module equal"
+               module equal";
+          if (not kind.bgp_exempt) && List.exists (fun (_, a) -> is_bgp_valued a) args then
+            add Rule.Perf_structeq loc
+              "structural (in)equality on an interned BGP value defeats O(1) hash-consed \
+               comparison; use As_path.equal / Route.announcement_equal"
         end
+        else if
+          kind.in_lib
+          && (not kind.bgp_exempt)
+          && (path_equal p [ "compare" ] || path_equal p [ "Stdlib"; "compare" ]
+            || path_equal p [ "Pervasives"; "compare" ])
+          && List.exists (fun (_, a) -> is_bgp_valued a) args
+        then
+          add Rule.Perf_structeq loc
+            "structural compare on an interned BGP value walks the whole path; compare \
+             through As_path.equal / the cached hash instead"
         else if path_equal p [ "@" ] || path_equal p [ "List"; "append" ] then begin
           if !rec_depth > 0 || !fold_depth > 0 then
             add Rule.Perf_append loc

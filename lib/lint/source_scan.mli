@@ -10,15 +10,17 @@ type file_kind = {
       (** under [lib/obs]: the sanctioned home for cross-domain
           observability state and the trace sink, so [LG-DOM-MUT] and
           [LG-OBS-PRINTF] do not apply *)
+  bgp_exempt : bool;
+      (** under [lib/bgp]: owns the interned path/route representations,
+          so [LG-PERF-STRUCTEQ] does not apply to its internals *)
 }
 
 val classify : string -> file_kind
 (** Derive a {!file_kind} from a root-relative path. *)
 
 val lib_kind : file_kind
-(** [{ in_lib = true; prng_exempt = false; obs_exempt = false }] — what
-    fixture tests use to force library-strictness on files outside
-    [lib/]. *)
+(** [in_lib = true] with every exemption off — what fixture tests use to
+    force library-strictness on files outside [lib/]. *)
 
 type violation = {
   rule : Rule.t;

@@ -69,6 +69,13 @@ let nth_address t i =
     invalid_arg "Prefix.nth_address: index out of range";
   Ipv4.add t.network i
 
+(* Explicit integer mix, not the polymorphic [Hashtbl.hash]: the network
+   address is a boxed int32 the generic hash would chase, and prefix-keyed
+   tables sit on the BGP hot path. *)
+let hash t =
+  let z = (Int32.to_int (Ipv4.to_int32 t.network) * 0x9E3779B1) lxor (t.length * 0x85EBCA6B) in
+  (z lxor (z lsr 16)) land max_int
+
 module Ord = struct
   type nonrec t = t
 
@@ -77,3 +84,10 @@ end
 
 module Set = Set.Make (Ord)
 module Map = Map.Make (Ord)
+
+module Table = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

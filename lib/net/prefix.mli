@@ -26,6 +26,10 @@ val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
 val compare : t -> t -> int
 
+val hash : t -> int
+(** Explicit integer mix of network address and mask length (not the
+    polymorphic [Hashtbl.hash], which would walk the boxed address). *)
+
 val mem : Ipv4.t -> t -> bool
 (** [mem ip p] tests whether [ip] falls inside [p]. *)
 
@@ -52,3 +56,7 @@ val size : t -> int
 
 module Set : Set.S with type elt = t
 module Map : Map.S with type key = t
+
+module Table : Hashtbl.S with type key = t
+(** Hashtbl keyed by prefixes via {!hash} and {!equal} — use this instead
+    of a polymorphic [(Prefix.t, _) Hashtbl.t]. *)

@@ -155,7 +155,7 @@ let harvest_on_path_ases mux =
         match Bgp.Network.best_route mux.bed.net feed production_prefix with
         | None -> acc
         | Some entry ->
-            List.fold_left
+            Bgp.As_path.fold
               (fun acc a -> if Asn.Set.mem a excluded then acc else Asn.Set.add a acc)
               acc entry.Bgp.Route.ann.Bgp.Route.path)
       Asn.Set.empty mux.feeds

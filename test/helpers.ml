@@ -75,7 +75,7 @@ let production = prefix "203.0.113.0/24"
 let sentinel = prefix "203.0.112.0/23"
 
 let path_of_best = function
-  | Some (entry : Bgp.Route.entry) -> entry.Bgp.Route.ann.Bgp.Route.path
+  | Some (entry : Bgp.Route.entry) -> Bgp.As_path.to_list entry.Bgp.Route.ann.Bgp.Route.path
   | None -> []
 
 let check_path msg expected actual =

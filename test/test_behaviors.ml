@@ -67,10 +67,13 @@ let test_med_steers_between_sessions () =
   let speaker =
     Bgp.Speaker.create ~asn:(asn 100) ~config:Bgp.Policy.default
       ~neighbors:[ (asn 200, Relationship.Provider); (asn 201, Relationship.Provider) ]
+      ()
   in
   let ann med neighbor =
     Bgp.Speaker.Announce
-      (Bgp.Route.announcement ~med ~prefix:production ~path:[ neighbor; asn 900 ] ())
+      (Bgp.Route.announcement ~med ~prefix:production
+         ~path:(Bgp.As_path.of_list [ neighbor; asn 900 ])
+         ())
   in
   ignore (Bgp.Speaker.receive speaker ~now:0.0 ~from:(asn 200) (ann 50 (asn 200)));
   ignore (Bgp.Speaker.receive speaker ~now:1.0 ~from:(asn 201) (ann 10 (asn 201)));

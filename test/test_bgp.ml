@@ -182,7 +182,7 @@ let test_link_failure_control_plane () =
 let test_decision_prefers_customer () =
   let mk ~rel ~path ~neighbor =
     Bgp.Route.make_entry
-      ~ann:(Bgp.Route.announcement ~prefix:production ~path ())
+      ~ann:(Bgp.Route.announcement ~prefix:production ~path:(Bgp.As_path.of_list path) ())
       ~neighbor:(asn neighbor) ~rel
       ~local_pref:(Topology.Relationship.local_pref rel)
       ~learned_at:0.0 ()
@@ -202,7 +202,7 @@ let test_decision_tiebreaks () =
   let open Topology in
   let mk ?med ~path ~neighbor () =
     Bgp.Route.make_entry
-      ~ann:(Bgp.Route.announcement ?med ~prefix:production ~path ())
+      ~ann:(Bgp.Route.announcement ?med ~prefix:production ~path:(Bgp.As_path.of_list path) ())
       ~neighbor:(asn neighbor) ~rel:Relationship.Provider ~local_pref:100
       ~learned_at:0.0 ()
   in
@@ -227,7 +227,7 @@ let test_decision_tiebreaks () =
 
 let test_as_path_constructors () =
   let p = Bgp.As_path.poisoned ~origin:(asn 1) ~poison:(asn 7) in
-  Alcotest.(check (list int)) "O-A-O" [ 1; 7; 1 ] (List.map Asn.to_int p);
+  Alcotest.(check (list int)) "O-A-O" [ 1; 7; 1 ] (List.map Asn.to_int (Bgp.As_path.to_list p));
   Alcotest.(check int) "length counts duplicates" 3 (Bgp.As_path.length p);
   Alcotest.(check bool) "contains poison" true (Bgp.As_path.contains (asn 7) p);
   Alcotest.(check int) "origin occurs twice" 2 (Bgp.As_path.count (asn 1) p);
@@ -237,7 +237,8 @@ let test_as_path_constructors () =
        false
      with Invalid_argument _ -> true);
   let m = Bgp.As_path.poisoned_multi ~origin:(asn 1) ~poisons:[ asn 7; asn 7 ] in
-  Alcotest.(check (list int)) "multi poison" [ 1; 7; 7; 1 ] (List.map Asn.to_int m)
+  Alcotest.(check (list int)) "multi poison" [ 1; 7; 7; 1 ]
+    (List.map Asn.to_int (Bgp.As_path.to_list m))
 
 let test_no_export_community () =
   (* A route tagged NO_EXPORT must not leave the receiving AS. *)
@@ -253,7 +254,7 @@ let test_no_export_community () =
   (* Inject the announcement directly at B with NO_EXPORT. *)
   let ann =
     Bgp.Route.announcement ~communities:[ Bgp.Community.no_export ] ~prefix:production
-      ~path:[ o' ] ()
+      ~path:(Bgp.As_path.of_list [ o' ]) ()
   in
   let out = Bgp.Speaker.receive (Bgp.Network.speaker w.net b') ~now:0.0 ~from:o' (Bgp.Speaker.Announce ann) in
   Alcotest.(check int) "B exports nowhere" 0 (List.length out);

@@ -5,9 +5,9 @@ open Net
 open Helpers
 
 let test_traversed_strips_origination_tail () =
-  let path = List.map asn [ 12; 13; 10; 30; 10 ] in
+  let path = Bgp.As_path.of_list (List.map asn [ 12; 13; 10; 30; 10 ]) in
   Alcotest.(check (list int)) "traversed" [ 12; 13 ]
-    (List.map Asn.to_int (Bgp.As_path.traversed ~origin:(asn 10) path));
+    (List.map Asn.to_int (Bgp.As_path.to_list (Bgp.As_path.traversed ~origin:(asn 10) path)));
   Alcotest.(check bool) "does not traverse the poison" false
     (Bgp.As_path.traverses ~origin:(asn 10) ~target:(asn 30) path);
   Alcotest.(check bool) "traverses a real transit" true
@@ -28,7 +28,7 @@ let test_collector_records_changes () =
   (match Bgp.Network.Collector.current_route collector ~peer:e ~prefix:production with
   | Some entry ->
       check_path "collector sees E's final route" [ 30; 20; 10 ]
-        entry.Bgp.Route.ann.Bgp.Route.path
+        (Bgp.As_path.to_list entry.Bgp.Route.ann.Bgp.Route.path)
   | None -> Alcotest.fail "collector lost E's route");
   Bgp.Network.Collector.clear collector;
   Alcotest.(check int) "clear empties the log" 0
@@ -252,7 +252,7 @@ let prop_decision_total_order =
         Bgp.Route.make_entry ~salt:7
           ~ann:
             (Bgp.Route.announcement ~prefix:production
-               ~path:(List.init (1 + len) (fun i -> asn (500 + i)))
+               ~path:(Bgp.As_path.of_list (List.init (1 + len) (fun i -> asn (500 + i))))
                ())
           ~neighbor:(asn (1 + neighbor))
           ~rel
@@ -299,6 +299,7 @@ let test_flap_damping_suppresses_and_reuses () =
   let speaker =
     Bgp.Speaker.create ~asn:(asn 100) ~config:damped_config
       ~neighbors:[ (asn 200, Relationship.Provider); (asn 201, Relationship.Provider) ]
+      ()
   in
   let scheduled = ref [] in
   Bgp.Speaker.set_reuse_scheduler speaker (fun ~delay prefix ->
@@ -306,13 +307,16 @@ let test_flap_damping_suppresses_and_reuses () =
   let announce ~now path =
     ignore
       (Bgp.Speaker.receive speaker ~now ~from:(asn 200)
-         (Bgp.Speaker.Announce (Bgp.Route.announcement ~prefix:production ~path ())))
+         (Bgp.Speaker.Announce
+            (Bgp.Route.announcement ~prefix:production ~path:(Bgp.As_path.of_list path) ())))
   in
   (* Also a stable candidate from the other neighbor. *)
   ignore
     (Bgp.Speaker.receive speaker ~now:0.0 ~from:(asn 201)
        (Bgp.Speaker.Announce
-          (Bgp.Route.announcement ~prefix:production ~path:[ asn 201; asn 900; asn 901 ] ())));
+          (Bgp.Route.announcement ~prefix:production
+             ~path:(Bgp.As_path.of_list [ asn 201; asn 900; asn 901 ])
+             ())));
   announce ~now:1.0 [ asn 200; asn 901; asn 900 ];
   (* Three changed announcements in quick succession: ~3000 penalty,
      over the 2000 suppression threshold (two would decay to ~1990);
@@ -343,13 +347,14 @@ let test_no_damping_without_config () =
   let speaker =
     Bgp.Speaker.create ~asn:(asn 100) ~config:Bgp.Policy.default
       ~neighbors:[ (asn 200, Relationship.Provider) ]
+      ()
   in
   for i = 1 to 10 do
     ignore
       (Bgp.Speaker.receive speaker ~now:(float_of_int i) ~from:(asn 200)
          (Bgp.Speaker.Announce
             (Bgp.Route.announcement ~prefix:production
-               ~path:[ asn 200; asn (900 + (i mod 2)) ]
+               ~path:(Bgp.As_path.of_list [ asn 200; asn (900 + (i mod 2)) ])
                ())))
   done;
   Alcotest.(check (list int)) "nothing suppressed without damping" []

@@ -87,7 +87,8 @@ let prop_paths_valley_free =
           Asn.equal asn origin
           ||
           let traversed =
-            Bgp.As_path.traversed ~origin entry.Bgp.Route.ann.Bgp.Route.path
+            Bgp.As_path.to_list
+              (Bgp.As_path.traversed ~origin entry.Bgp.Route.ann.Bgp.Route.path)
           in
           let path = (asn :: traversed) @ [ origin ] in
           Splice.valley_free graph path))

@@ -33,7 +33,7 @@ let test_dom_fixtures () =
   (* outside lib/, module-level state is the executable's business *)
   (match
      Scan.scan_file
-       ~kind:{ Scan.in_lib = false; prng_exempt = false; obs_exempt = false }
+       ~kind:{ Scan.in_lib = false; prng_exempt = false; obs_exempt = false; bgp_exempt = false }
        (fixture "dom_bad.ml")
    with
   | Ok vs -> check_rule "dom_bad outside lib" vs Rule.Dom_mut 0
@@ -57,6 +57,16 @@ let test_perf_fixtures () =
   check_rule "perf_bad" bad Rule.Perf_append 2;
   check_rule "perf_bad" bad Rule.Perf_scan 2;
   Alcotest.(check int) "perf_good is clean" 0 (List.length (scan_fixture "perf_good.ml"))
+
+let test_structeq_fixtures () =
+  let bad = scan_fixture "structeq_bad.ml" in
+  check_rule "structeq_bad" bad Rule.Perf_structeq 4;
+  Alcotest.(check int) "structeq_good is clean" 0
+    (count Rule.Perf_structeq (scan_fixture "structeq_good.ml"));
+  (* inside lib/bgp, structural comparison of the interned reps is legal *)
+  match Scan.scan_file ~kind:(Scan.classify "lib/bgp/as_path.ml") (fixture "structeq_bad.ml") with
+  | Ok vs -> check_rule "structeq_bad under lib/bgp" vs Rule.Perf_structeq 0
+  | Error e -> Alcotest.fail e
 
 let test_rob_fixtures () =
   let bad = scan_fixture "rob_bad.ml" in
@@ -116,6 +126,7 @@ let suite =
     Alcotest.test_case "determinism fixtures" `Quick test_det_fixtures;
     Alcotest.test_case "domain-safety fixtures" `Quick test_dom_fixtures;
     Alcotest.test_case "perf fixtures" `Quick test_perf_fixtures;
+    Alcotest.test_case "perf/structeq fixtures" `Quick test_structeq_fixtures;
     Alcotest.test_case "obs/printf fixtures" `Quick test_obs_fixtures;
     Alcotest.test_case "robustness/exception fixtures" `Quick test_rob_fixtures;
     Alcotest.test_case "mli fixtures" `Quick test_mli_fixtures;
