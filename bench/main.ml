@@ -651,6 +651,32 @@ let () =
     print_tables (Experiments.Case_study.to_tables r)
   end;
 
+  if wanted "lint" then begin
+    banner "Static analysis: lifeguard-lint wall-clock";
+    (* The benchmark usually runs from _build/default/bench, where the
+       mirrored sources sit one level up; fall back gracefully when the
+       tree is not around (e.g. an installed binary). *)
+    let root =
+      if Sys.file_exists "lib" then Some "."
+      else if Sys.file_exists "../lib" then Some ".."
+      else None
+    in
+    match root with
+    | None -> Printf.printf "(sources not present; skipped)\n"
+    | Some root ->
+        let dirs =
+          List.filter Sys.file_exists
+            (List.map (Filename.concat root) [ "lib"; "bin"; "bench"; "examples" ])
+        in
+        let r = timed "lint" (fun () -> Lint.scan ~dirs ()) in
+        let eff, _ = timed "lint-effects" (fun () -> Lint.analyse ~dirs ()) in
+        let summarized = List.length (Lint.Effects.summary_rows eff) in
+        Printf.printf "%d violation(s) pre-baseline, %d parse error(s); %d exported definitions summarized\n"
+          (List.length r.Lint.violations)
+          (List.length r.Lint.errors)
+          summarized
+  end;
+
   (match (efficacy, convergence, loss, selective, accuracy, scalability) with
   | Some e, Some c, Some l, Some sel, Some a, Some sc when wanted "table1" ->
       banner "Table 1: summary of key results";

@@ -20,11 +20,10 @@ type update_record = {
 
 type session = {
   mutable last_sent : float;  (** When we last put updates on this session. *)
-  pending : (Prefix.t, Speaker.action) Hashtbl.t;
-      (* Deliberately a polymorphic Hashtbl (grandfathered in the lint
-         baseline): the MRAI flush folds this table and its iteration
-         order fixes the batch emission order, so swapping the hash would
-         silently reorder update batches against recorded runs. *)
+  pending : Speaker.action Prefix.Table.t;
+      (* Keyed on Prefix.hash/equal; the MRAI flush sorts the batch by
+         Prefix.compare, so batch emission order is fixed by the prefixes
+         themselves rather than by hash-bucket iteration order. *)
   mutable timer_armed : bool;
   jittered_mrai : float;
 }
@@ -155,13 +154,13 @@ and emit t ~from ~to_ action =
     | Speaker.Announce ann -> ann.Route.prefix
     | Speaker.Withdraw p -> p
   in
-  if now -. s.last_sent >= s.jittered_mrai && Hashtbl.length s.pending = 0 then begin
+  if now -. s.last_sent >= s.jittered_mrai && Prefix.Table.length s.pending = 0 then begin
     s.last_sent <- now;
     schedule_delivery t ~from ~to_ action
   end
   else begin
     (* Coalesce: only the latest state per prefix matters. *)
-    Hashtbl.replace s.pending prefix action;
+    Prefix.Table.replace s.pending prefix action;
     if not s.timer_armed then begin
       s.timer_armed <- true;
       let fire_at = Float.max now (s.last_sent +. s.jittered_mrai) in
@@ -170,8 +169,12 @@ and emit t ~from ~to_ action =
           t.bgp_events <- t.bgp_events - 1;
           s.timer_armed <- false;
           s.last_sent <- Sim.Engine.now t.engine;
-          let batch = Hashtbl.fold (fun _ a acc -> a :: acc) s.pending [] in
-          Hashtbl.reset s.pending;
+          let batch =
+            Prefix.Table.fold (fun p a acc -> (p, a) :: acc) s.pending []
+            |> List.sort (fun (p1, _) (p2, _) -> Prefix.compare p1 p2)
+            |> List.map snd
+          in
+          Prefix.Table.reset s.pending;
           Obs.Metrics.incr m_mrai_rounds;
           if Obs.Trace.on () then
             Obs.Trace.event ~ts:(Sim.Engine.now t.engine) ~span:"bgp.mrai"
@@ -284,7 +287,7 @@ let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
           Asn_pair_tbl.replace t.sessions (a, b)
             {
               last_sent = neg_infinity;
-              pending = Hashtbl.create 4;
+              pending = Prefix.Table.create 4;
               timer_armed = false;
               jittered_mrai = mrai *. (0.75 +. (0.25 *. pair_hash a b));
             })

@@ -1,10 +1,16 @@
-(* Driver for lifeguard-lint: directory walking, report rendering
-   (text + JSON), baseline checking, and the CLI entry point shared by
+(* Driver for lifeguard-lint: directory walking, the one-parse pipeline
+   feeding both the per-file syntactic pass and the interprocedural
+   Callgraph/Effects pass, report rendering (text / json / sarif /
+   github), baseline checking, and the CLI entry point shared by
    bin/lifeguard_lint and the test suite. *)
 
 module Rule = Rule
 module Source_scan = Source_scan
 module Baseline = Baseline
+module Callgraph = Callgraph
+module Effects = Effects
+module Pragma = Pragma
+module Report = Report
 
 let default_dirs = [ "lib"; "bin"; "bench"; "examples" ]
 
@@ -27,53 +33,54 @@ type report = {
   errors : (string * string) list;  (** file, parse error *)
 }
 
-let scan ?kind ~dirs () =
+(* Parse every file once; the syntactic pass and the callgraph share the
+   ASTs. Library files (or everything, under a forced kind) feed the
+   interprocedural pass. *)
+let parse_all ?kind ~dirs () =
   let files = List.fold_left collect_ml_files [] dirs |> List.sort String.compare in
-  let violations = ref [] in
+  let parsed = ref [] in
   let errors = ref [] in
   List.iter
     (fun f ->
-      match Source_scan.scan_file ?kind f with
-      | Ok vs -> violations := List.rev_append vs !violations
+      let k = match kind with Some k -> k | None -> Source_scan.classify f in
+      match Source_scan.parse_file f with
+      | Ok ast -> parsed := (f, ast, k) :: !parsed
       | Error e -> errors := (f, e) :: !errors)
     files;
+  (files, List.rev !parsed, List.rev !errors)
+
+let callgraph_files parsed =
+  List.filter (fun (_, _, (k : Source_scan.file_kind)) -> k.Source_scan.in_lib) parsed
+
+let analyse ?kind ~dirs () =
+  let _, parsed, errors = parse_all ?kind ~dirs () in
+  let cg = Callgraph.build ~files:(callgraph_files parsed) in
+  (Effects.analyse cg, errors)
+
+let scan ?kind ~dirs () =
+  let files, parsed, errors = parse_all ?kind ~dirs () in
+  let violations = ref [] in
+  List.iter
+    (fun (f, ast, k) ->
+      violations := List.rev_append (Source_scan.scan_ast ~kind:k ~file:f ast) !violations)
+    parsed;
   let force_lib = match kind with Some k -> k.Source_scan.in_lib | None -> false in
   let mli = Source_scan.mli_violations ~force_lib files in
+  let eff =
+    match callgraph_files parsed with
+    | [] -> []
+    | lib_files -> Effects.violations (Effects.analyse (Callgraph.build ~files:lib_files))
+  in
+  let all = List.concat [ mli; eff; !violations ] in
   {
-    violations = List.sort Source_scan.compare_violation (List.rev_append mli !violations);
-    errors = List.rev !errors;
+    violations = Pragma.filter (List.sort Source_scan.compare_violation all);
+    errors;
   }
 
 let pp_violation oc (v : Source_scan.violation) =
-  Printf.fprintf oc "%s:%d:%d: [%s] %s\n" v.file v.line v.col (Rule.id v.rule) v.message
+  Printf.fprintf oc "%s\n" (Report.text_line v)
 
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
-
-let print_json oc r =
-  let item (v : Source_scan.violation) =
-    Printf.sprintf "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"col\":%d,\"message\":\"%s\"}"
-      (Rule.id v.rule) (json_escape v.file) v.line v.col (json_escape v.message)
-  in
-  let err (f, e) =
-    Printf.sprintf "{\"file\":\"%s\",\"error\":\"%s\"}" (json_escape f) (json_escape e)
-  in
-  Printf.fprintf oc "{\"violations\":[%s],\"errors\":[%s]}\n"
-    (String.concat "," (List.map item r.violations))
-    (String.concat "," (List.map err r.errors))
-
-let run_check ~oc ~baseline_path r =
+let run_check ?(format = Report.Text) ~oc ~baseline_path r =
   match Baseline.load baseline_path with
   | Error e ->
       Printf.fprintf oc "lifeguard-lint: %s\n" e;
@@ -85,7 +92,14 @@ let run_check ~oc ~baseline_path r =
           Printf.fprintf oc
             "lifeguard-lint: new violation(s) of %s: baseline allows %d, found %d\n" k allowed
             found;
-          List.iter (pp_violation oc) vs)
+          List.iter
+            (fun v ->
+              pp_violation oc v;
+              (* Under --format github a fresh violation also becomes an
+                 ::error workflow command, so CI annotates the diff. *)
+              if format = Report.Github then
+                Printf.fprintf oc "%s\n" (Report.github_line ~level:"error" v))
+            vs)
         verdict.Baseline.fresh;
       List.iter
         (fun (k, allowed, found) ->
@@ -95,16 +109,37 @@ let run_check ~oc ~baseline_path r =
         verdict.Baseline.stale;
       if verdict.Baseline.fresh <> [] then 1 else 0
 
+(* The --effects table: one deterministic row per exported library
+   definition. *)
+let effects_table ?kind ~dirs () =
+  let eff, errors = analyse ?kind ~dirs () in
+  let rows = Effects.summary_rows eff in
+  let width =
+    List.fold_left (fun w (name, _) -> max w (String.length name)) 24 rows
+  in
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, row) -> Buffer.add_string b (Printf.sprintf "%-*s  %s\n" width name row))
+    rows;
+  Buffer.add_string b
+    (Printf.sprintf "%d exported definitions (effects: clock random globalmut prints \
+                     catchall io)\n"
+       (List.length rows));
+  (Buffer.contents b, errors)
+
 let usage =
-  "lifeguard_lint [--check | --update-baseline] [--json] [--baseline FILE]\n\
-  \               [--root DIR] [--treat-as-lib] [DIR ...]\n\
-   Static analysis for domain-safety, determinism and hot-path hygiene.\n\
-   Default directories: lib bin bench examples."
+  "lifeguard_lint [--check | --update-baseline | --effects] [--format FMT] [--json]\n\
+  \               [--baseline FILE] [--root DIR] [--treat-as-lib] [DIR ...]\n\
+   Static analysis for domain-safety, determinism and hot-path hygiene,\n\
+   including the interprocedural LG-EFF-* effect rules.\n\
+   FMT is one of: text json sarif github. Default directories: lib bin bench examples."
 
 let main ?(out = Format.std_formatter) argv =
   let check = ref false in
   let update = ref false in
-  let json = ref false in
+  let effects = ref false in
+  let format = ref Report.Text in
+  let bad_format = ref None in
   let baseline_path = ref "lint.baseline" in
   let root = ref "" in
   let as_lib = ref false in
@@ -113,7 +148,17 @@ let main ?(out = Format.std_formatter) argv =
     [
       ("--check", Arg.Set check, " fail (exit 1) on violations not covered by the baseline");
       ("--update-baseline", Arg.Set update, " rewrite the baseline from the current tree");
-      ("--json", Arg.Set json, " machine-readable report on stdout");
+      ( "--effects",
+        Arg.Set effects,
+        " print the interprocedural effect summary of every exported library definition" );
+      ( "--format",
+        Arg.String
+          (fun s ->
+            match Report.format_of_string s with
+            | Some f -> format := f
+            | None -> bad_format := Some s),
+        "FMT report format: text json sarif github (default text)" );
+      ("--json", Arg.Unit (fun () -> format := Report.Json), " shorthand for --format json");
       ("--baseline", Arg.Set_string baseline_path, "FILE baseline file (default lint.baseline)");
       ("--root", Arg.Set_string root, "DIR chdir here first; paths are reported relative to it");
       ("--treat-as-lib", Arg.Set as_lib, " apply library-strict rules to every scanned file");
@@ -136,28 +181,55 @@ let main ?(out = Format.std_formatter) argv =
       List.iter (fun r -> Format.fprintf out "%-16s %s\n" (Rule.id r) (Rule.describe r)) Rule.all;
       Format.pp_print_flush out ();
       0
-  | () ->
-      let dirs = if !dirs = [] then default_dirs else List.rev !dirs in
-      let kind = if !as_lib then Some Source_scan.lib_kind else None in
-      let run () =
-        let r = scan ?kind ~dirs () in
-        List.iter (fun (f, e) -> Printf.eprintf "lifeguard-lint: %s: parse error: %s\n" f e)
-          r.errors;
-        if r.errors <> [] then 2
-        else if !update then begin
-          Baseline.save !baseline_path (Baseline.of_violations r.violations);
-          Format.fprintf out "lifeguard-lint: wrote %s (%d grandfathered violations)@."
-            !baseline_path (List.length r.violations);
-          0
-        end
-        else if !check then run_check ~oc:stdout ~baseline_path:!baseline_path r
-        else begin
-          if !json then print_json stdout r else List.iter (pp_violation stdout) r.violations;
-          0
-        end
-      in
-      if String.length !root = 0 then run ()
-      else begin
-        let cwd = Sys.getcwd () in
-        Fun.protect ~finally:(fun () -> Sys.chdir cwd) (fun () -> Sys.chdir !root; run ())
-      end
+  | () -> (
+      match !bad_format with
+      | Some s ->
+          Printf.eprintf "lifeguard-lint: unknown --format %s (text json sarif github)\n" s;
+          2
+      | None ->
+          let dirs = if !dirs = [] then default_dirs else List.rev !dirs in
+          let kind = if !as_lib then Some Source_scan.lib_kind else None in
+          let run () =
+            if !effects then begin
+              let table, errors = effects_table ?kind ~dirs () in
+              List.iter
+                (fun (f, e) -> Printf.eprintf "lifeguard-lint: %s: parse error: %s\n" f e)
+                errors;
+              if errors <> [] then 2
+              else begin
+                Format.pp_print_string out table;
+                Format.pp_print_flush out ();
+                0
+              end
+            end
+            else begin
+              let r = scan ?kind ~dirs () in
+              List.iter
+                (fun (f, e) -> Printf.eprintf "lifeguard-lint: %s: parse error: %s\n" f e)
+                r.errors;
+              if r.errors <> [] then 2
+              else if !update then begin
+                Baseline.save !baseline_path (Baseline.of_violations r.violations);
+                Format.fprintf out "lifeguard-lint: wrote %s (%d grandfathered violations)@."
+                  !baseline_path (List.length r.violations);
+                0
+              end
+              else if !check then
+                run_check ~format:!format ~oc:stdout ~baseline_path:!baseline_path r
+              else begin
+                (* lint: allow LG-OBS-PRINTF (reports go to stdout by CLI contract) *)
+                print_string
+                  (Report.render !format ~violations:r.violations ~errors:r.errors);
+                0
+              end
+            end
+          in
+          if String.length !root = 0 then run ()
+          else begin
+            let cwd = Sys.getcwd () in
+            Fun.protect
+              ~finally:(fun () -> Sys.chdir cwd)
+              (fun () ->
+                Sys.chdir !root;
+                run ())
+          end)

@@ -1,10 +1,16 @@
 (** lifeguard-lint: stdlib-only static analysis (compiler-libs) enforcing
     the domain-safety, determinism and hot-path rules the parallel
-    experiment runner depends on. See DESIGN.md, "Static analysis". *)
+    experiment runner depends on — per-file syntactic rules plus the
+    interprocedural {!Callgraph}/{!Effects} pass behind the [LG-EFF-*]
+    family. See DESIGN.md, "Static analysis". *)
 
 module Rule = Rule
 module Source_scan = Source_scan
 module Baseline = Baseline
+module Callgraph = Callgraph
+module Effects = Effects
+module Pragma = Pragma
+module Report = Report
 
 val default_dirs : string list
 (** [["lib"; "bin"; "bench"; "examples"]] *)
@@ -19,18 +25,31 @@ type report = {
 }
 
 val scan : ?kind:Source_scan.file_kind -> dirs:string list -> unit -> report
-(** Scan every [.ml] under [dirs] (sorted, deterministic), including the
-    [LG-MLI-MISSING] filesystem pass. [kind] overrides per-path
-    classification — tests use {!Source_scan.lib_kind} to force library
-    strictness on fixtures. *)
+(** Scan every [.ml] under [dirs] (sorted, deterministic): each file is
+    parsed once and shared between the syntactic pass, the
+    [LG-MLI-MISSING] filesystem pass, and the interprocedural
+    [LG-EFF-*] pass over the library files. Pragma-suppressed
+    violations are dropped. [kind] overrides per-path classification —
+    tests use {!Source_scan.lib_kind} to force library strictness on
+    fixtures. *)
 
-val run_check : oc:out_channel -> baseline_path:string -> report -> int
+val analyse : ?kind:Source_scan.file_kind -> dirs:string list -> unit -> Effects.t * (string * string) list
+(** Build the callgraph over the library files under [dirs] and infer
+    effect summaries; also returns parse errors. *)
+
+val effects_table : ?kind:Source_scan.file_kind -> dirs:string list -> unit -> string * (string * string) list
+(** The [--effects] table: one deterministic row per exported library
+    definition, plus parse errors. *)
+
+val run_check :
+  ?format:Report.format -> oc:out_channel -> baseline_path:string -> report -> int
 (** Diff a report against a baseline file; print fresh violations and
-    staleness notes; return the process exit code (0 clean, 1 fresh
-    violations, 2 unreadable baseline). *)
+    staleness notes ([Report.Github] adds [::error] workflow commands);
+    return the process exit code (0 clean, 1 fresh violations, 2
+    unreadable baseline). *)
 
 val main : ?out:Format.formatter -> string array -> int
 (** The CLI ([bin/lifeguard_lint]): returns the exit code. Informational
-    output (help, rule listing, baseline-write confirmation) goes to
-    [out] (default [Format.std_formatter]); reports go to stdout/stderr
-    as before. *)
+    output (help, rule listing, baseline-write confirmation, the
+    [--effects] table) goes to [out] (default [Format.std_formatter]);
+    reports go to stdout/stderr as before. *)

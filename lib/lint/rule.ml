@@ -10,10 +10,13 @@ type t =
   | Mli_missing
   | Obs_printf
   | Rob_exn
+  | Eff_clock
+  | Eff_random
+  | Eff_globalmut
 
 let all =
   [ Dom_mut; Det_random; Det_clock; Det_polyeq; Det_hashkey; Perf_append; Perf_scan;
-    Perf_structeq; Mli_missing; Obs_printf; Rob_exn ]
+    Perf_structeq; Mli_missing; Obs_printf; Rob_exn; Eff_clock; Eff_random; Eff_globalmut ]
 
 let id = function
   | Dom_mut -> "LG-DOM-MUT"
@@ -27,6 +30,9 @@ let id = function
   | Mli_missing -> "LG-MLI-MISSING"
   | Obs_printf -> "LG-OBS-PRINTF"
   | Rob_exn -> "LG-ROB-EXN"
+  | Eff_clock -> "LG-EFF-CLOCK"
+  | Eff_random -> "LG-EFF-RANDOM"
+  | Eff_globalmut -> "LG-EFF-GLOBALMUT"
 
 let of_id s =
   let rec find = function
@@ -64,3 +70,14 @@ let describe = function
   | Rob_exn ->
       "catch-all exception handler (try ... with _ ->) in a library; swallows programming \
        errors along with the expected failure — match the specific exceptions"
+  | Eff_clock ->
+      "exported library function transitively reaches the wall clock (through any number \
+       of wrappers) outside Obs.Clock; breaks determinism — thread simulation time or the \
+       injected Obs.Clock instead"
+  | Eff_random ->
+      "exported library function transitively reaches Random outside lib/prng; draws \
+       from the global, --jobs-dependent stream — thread a seeded Prng instead"
+  | Eff_globalmut ->
+      "exported library function transitively reaches module-level mutable state outside \
+       the declared-exempt modules; breaks the share-nothing byte-identical --jobs \
+       invariant — allocate the state per world and thread it"

@@ -16,6 +16,17 @@ type t =
   | Mli_missing  (** library [.ml] without a matching [.mli] *)
   | Obs_printf  (** bare stdout printing in [lib/] outside [lib/obs] *)
   | Rob_exn  (** catch-all [try ... with _ ->] handler inside [lib/] *)
+  | Eff_clock
+      (** exported [lib/] function {e transitively} reaches the wall clock
+          outside [Obs.Clock] — the interprocedural closure of
+          {!Det_clock} (see {!Effects}) *)
+  | Eff_random
+      (** exported [lib/] function transitively reaches [Random] outside
+          [lib/prng] *)
+  | Eff_globalmut
+      (** exported [lib/] function transitively reaches module-level
+          mutable state outside the declared-exempt modules — the
+          share-nothing invariant, proven interprocedurally *)
 
 val all : t list
 

@@ -393,11 +393,19 @@ let parse_impl path =
       Location.init lexbuf path;
       Parse.implementation lexbuf)
 
-let scan_file ?kind path =
-  let kind = match kind with Some k -> k | None -> classify path in
+let parse_file path =
   match parse_impl path with
-  | ast -> Ok (scan_structure ~kind ~file:path ast)
+  | ast -> Ok ast
   | exception e -> Error (Printexc.to_string e)
+
+let scan_ast ?kind ~file ast =
+  let kind = match kind with Some k -> k | None -> classify file in
+  scan_structure ~kind ~file ast
+
+let scan_file ?kind path =
+  match parse_file path with
+  | Ok ast -> Ok (scan_ast ?kind ~file:path ast)
+  | Error e -> Error e
 
 let mli_violations ?(force_lib = false) files =
   List.filter_map

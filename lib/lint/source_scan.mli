@@ -30,9 +30,16 @@ type violation = {
   message : string;
 }
 
+val parse_file : string -> (Parsetree.structure, string) result
+(** Parse one implementation file; [Error] describes a parse failure.
+    The driver parses each file once and shares the AST between this
+    pass and {!Callgraph}. *)
+
+val scan_ast : ?kind:file_kind -> file:string -> Parsetree.structure -> violation list
+(** Run the syntactic rules over an already-parsed structure. *)
+
 val scan_file : ?kind:file_kind -> string -> (violation list, string) result
-(** Parse and scan one file. [Error] carries a description of a parse
-    failure. [kind] defaults to [classify path]. *)
+(** [parse_file] + [scan_ast]. [kind] defaults to [classify path]. *)
 
 val mli_violations : ?force_lib:bool -> string list -> violation list
 (** The [LG-MLI-MISSING] pass: every library [.ml] in the list without a

@@ -1,0 +1,12 @@
+(** Measurement infrastructure: the historical path atlas, reachability
+    monitors with outage detection, and the router-responsiveness
+    database isolation consults to tell silence from unreachability.
+
+    This interface pins the library surface to exactly these modules;
+    helper code stays internal. *)
+
+module Atlas = Atlas
+module Monitor = Monitor
+module Responsiveness = Responsiveness
+module Reverse_traceroute = Reverse_traceroute
+module Hubble = Hubble

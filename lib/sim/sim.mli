@@ -1,0 +1,7 @@
+(** Discrete-event simulation: a single shared clock driving the BGP
+    network, monitoring loops and LIFEGUARD's control loop.
+
+    This interface pins the library surface to the event engine alone;
+    any future internals stay private to the library. *)
+
+module Engine = Engine

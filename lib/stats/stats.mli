@@ -1,0 +1,10 @@
+(** Statistics toolkit for the LIFEGUARD reproduction: descriptive
+    statistics, empirical CDFs (plain and mass-weighted) and plain-text
+    table rendering for experiment output.
+
+    This interface pins the library surface to exactly these modules;
+    helper code stays internal. *)
+
+module Descriptive = Descriptive
+module Ecdf = Ecdf
+module Table = Table

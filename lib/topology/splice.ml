@@ -78,16 +78,25 @@ let policy_reachable graph ~src ~dst ~avoiding =
 module Tuples = struct
   (* Keys are (a,b,c) triples of raw ASN ints, stored in both orientations
      so that reverse traversals also count as observed. *)
-  type t = (int * int * int, unit) Hashtbl.t
+  module Triple_tbl = Hashtbl.Make (struct
+    type t = int * int * int
+
+    let equal (a1, b1, c1) (a2, b2, c2) = a1 = a2 && b1 = b2 && c1 = c2
+
+    let hash (a, b, c) =
+      ((((a * 0x9E3779B1) lxor b) * 0x85EBCA77) lxor c) land max_int
+  end)
+
+  type t = unit Triple_tbl.t
 
   let wildcard = -1
 
   let add t a b c =
-    Hashtbl.replace t (a, b, c) ();
-    Hashtbl.replace t (c, b, a) ()
+    Triple_tbl.replace t (a, b, c) ();
+    Triple_tbl.replace t (c, b, a) ()
 
   let of_paths paths =
-    let t = Hashtbl.create 4096 in
+    let t = Triple_tbl.create 4096 in
     let add_path path =
       let arr = Array.of_list (List.map Asn.to_int path) in
       let n = Array.length arr in
@@ -107,9 +116,9 @@ module Tuples = struct
 
   let observed t a b c =
     let a = Asn.to_int a and b = Asn.to_int b and c = Asn.to_int c in
-    Hashtbl.mem t (a, b, c)
-    || Hashtbl.mem t (wildcard, b, c)
-    || Hashtbl.mem t (a, b, wildcard)
+    Triple_tbl.mem t (a, b, c)
+    || Triple_tbl.mem t (wildcard, b, c)
+    || Triple_tbl.mem t (a, b, wildcard)
 end
 
 let splice_around ~from_src ~to_dst ~tuples ~avoid ~dst =

@@ -1,0 +1,4 @@
+(* Wrapper-laundered clock: no syntactic rule fires here, but the effect
+   summary must carry Clock through Clock_wrap.now — LG-EFF-CLOCK with a
+   two-hop trace. *)
+let run () = Clock_wrap.now () +. 1.0

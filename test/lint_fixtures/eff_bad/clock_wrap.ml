@@ -1,0 +1,4 @@
+(* The laundering wrapper: the direct clock read is caught by the
+   syntactic LG-DET-CLOCK; the interprocedural pass must catch everyone
+   calling through it. *)
+let now () = Unix.gettimeofday ()

@@ -1,0 +1,5 @@
+(* Half of an apparent cross-module cycle (the callgraph is syntactic;
+   this need not compile as a program, only parse). The SCC
+   {ping, pong} must reach a fixpoint and both members must inherit
+   Clock from Clock_wrap. *)
+let ping n = if n = 0 then Clock_wrap.now () else Cyc_b.pong (n - 1)

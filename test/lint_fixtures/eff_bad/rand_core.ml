@@ -1,0 +1,2 @@
+(* Direct Random use: LG-DET-RANDOM territory, the seed of the chain. *)
+let draw n = Random.int n

@@ -1,0 +1,1 @@
+let pick n = Rand_core.draw n + 1

@@ -1,0 +1,3 @@
+(* Two hops from the Random seed: LG-EFF-RANDOM with the full chain
+   Rand_top.choose -> Rand_mid.pick -> Rand_core.draw -> Random.int. *)
+let choose () = Rand_mid.pick 3

@@ -1,0 +1,6 @@
+(* Module-level mutable table (LG-DOM-MUT at the definition); [put] is
+   an exported function reaching it — LG-EFF-GLOBALMUT, proven from the
+   edge into the mutable binding. *)
+let table = Hashtbl.create 7
+
+let put k = Hashtbl.replace table k ()

@@ -1,0 +1,3 @@
+(* Cross-module global mutation, laundered through Store.put: the file
+   itself is syntactically clean. *)
+let record x = Store.put x

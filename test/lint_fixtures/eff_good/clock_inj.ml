@@ -1,0 +1,3 @@
+(* Clean twin of eff_bad/clock_wrap.ml: the clock is injected by the
+   caller, so no effect seed exists anywhere in the chain. *)
+let now ~clock () = clock ()

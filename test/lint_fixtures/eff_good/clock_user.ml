@@ -1,0 +1,1 @@
+let run ~clock () = Clock_inj.now ~clock () +. 1.0

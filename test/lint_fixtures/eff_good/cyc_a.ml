@@ -1,0 +1,2 @@
+(* Effect-free cross-module cycle: the SCC must converge to "pure". *)
+let ping n = if n = 0 then 0 else Cyc_b.pong (n - 1)

@@ -1,0 +1,1 @@
+let pong n = Cyc_a.ping n

@@ -1,0 +1,2 @@
+(* Clean twin: deterministic draw from explicit state, no Random. *)
+let draw state n = state mod n

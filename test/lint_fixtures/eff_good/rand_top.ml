@@ -1,0 +1,1 @@
+let choose state = Rand_core.draw state 3

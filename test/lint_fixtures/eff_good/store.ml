@@ -1,0 +1,5 @@
+(* Clean twin: the table is created per call and threaded explicitly;
+   no module-level mutable state. *)
+let create () = Hashtbl.create 7
+
+let put t k = Hashtbl.replace t k ()

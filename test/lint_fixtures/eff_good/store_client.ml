@@ -1,0 +1,1 @@
+let record t x = Store.put t x

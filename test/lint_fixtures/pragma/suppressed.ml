@@ -1,0 +1,6 @@
+(* lint: allow LG-DET-CLOCK *)
+let now () = Unix.gettimeofday ()
+
+let later () = Sys.time () (* lint: allow LG-DET-CLOCK *)
+
+let bare () = Unix.time ()

@@ -112,6 +112,136 @@ let test_check_exit_codes () =
       Alcotest.(check int) "--check is 0 once grandfathered" 0
         (run [ "--check"; "--treat-as-lib"; "--baseline"; tmp; "lint_fixtures" ]))
 
+(* ---------------- interprocedural effect analysis ------------------- *)
+
+let scan_dir name = Lint.scan ~kind:Scan.lib_kind ~dirs:[ fixture name ] ()
+
+let messages_of rule (r : Lint.report) =
+  List.filter_map
+    (fun (v : Scan.violation) ->
+      if String.equal (Rule.id v.rule) (Rule.id rule) then Some v.Scan.message else None)
+    r.Lint.violations
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_eff_fixtures () =
+  let bad = scan_dir "eff_bad" in
+  Alcotest.(check int) "eff_bad parses" 0 (List.length bad.Lint.errors);
+  check_rule "eff_bad" bad.Lint.violations Rule.Eff_clock 3;
+  check_rule "eff_bad" bad.Lint.violations Rule.Eff_random 2;
+  check_rule "eff_bad" bad.Lint.violations Rule.Eff_globalmut 2;
+  (* The direct seeds stay with the per-file rules, not LG-EFF-*. *)
+  check_rule "eff_bad" bad.Lint.violations Rule.Det_clock 1;
+  check_rule "eff_bad" bad.Lint.violations Rule.Det_random 1;
+  check_rule "eff_bad" bad.Lint.violations Rule.Dom_mut 1;
+  (* Call traces: the wrapper-laundered clock reports the full chain. *)
+  Alcotest.(check bool) "2-hop clock trace" true
+    (List.exists
+       (contains
+          ~needle:"Eff_bad.Clock_user.run -> Eff_bad.Clock_wrap.now -> Unix.gettimeofday")
+       (messages_of Rule.Eff_clock bad));
+  Alcotest.(check bool) "3-hop random trace" true
+    (List.exists
+       (contains
+          ~needle:
+            "Eff_bad.Rand_top.choose -> Eff_bad.Rand_mid.pick -> Eff_bad.Rand_core.draw -> Random.int")
+       (messages_of Rule.Eff_random bad));
+  Alcotest.(check bool) "cross-module mutation trace" true
+    (List.exists
+       (contains
+          ~needle:
+            "Eff_bad.Store_client.record -> Eff_bad.Store.put -> Eff_bad.Store.table (module-level mutable)")
+       (messages_of Rule.Eff_globalmut bad));
+  (* The apparent cross-module cycle converges and both members report. *)
+  Alcotest.(check bool) "SCC member reports through the cycle" true
+    (List.exists (contains ~needle:"Eff_bad.Cyc_b.pong") (messages_of Rule.Eff_clock bad));
+  (* Clean twins: same shapes with injected clock/state stay silent. *)
+  let good = scan_dir "eff_good" in
+  Alcotest.(check int) "eff_good parses" 0 (List.length good.Lint.errors);
+  List.iter
+    (fun rule -> check_rule "eff_good" good.Lint.violations rule 0)
+    [ Rule.Eff_clock; Rule.Eff_random; Rule.Eff_globalmut; Rule.Det_clock; Rule.Det_random;
+      Rule.Dom_mut ]
+
+let test_pragma () =
+  (* Unit semantics: same line and line-above suppress; two lines above
+     does not; other rules unaffected. *)
+  let p = Lint.Pragma.of_lines [ "(* lint: allow LG-EFF-CLOCK, LG-DET-CLOCK *)"; "let x = 1" ] in
+  Alcotest.(check bool) "same line" true (Lint.Pragma.suppresses p ~rule:"LG-EFF-CLOCK" ~line:1);
+  Alcotest.(check bool) "line below" true (Lint.Pragma.suppresses p ~rule:"LG-DET-CLOCK" ~line:2);
+  Alcotest.(check bool) "two below" false (Lint.Pragma.suppresses p ~rule:"LG-DET-CLOCK" ~line:3);
+  Alcotest.(check bool) "other rule" false (Lint.Pragma.suppresses p ~rule:"LG-DET-RANDOM" ~line:2);
+  (* Through the scan: the fixture has three clock reads, two annotated. *)
+  let r = scan_dir "pragma" in
+  check_rule "pragma" r.Lint.violations Rule.Det_clock 1
+
+let test_report_formats () =
+  let r = scan_dir "eff_bad" in
+  let sarif = Lint.Report.render Lint.Report.Sarif ~violations:r.Lint.violations ~errors:[] in
+  (match Lint.Report.json_valid sarif with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "SARIF output is not well-formed JSON: %s" e);
+  Alcotest.(check bool) "sarif carries the schema" true
+    (contains ~needle:"sarif-2.1.0.json" sarif);
+  Alcotest.(check bool) "sarif carries rule ids" true (contains ~needle:"LG-EFF-CLOCK" sarif);
+  let json = Lint.Report.render Lint.Report.Json ~violations:r.Lint.violations ~errors:[] in
+  (match Lint.Report.json_valid json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "JSON output is not well-formed: %s" e);
+  (* Workflow commands: one ::warning per violation, file= anchored. *)
+  let gh = Lint.Report.render Lint.Report.Github ~violations:r.Lint.violations ~errors:[] in
+  Alcotest.(check bool) "github warnings" true (contains ~needle:"::warning file=" gh);
+  (* The validator itself rejects garbage. *)
+  (match Lint.Report.json_valid "{\"a\": [1, 2,]}" with
+  | Ok () -> Alcotest.fail "trailing comma accepted"
+  | Error _ -> ());
+  match Lint.Report.json_valid "{\"a\": 1} trailing" with
+  | Ok () -> Alcotest.fail "trailing content accepted"
+  | Error _ -> ()
+
+let test_effects_cli () =
+  let buf = Buffer.create 4096 in
+  let out = Format.formatter_of_buffer buf in
+  let code =
+    Lint.main ~out [| "lifeguard_lint"; "--effects"; "--treat-as-lib"; fixture "eff_bad" |]
+  in
+  Format.pp_print_flush out ();
+  Alcotest.(check int) "--effects exits 0" 0 code;
+  let table = Buffer.contents buf in
+  Alcotest.(check bool) "summary row for the laundered clock" true
+    (contains ~needle:"Eff_bad.Clock_user.run" table);
+  Alcotest.(check bool) "clock effect in the row" true (contains ~needle:"clock" table)
+
+(* Effect summaries of the real tree: the hot control-loop entry points
+   are effect-free (clock and randomness arrive injected), and the table
+   is deterministic run to run. A change here means someone taught the
+   simulation core a real side effect — that breaks the share-nothing
+   worker model, so it should be a conscious, reviewed decision. *)
+let test_real_tree_effects () =
+  if Sys.file_exists "../lib" then begin
+    let eff, errors = Lint.analyse ~dirs:[ "../lib" ] () in
+    Alcotest.(check int) "real tree parses" 0 (List.length errors);
+    let rows = Lint.Effects.summary_rows eff in
+    Alcotest.(check bool) "covers the exported surface" true (List.length rows > 400);
+    let row name =
+      match List.assoc_opt name rows with
+      | Some r -> r
+      | None -> Alcotest.failf "no effect summary row for %s" name
+    in
+    Alcotest.(check string) "Bgp.Speaker.create stays pure" "pure" (row "Bgp.Speaker.create");
+    Alcotest.(check string) "Fleet.Service.run stays pure" "pure" (row "Fleet.Service.run");
+    let eff2, _ = Lint.analyse ~dirs:[ "../lib" ] () in
+    Alcotest.(check bool) "summary is deterministic" true
+      (List.equal
+         (fun (a, b) (c, d) -> String.equal a c && String.equal b d)
+         rows
+         (Lint.Effects.summary_rows eff2))
+  end
+  else print_endline "real-tree sources not materialized; skipped"
+
 (* The gate the build runs: the real tree is clean against the shipped
    baseline. Exercised from the test binary's sandbox (_build/default),
    where dune has copied the sources and lint.baseline next to test/. *)
@@ -132,5 +262,10 @@ let suite =
     Alcotest.test_case "mli fixtures" `Quick test_mli_fixtures;
     Alcotest.test_case "baseline semantics" `Quick test_baseline_semantics;
     Alcotest.test_case "check exit codes" `Quick test_check_exit_codes;
+    Alcotest.test_case "effect fixtures (LG-EFF-*)" `Quick test_eff_fixtures;
+    Alcotest.test_case "pragma suppressions" `Quick test_pragma;
+    Alcotest.test_case "report formats (sarif/json/github)" `Quick test_report_formats;
+    Alcotest.test_case "--effects CLI table" `Quick test_effects_cli;
+    Alcotest.test_case "real tree effect summaries" `Quick test_real_tree_effects;
     Alcotest.test_case "real tree vs shipped baseline" `Quick test_real_tree;
   ]
