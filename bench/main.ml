@@ -3,25 +3,31 @@
    bechamel micro-benchmarks of the hot code paths.
 
    Usage: main.exe [--quick] [--seed N] [--only NAME[,NAME...]] [--no-micro]
-                   [--jobs N] [--json [PATH]] [--trace FILE] [--metrics]
+                   [--jobs N] [--shards K] [--json [PATH]] [--trace FILE]
+                   [--metrics]
    Experiment names: fig1 fig5 alt-paths efficacy fig6 loss selective
    accuracy scalability load hubble anomalies sentinel ablation damping
    fleet faults case-study table1.
 
    --jobs N shards experiment trials over N domains (default: the
    machine's recommended domain count; 1 forces the sequential path).
-   Output tables are identical for every jobs value. --json writes a
-   machine-readable run summary (per-experiment wall-clock, jobs, seed,
-   micro-benchmark medians, and — when metrics are on — per-experiment
-   counter totals) to PATH, defaulting to BENCH_<date>.json. --trace
-   streams structured JSONL events to FILE (and implies --metrics);
-   --metrics records Obs counters and prints a summary table. *)
+   Output tables are identical for every jobs value. --shards K
+   partitions each fleet/faults world over K shard domains advanced
+   between deterministic time barriers (0, the default, keeps the legacy
+   single-queue engine); tables are byte-identical for every K >= 1.
+   --json writes a machine-readable run summary (per-experiment
+   wall-clock, jobs, seed, micro-benchmark medians, a faults shard sweep
+   at K = 1/2/4, and — when metrics are on — per-experiment counter
+   totals) to PATH, defaulting to BENCH_<date>.json. --trace streams
+   structured JSONL events to FILE (and implies --metrics); --metrics
+   records Obs counters and prints a summary table. *)
 
 let seed = ref 42
 let quick = ref false
 let only : string list ref = ref []
 let run_micro = ref true
 let jobs = ref (Par.Pool.default_jobs ())
+let shards = ref 0
 let json_path : string option ref = ref None
 let trace_path : string option ref = ref None
 let show_metrics = ref false
@@ -45,6 +51,9 @@ let parse_args ~date =
         go rest
     | "--jobs" :: n :: rest ->
         jobs := max 1 (int_of_string n);
+        go rest
+    | "--shards" :: n :: rest ->
+        shards := max 0 (int_of_string n);
         go rest
     | "--json" :: path :: rest when String.length path < 2 || String.sub path 0 2 <> "--"
       ->
@@ -78,6 +87,12 @@ let banner title =
 
 (* Wall-clock per experiment, in run order, for the JSON summary. *)
 let timings : (string * float) list ref = ref []
+
+(* --json only: the faults study re-run at K = 1/2/4 shard domains —
+   (shards, seconds, tables byte-identical to K=1) per row. *)
+let faults_shards : (int * float * bool) list ref = ref []
+
+let shards_opt () = if !shards = 0 then None else Some !shards
 
 (* Per-experiment counter deltas (name, counters), newest first. Metrics
    accumulate across the whole run; [timed] diffs consecutive snapshots
@@ -300,11 +315,33 @@ let micro_benchmarks () =
            ignore (Bgp.Speaker.session_down sp ~now:1.0 ~neighbor:flapper);
            ignore (Bgp.Speaker.session_up sp ~now:2.0 ~neighbor:flapper)))
   in
+  (* Barrier exchange: a 2-shard world converging one announcement, with
+     every delivery crossing the barrier and on the order of 100 updates
+     crossing the shard boundary itself. Times the full partition →
+     window → exchange → re-intern loop. *)
+  let shard_test =
+    let sgen = Topology.Topo_gen.generate ~params:(Topology.Topo_gen.sized 150) ~seed () in
+    let sgraph = sgen.Topology.Topo_gen.graph in
+    let origin = List.hd sgen.Topology.Topo_gen.stub_list in
+    let prefix = Net.Prefix.of_string_exn "203.0.113.0/24" in
+    let converge () =
+      let net =
+        Bgp.Network.create ~engine:(Sim.Engine.create ()) ~graph:sgraph ~shards:2 ()
+      in
+      Bgp.Network.announce net ~origin ~prefix ();
+      Bgp.Network.run_until_quiet ~timeout:36000.0 net;
+      net
+    in
+    let boundary = Bgp.Network.cut_message_count (converge ()) in
+    Test.make
+      ~name:(Printf.sprintf "shard: 2-shard barrier exchange, %d boundary msgs" boundary)
+      (Staged.stage (fun () -> ignore (converge ())))
+  in
   let tests =
     Test.make_grouped ~name:"lifeguard"
       ([ decision_test; trie_test; reach_test; engine_test; walk_test ]
       @ equality_tests
-      @ [ ann_equal_test; session_flap_test ])
+      @ [ ann_equal_test; session_flap_test; shard_test ])
   in
   let benchmark () =
     let ols =
@@ -391,6 +428,7 @@ let write_json ~date ~path ~micro =
   Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" !seed);
   Buffer.add_string buf (Printf.sprintf "  \"quick\": %b,\n" !quick);
   Buffer.add_string buf (Printf.sprintf "  \"jobs\": %d,\n" !jobs);
+  Buffer.add_string buf (Printf.sprintf "  \"shards\": %d,\n" !shards);
   Buffer.add_string buf "  \"experiments\": [\n";
   let rows = List.rev !timings in
   List.iteri
@@ -401,6 +439,19 @@ let write_json ~date ~path ~micro =
            (if i < List.length rows - 1 then "," else "")))
     rows;
   Buffer.add_string buf "  ],\n";
+  (match !faults_shards with
+  | [] -> ()
+  | rows ->
+      Buffer.add_string buf "  \"faults_shards\": [\n";
+      let n = List.length rows in
+      List.iteri
+        (fun i (k, dt, same) ->
+          Buffer.add_string buf
+            (Printf.sprintf "    { \"shards\": %d, \"seconds\": %.3f, \"identical\": %b }%s\n" k dt
+               same
+               (if i < n - 1 then "," else "")))
+        rows;
+      Buffer.add_string buf "  ],\n");
   (match List.rev !exp_metrics with
   | [] -> ()
   | per_exp ->
@@ -616,6 +667,7 @@ let () =
       {
         Fleet.Service.default_config with
         Fleet.Service.duration = (if !quick then 10800.0 else 86400.0);
+        shards = shards_opt ();
       }
     in
     let r =
@@ -633,6 +685,7 @@ let () =
       {
         Fleet.Service.default_config with
         Fleet.Service.duration = (if !quick then 10800.0 else 21600.0);
+        shards = shards_opt ();
       }
     in
     let r =
@@ -643,6 +696,43 @@ let () =
             ~jobs:!jobs ~seed ())
     in
     print_tables (Experiments.Fault_study.to_tables r)
+  end;
+
+  if wanted "faults" && !json_path <> None then begin
+    (* Per-shard-count rows for the JSON summary: the same (reduced)
+       fault study at K = 1, 2 and 4 shard domains, with the rendered
+       tables compared byte-for-byte against K=1 — the invariance tests'
+       discipline, enforced on every --json bench run. *)
+    banner "Fault study: shard sweep (K = 1/2/4)";
+    let run_k k =
+      let config =
+        {
+          Fleet.Service.default_config with
+          Fleet.Service.duration = 10800.0;
+          shards = Some k;
+        }
+      in
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Experiments.Fault_study.run ~config ~intensities:[ 0.0; 1.0 ] ~targets:25
+          ~jobs:!jobs ~seed ()
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      (dt, String.concat "\n" (List.map Stats.Table.render (Experiments.Fault_study.to_tables r)))
+    in
+    let dt1, tables1 = run_k 1 in
+    faults_shards := [ (1, dt1, true) ];
+    List.iter
+      (fun k ->
+        let dt, tables = run_k k in
+        faults_shards := (k, dt, String.equal tables1 tables) :: !faults_shards)
+      [ 2; 4 ];
+    faults_shards := List.rev !faults_shards;
+    List.iter
+      (fun (k, dt, same) ->
+        Printf.printf "[faults at %d shard(s): %.1fs, tables %s]\n" k dt
+          (if same then "byte-identical to K=1" else "DIVERGED from K=1"))
+      !faults_shards
   end;
 
   if wanted "case-study" then begin

@@ -31,6 +31,15 @@ let jobs =
   in
   Arg.(value & opt int (Par.Pool.default_jobs ()) & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let shards_arg =
+  let doc =
+    "Partition each simulated world over $(docv) shard domains advanced \
+     between deterministic time barriers. Tables are byte-identical for \
+     every $(docv) >= 1 and compose with $(b,--jobs); 0 (the default) \
+     keeps the legacy single-queue engine."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~docv:"K" ~doc)
+
 (* Observability options, shared by every experiment subcommand. *)
 type obs_opts = { trace : string option; metrics : bool }
 
@@ -348,6 +357,10 @@ let check_rate flag v =
 let check_probability flag v =
   check (v >= 0.0 && v <= 1.0) (Printf.sprintf "%s must be within [0,1] (got %g)" flag v)
 
+let shards_opt shards =
+  check (shards >= 0) (Printf.sprintf "--shards must be >= 0 (got %d)" shards);
+  if shards = 0 then None else Some shards
+
 let fleet_cmd =
   let duration =
     Arg.(
@@ -384,7 +397,7 @@ let fleet_cmd =
       & info [ "atlas-staleness" ] ~docv:"P"
           ~doc:"Chaos: probability an atlas refresh is skipped.")
   in
-  let run obs seed duration targets outages probe_loss vp_mtbf staleness jobs =
+  let run obs seed duration targets outages probe_loss vp_mtbf staleness jobs shards =
     check_positive_f "--duration" duration;
     check_positive_i "--targets" targets;
     check_rate "--outages-per-day" outages;
@@ -392,6 +405,7 @@ let fleet_cmd =
     check_rate "--vp-mtbf" vp_mtbf;
     check_probability "--atlas-staleness" staleness;
     check_positive_i "--jobs" jobs;
+    let shards = shards_opt shards in
     with_obs obs (fun () ->
         let config =
           {
@@ -400,6 +414,7 @@ let fleet_cmd =
             outages_per_day = outages;
             chaos =
               { Fleet.Chaos.none with Fleet.Chaos.probe_loss; vp_mtbf; atlas_staleness = staleness };
+            shards;
           }
         in
         print_tables
@@ -413,7 +428,7 @@ let fleet_cmd =
           damping-paced announcements, optional chaos")
     Term.(
       const run $ obs_term $ seed $ duration $ targets $ outages $ probe_loss $ vp_mtbf $ staleness
-      $ jobs)
+      $ jobs $ shards_arg)
 
 let faults_cmd =
   let duration =
@@ -492,7 +507,7 @@ let faults_cmd =
           ~doc:"Per-message update duplication probability at intensity 1.")
   in
   let run obs seed duration targets outages intensities flap_mtbf flap_downtime link_mtbf
-      link_mttr router_mtbf router_mttr update_loss update_dup jobs =
+      link_mttr router_mtbf router_mttr update_loss update_dup jobs shards =
     check_positive_f "--duration" duration;
     check_positive_i "--targets" targets;
     check_rate "--outages-per-day" outages;
@@ -506,6 +521,7 @@ let faults_cmd =
     check_probability "--update-loss" update_loss;
     check_probability "--update-dup" update_dup;
     check_positive_i "--jobs" jobs;
+    let shards = shards_opt shards in
     let profile =
       {
         Bgp.Faults.session_flap_mtbf = flap_mtbf;
@@ -528,7 +544,12 @@ let faults_cmd =
     in
     with_obs obs (fun () ->
         let config =
-          { Fleet.Service.default_config with Fleet.Service.duration; outages_per_day = outages }
+          {
+            Fleet.Service.default_config with
+            Fleet.Service.duration;
+            outages_per_day = outages;
+            shards;
+          }
         in
         print_tables
           (Experiments.Fault_study.to_tables
@@ -542,7 +563,7 @@ let faults_cmd =
     Term.(
       const run $ obs_term $ seed $ duration $ targets $ outages $ intensities $ flap_mtbf
       $ flap_downtime $ link_mtbf $ link_mttr $ router_mtbf $ router_mttr $ update_loss
-      $ update_dup $ jobs)
+      $ update_dup $ jobs $ shards_arg)
 
 let main =
   let doc = "LIFEGUARD (SIGCOMM 2012) reproduction: failure localization and BGP-poisoning repair" in

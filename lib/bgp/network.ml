@@ -42,23 +42,65 @@ module Peer_prefix_tbl = Hashtbl.Make (struct
   let hash (a, p) = ((Asn.hash a * 0x9E3779B1) lxor Prefix.hash p) land max_int
 end)
 
+(* Per-shard collector slice: a speaker's loc-RIB-change callback writes
+   only into its own shard's slice, so recording needs no cross-domain
+   state. Legacy (unsharded) networks have exactly one slice, making the
+   legacy path byte-identical to the pre-shard collector. *)
+type collector_shard = {
+  mutable crecords : update_record list;  (** newest first *)
+  clatest : Route.entry option Peer_prefix_tbl.t;
+      (** Latest recorded route per (peer, prefix), so [current_route]
+          answers in O(1) instead of scanning the records. *)
+}
+
 type collector_state = {
   cname : string;
   cpeers : Asn.t list;
   peer_set : Asn.Set.t;
-  mutable records : update_record list;  (** newest first *)
-  clatest : Route.entry option Peer_prefix_tbl.t;
-      (** Latest recorded route per (peer, prefix), so [current_route]
-          answers in O(1) instead of scanning [records]. *)
+  subs : collector_shard array;  (** one slice per shard *)
+  csync : unit -> unit;  (** catch shards up before a read *)
+  cshard_of : Asn.t -> int;
+  csharded : bool;
+}
+
+(* A cross-window BGP update: emitted into its source shard's outbox
+   during a barrier window, exchanged at the barrier, and injected into
+   the destination shard's engine in canonical order. *)
+type boundary_msg = {
+  b_arrival : float;
+  b_from : Asn.t;
+  b_to : Asn.t;
+  b_src_shard : int;
+  b_dst_shard : int;
+  b_action : Speaker.action;
+}
+
+(* The per-shard slice of the world: its own event queue, path interner
+   and delivery accounting. A shard's state is touched only by (a) its
+   own window execution — possibly on a pool domain — and (b) the
+   control domain while every shard is quiescent, so no two domains ever
+   race on it. Legacy networks are a single shard whose engine IS the
+   control engine. *)
+type shard_state = {
+  six : int;
+  sengine : Sim.Engine.t;
+  sstore : Path_store.t;
+  mutable s_bgp_events : int;  (** BGP events queued in this shard's engine *)
+  mutable s_delivered : int;
+  mutable s_buckets : int array;
+  mutable outbox : boundary_msg list;  (** reversed emission order *)
+  mutable outbox_n : int;
 }
 
 type t = {
-  engine : Sim.Engine.t;
+  engine : Sim.Engine.t;  (** the control engine *)
   graph : As_graph.t;
   speakers : Speaker.t Asn.Table.t;
   store : Path_store.t;
-      (** This world's path/announcement interner, shared by every speaker
-          of the network and by nothing outside it. *)
+      (** The control-side path/announcement interner ({!announce} paths
+          live here). In legacy mode it is also the single shard's store,
+          shared by every speaker; in sharded mode each shard has its own
+          interner and paths are re-interned on shard entry. *)
   delay_of : Asn.t -> Asn.t -> float;
   sessions : session Asn_pair_tbl.t;  (** keyed (from, to) *)
   owners : Asn.t Prefix.Table.t;
@@ -70,27 +112,24 @@ type t = {
   mutable owner_trie : Asn.t Prefix_trie.t;
   mutable link_faults : (from:Asn.t -> to_:Asn.t -> [ `Deliver | `Drop | `Duplicate ]) option;
   mutable collectors : collector_state list;
-  mutable bgp_events : int;  (** BGP events currently in the engine queue *)
-  mutable delivered : int;
-  mutable delivery_buckets : int array;
-      (** Deliveries counted into fixed-width time buckets
-          ([delivery_bucket_width] seconds each, index = floor (time /
-          width)), grown on demand. Replaces an unbounded per-delivery
-          [float list] that [messages_between] scanned linearly. *)
+  shards : shard_state array;
+  shard_ix : int Asn.Table.t;  (** AS -> shard index; empty in legacy mode *)
+  mutable barrier : boundary_msg Shard.Barrier.t option;  (** None = legacy *)
+  partition_cut : int;
 }
 
 let delivery_bucket_width = 1.0
 
-let record_delivery t time =
+let record_delivery sh time =
   let idx = int_of_float (time /. delivery_bucket_width) in
   let idx = if idx < 0 then 0 else idx in
-  let cap = Array.length t.delivery_buckets in
+  let cap = Array.length sh.s_buckets in
   if idx >= cap then begin
     let bigger = Array.make (max (idx + 1) (2 * cap)) 0 in
-    Array.blit t.delivery_buckets 0 bigger 0 cap;
-    t.delivery_buckets <- bigger
+    Array.blit sh.s_buckets 0 bigger 0 cap;
+    sh.s_buckets <- bigger
   end;
-  t.delivery_buckets.(idx) <- t.delivery_buckets.(idx) + 1
+  sh.s_buckets.(idx) <- sh.s_buckets.(idx) + 1
 
 (* Deterministic per-pair pseudo-random factor in [0,1): mix the ASN pair
    so runs are reproducible without threading a PRNG through the hot
@@ -113,6 +152,39 @@ let speaker t asn =
   | None -> invalid_arg (Printf.sprintf "Network: unknown %s" (Asn.to_string asn))
 
 let path_store t = t.store
+let shards t = Array.length t.shards
+let is_sharded t = Option.is_some t.barrier
+let cut_edges t = t.partition_cut
+
+let shard_ix t asn =
+  if Array.length t.shards = 1 then 0
+  else begin
+    match Asn.Table.find_opt t.shard_ix asn with
+    | Some i -> i
+    | None -> invalid_arg (Printf.sprintf "Network: unknown %s" (Asn.to_string asn))
+  end
+
+let shard_of_asn = shard_ix
+let shard_for t asn = t.shards.(shard_ix t asn)
+
+let barrier_count t =
+  match t.barrier with Some b -> Shard.Barrier.barriers b | None -> 0
+
+let barrier_history t =
+  match t.barrier with Some b -> Shard.Barrier.history b | None -> []
+
+let cut_message_count t =
+  match t.barrier with Some b -> Shard.Barrier.cut_messages b | None -> 0
+
+(* Catch every shard up to the control clock. Called before control-plane
+   reads and writes; a no-op in legacy mode and whenever the frontier is
+   already current. *)
+let sync t =
+  match t.barrier with
+  | None -> ()
+  | Some b -> Shard.Barrier.sync_all b ~now:(Sim.Engine.now t.engine)
+
+let poke t = match t.barrier with None -> () | Some b -> Shard.Barrier.poke b
 
 let session t a b =
   match Asn_pair_tbl.find_opt t.sessions (a, b) with
@@ -121,11 +193,17 @@ let session t a b =
       invalid_arg
         (Printf.sprintf "Network: no session %s -> %s" (Asn.to_string a) (Asn.to_string b))
 
-(* Forward declaration to tie the delivery/emission knot. *)
-let rec deliver t ~from ~to_ action =
-  t.delivered <- t.delivered + 1;
-  let now = Sim.Engine.now t.engine in
-  record_delivery t now;
+let action_prefix = function
+  | Speaker.Announce ann -> ann.Route.prefix
+  | Speaker.Withdraw p -> p
+
+(* Forward declaration to tie the delivery/emission knot. [sh] is always
+   the shard owning the acting speaker: the destination's for [deliver],
+   the sender's for [emit]/[schedule_delivery]. *)
+let rec deliver t sh ~from ~to_ action =
+  sh.s_delivered <- sh.s_delivered + 1;
+  let now = Sim.Engine.now sh.sengine in
+  record_delivery sh now;
   Obs.Metrics.incr m_delivered;
   if Obs.Trace.on () then begin
     let kind, prefix =
@@ -144,19 +222,20 @@ let rec deliver t ~from ~to_ action =
   let out = Speaker.receive (speaker t to_) ~now ~from action in
   emit_all t to_ out
 
-and emit_all t from out = List.iter (fun (to_, action) -> emit t ~from ~to_ action) out
+and emit_all t from out =
+  match out with
+  | [] -> ()
+  | _ ->
+      let sh = shard_for t from in
+      List.iter (fun (to_, action) -> emit t sh ~from ~to_ action) out
 
-and emit t ~from ~to_ action =
+and emit t sh ~from ~to_ action =
   let s = session t from to_ in
-  let now = Sim.Engine.now t.engine in
-  let prefix =
-    match action with
-    | Speaker.Announce ann -> ann.Route.prefix
-    | Speaker.Withdraw p -> p
-  in
+  let now = Sim.Engine.now sh.sengine in
+  let prefix = action_prefix action in
   if now -. s.last_sent >= s.jittered_mrai && Prefix.Table.length s.pending = 0 then begin
     s.last_sent <- now;
-    schedule_delivery t ~from ~to_ action
+    schedule_delivery t sh ~from ~to_ action
   end
   else begin
     (* Coalesce: only the latest state per prefix matters. *)
@@ -164,11 +243,11 @@ and emit t ~from ~to_ action =
     if not s.timer_armed then begin
       s.timer_armed <- true;
       let fire_at = Float.max now (s.last_sent +. s.jittered_mrai) in
-      t.bgp_events <- t.bgp_events + 1;
-      Sim.Engine.schedule t.engine ~at:fire_at (fun () ->
-          t.bgp_events <- t.bgp_events - 1;
+      sh.s_bgp_events <- sh.s_bgp_events + 1;
+      Sim.Engine.schedule sh.sengine ~at:fire_at (fun () ->
+          sh.s_bgp_events <- sh.s_bgp_events - 1;
           s.timer_armed <- false;
-          s.last_sent <- Sim.Engine.now t.engine;
+          s.last_sent <- Sim.Engine.now sh.sengine;
           let batch =
             Prefix.Table.fold (fun p a acc -> (p, a) :: acc) s.pending []
             |> List.sort (fun (p1, _) (p2, _) -> Prefix.compare p1 p2)
@@ -177,26 +256,47 @@ and emit t ~from ~to_ action =
           Prefix.Table.reset s.pending;
           Obs.Metrics.incr m_mrai_rounds;
           if Obs.Trace.on () then
-            Obs.Trace.event ~ts:(Sim.Engine.now t.engine) ~span:"bgp.mrai"
+            Obs.Trace.event ~ts:(Sim.Engine.now sh.sengine) ~span:"bgp.mrai"
               [
                 ("from", Obs.Trace.Int (Asn.to_int from));
                 ("to", Obs.Trace.Int (Asn.to_int to_));
                 ("batch", Obs.Trace.Int (List.length batch));
               ];
-          List.iter (fun action -> schedule_delivery t ~from ~to_ action) batch)
+          List.iter (fun action -> schedule_delivery t sh ~from ~to_ action) batch)
     end
   end
 
-and schedule_delivery t ~from ~to_ action =
+and schedule_delivery t sh ~from ~to_ action =
   let delay = t.delay_of from to_ in
   (match action with
   | Speaker.Announce _ -> Obs.Metrics.incr m_announce_sent
   | Speaker.Withdraw _ -> Obs.Metrics.incr m_withdraw_sent);
   let send ~delay =
-    t.bgp_events <- t.bgp_events + 1;
-    Sim.Engine.schedule_after t.engine ~delay (fun () ->
-        t.bgp_events <- t.bgp_events - 1;
-        deliver t ~from ~to_ action)
+    match t.barrier with
+    | None ->
+        (* Legacy: direct scheduling on the (single, control) engine. *)
+        sh.s_bgp_events <- sh.s_bgp_events + 1;
+        Sim.Engine.schedule_after sh.sengine ~delay (fun () ->
+            sh.s_bgp_events <- sh.s_bgp_events - 1;
+            deliver t sh ~from ~to_ action)
+    | Some _ ->
+        (* Sharded: every delivery — intra-shard included — goes through
+           the barrier outbox, so arrival order at each speaker is the
+           canonical (time, src, dst, prefix) order whatever the
+           partitioning. Engine sequence numbers differ across shard
+           counts; the outbox ordering is what makes --shards K
+           byte-identical for every K. *)
+        sh.outbox <-
+          {
+            b_arrival = Sim.Engine.now sh.sengine +. delay;
+            b_from = from;
+            b_to = to_;
+            b_src_shard = sh.six;
+            b_dst_shard = shard_ix t to_;
+            b_action = action;
+          }
+          :: sh.outbox;
+        sh.outbox_n <- sh.outbox_n + 1
   in
   match t.link_faults with
   | None -> send ~delay
@@ -214,23 +314,69 @@ and schedule_delivery t ~from ~to_ action =
           send ~delay:(delay *. 1.5)
     end
 
+(* Barrier injection: put one due message on its destination shard's
+   queue. Runs on the control domain while shards are quiescent; the
+   destination speaker re-interns the announcement into its own shard's
+   store on receive ([Speaker.receive] -> [Path_store.intern_ann]). *)
+let inject_boundary t msg =
+  let sh = t.shards.(msg.b_dst_shard) in
+  sh.s_bgp_events <- sh.s_bgp_events + 1;
+  Sim.Engine.schedule sh.sengine ~at:msg.b_arrival (fun () ->
+      sh.s_bgp_events <- sh.s_bgp_events - 1;
+      deliver t sh ~from:msg.b_from ~to_:msg.b_to msg.b_action)
+
 let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
-    ?(fib_install_delay = 0.0) () =
+    ?(fib_install_delay = 0.0) ?shards:shard_count ?shard_pool
+    ?(record_barriers = false) () =
   let config_of =
     match config_of with
     | Some f -> f
     | None -> fun _ -> Policy.default
   in
-  let speakers = Asn.Table.create 256 in
+  let ases = As_graph.as_list graph in
   let store = Path_store.create () in
+  let shard_ix_tbl = Asn.Table.create 256 in
+  let mk_shard six sengine sstore =
+    {
+      six;
+      sengine;
+      sstore;
+      s_bgp_events = 0;
+      s_delivered = 0;
+      s_buckets = Array.make 1024 0;
+      outbox = [];
+      outbox_n = 0;
+    }
+  in
+  let shard_states, partition_cut =
+    match shard_count with
+    | None -> ([| mk_shard 0 engine store |], 0)
+    | Some k ->
+        (* Deterministic partition: a fixed seed keeps the cut a pure
+           function of (graph, k), which the --shards byte-equality
+           tests rely on. *)
+        let part = Partition.compute graph ~parts:(max 1 k) ~seed:0x51ED in
+        let k = Partition.parts part in
+        List.iter (fun a -> Asn.Table.replace shard_ix_tbl a (Partition.shard_of part a)) ases;
+        ( Array.init k (fun i ->
+              mk_shard i
+                (Sim.Engine.create ~now:(Sim.Engine.now engine) ())
+                (Path_store.create ())),
+          Partition.cut_edges part )
+  in
+  let speakers = Asn.Table.create 256 in
   List.iter
     (fun asn ->
+      let sstore =
+        if Array.length shard_states = 1 then store
+        else shard_states.(Asn.Table.find shard_ix_tbl asn).sstore
+      in
       let sp =
-        Speaker.create ~store ~asn ~config:(config_of asn)
+        Speaker.create ~store:sstore ~asn ~config:(config_of asn)
           ~neighbors:(As_graph.neighbors graph asn) ()
       in
       Asn.Table.replace speakers asn sp)
-    (As_graph.as_list graph);
+    ases;
   let t =
     {
       engine;
@@ -244,29 +390,83 @@ let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
       owner_trie = Prefix_trie.empty;
       link_faults = None;
       collectors = [];
-      bgp_events = 0;
-      delivered = 0;
-      delivery_buckets = Array.make 1024 0;
+      shards = shard_states;
+      shard_ix = shard_ix_tbl;
+      barrier = None;
+      partition_cut;
     }
   in
-  (* Collector instrumentation: every speaker reports loc-RIB changes. *)
+  (match shard_count with
+  | None -> ()
+  | Some _ ->
+      (* The barrier lookahead is the minimum cross-link latency: any
+         update emitted inside a window arrives at or after the window's
+         end, which is what makes windows causally independent. *)
+      let lookahead =
+        List.fold_left
+          (fun acc a ->
+            List.fold_left
+              (fun acc (b, _) -> Float.min acc (delay_of a b))
+              acc (As_graph.neighbors graph a))
+          infinity ases
+      in
+      let lookahead = if Float.is_finite lookahead then lookahead else 1.0 in
+      if lookahead <= 0.0 then
+        invalid_arg "Network: sharded mode needs a positive minimum link delay";
+      let hooks =
+        {
+          Shard.Barrier.next_work = (fun i -> Sim.Engine.next_time t.shards.(i).sengine);
+          advance = (fun i ~before -> Sim.Engine.run_before t.shards.(i).sengine ~before);
+          drain =
+            (fun i ->
+              let sh = t.shards.(i) in
+              let msgs = List.rev sh.outbox in
+              sh.outbox <- [];
+              sh.outbox_n <- 0;
+              msgs);
+          inject = (fun msg -> inject_boundary t msg);
+          arrival = (fun msg -> msg.b_arrival);
+          src_shard = (fun msg -> msg.b_src_shard);
+          dst_shard = (fun msg -> msg.b_dst_shard);
+          order =
+            (fun m1 m2 ->
+              match Asn.compare m1.b_from m2.b_from with
+              | 0 -> begin
+                  match Asn.compare m1.b_to m2.b_to with
+                  | 0 -> Prefix.compare (action_prefix m1.b_action) (action_prefix m2.b_action)
+                  | c -> c
+                end
+              | c -> c);
+        }
+      in
+      let b =
+        Shard.Barrier.create ~control:engine ~lookahead
+          ~shards:(Array.length shard_states) ~record_history:record_barriers hooks
+      in
+      Shard.Barrier.set_pool b shard_pool;
+      t.barrier <- Some b);
+  (* Collector instrumentation: every speaker reports loc-RIB changes
+     into its own shard's collector slice. *)
   Asn.Table.iter
     (fun asn sp ->
+      let sh = shard_for t asn in
       Speaker.set_on_best_change sp (fun ~now prefix route ->
           List.iter
             (fun c ->
               if Asn.Set.mem asn c.peer_set then begin
-                c.records <- { time = now; speaker = asn; prefix; route } :: c.records;
-                Peer_prefix_tbl.replace c.clatest (asn, prefix) route
+                let slice = c.subs.(sh.six) in
+                slice.crecords <- { time = now; speaker = asn; prefix; route } :: slice.crecords;
+                Peer_prefix_tbl.replace slice.clatest (asn, prefix) route
               end)
             t.collectors);
       (* Damping reuse timers: when a speaker suppresses a route, wake it
-         up to re-run its decision once the penalty has decayed. *)
+         up to re-run its decision once the penalty has decayed. These
+         are shard-local events, scheduled on the speaker's own engine. *)
       Speaker.set_reuse_scheduler sp (fun ~delay prefix ->
-          t.bgp_events <- t.bgp_events + 1;
-          Sim.Engine.schedule_after engine ~delay (fun () ->
-              t.bgp_events <- t.bgp_events - 1;
-              let out = Speaker.reevaluate sp ~now:(Sim.Engine.now engine) prefix in
+          sh.s_bgp_events <- sh.s_bgp_events + 1;
+          Sim.Engine.schedule_after sh.sengine ~delay (fun () ->
+              sh.s_bgp_events <- sh.s_bgp_events - 1;
+              let out = Speaker.reevaluate sp ~now:(Sim.Engine.now sh.sengine) prefix in
               emit_all t asn out));
       if fib_install_delay > 0.0 then begin
         (* The data plane trails the control plane by a deterministic
@@ -275,7 +475,7 @@ let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
           fib_install_delay *. (0.25 +. (0.75 *. pair_hash asn asn))
         in
         Speaker.set_fib_commit_hook sp (fun prefix route ->
-            Sim.Engine.schedule_after engine ~delay (fun () ->
+            Sim.Engine.schedule_after sh.sengine ~delay (fun () ->
                 Speaker.install_fib sp prefix route))
       end)
     speakers;
@@ -292,10 +492,16 @@ let create ~engine ~graph ?config_of ?(delay_of = default_delay) ?(mrai = 30.0)
               jittered_mrai = mrai *. (0.75 +. (0.25 *. pair_hash a b));
             })
         (As_graph.neighbors graph a))
-    (As_graph.as_list graph);
+    ases;
   t
 
+let set_shard_pool t pool =
+  match t.barrier with
+  | None -> ()
+  | Some b -> Shard.Barrier.set_pool b pool
+
 let announce t ~origin ~prefix ?per_neighbor () =
+  sync t;
   let per_neighbor =
     match per_neighbor with
     | Some f -> f
@@ -309,46 +515,68 @@ let announce t ~origin ~prefix ?per_neighbor () =
   let out =
     Speaker.originate (speaker t origin) ~now:(Sim.Engine.now t.engine) ~prefix ~per_neighbor
   in
-  emit_all t origin out
+  emit_all t origin out;
+  poke t
 
 let withdraw t ~origin ~prefix =
+  sync t;
   Prefix.Table.remove t.owners prefix;
   t.originations <- Prefix.Map.remove prefix t.originations;
   t.owner_trie <- Prefix_trie.remove prefix t.owner_trie;
   let out = Speaker.stop_originating (speaker t origin) ~now:(Sim.Engine.now t.engine) ~prefix in
-  emit_all t origin out
+  emit_all t origin out;
+  poke t
 
 let refresh t ~origin ~prefix =
+  sync t;
   let out = Speaker.refresh_prefix (speaker t origin) ~prefix in
-  emit_all t origin out
+  emit_all t origin out;
+  poke t
 
 let owner t prefix = Prefix.Table.find_opt t.owners prefix
 let owner_of_address t ip = Prefix_trie.lookup ip t.owner_trie
-let best_route t asn prefix = Speaker.best (speaker t asn) prefix
-let fib_lookup t asn ip = Speaker.fib_lookup (speaker t asn) ip
+
+let best_route t asn prefix =
+  sync t;
+  Speaker.best (speaker t asn) prefix
+
+let fib_lookup t asn ip =
+  sync t;
+  Speaker.fib_lookup (speaker t asn) ip
+
+let bgp_busy t =
+  let acc = ref 0 in
+  Array.iter (fun sh -> acc := !acc + sh.s_bgp_events + sh.outbox_n) t.shards;
+  (match t.barrier with Some b -> acc := !acc + Shard.Barrier.backlog b | None -> ());
+  !acc
 
 let run_until_quiet ?(timeout = 3600.0) t =
+  poke t;
   let deadline = Sim.Engine.now t.engine +. timeout in
   let continue = ref true in
   while !continue do
-    if t.bgp_events = 0 then continue := false
+    if bgp_busy t = 0 then continue := false
     else if Sim.Engine.now t.engine >= deadline then continue := false
     else if not (Sim.Engine.step t.engine) then continue := false
   done
 
 let fail_link t ~a ~b =
+  sync t;
   let now = Sim.Engine.now t.engine in
   let out_a = Speaker.session_down (speaker t a) ~now ~neighbor:b in
   let out_b = Speaker.session_down (speaker t b) ~now ~neighbor:a in
   emit_all t a out_a;
-  emit_all t b out_b
+  emit_all t b out_b;
+  poke t
 
 let restore_link t ~a ~b =
+  sync t;
   let now = Sim.Engine.now t.engine in
   let out_a = Speaker.session_up (speaker t a) ~now ~neighbor:b in
   let out_b = Speaker.session_up (speaker t b) ~now ~neighbor:a in
   emit_all t a out_a;
-  emit_all t b out_b
+  emit_all t b out_b;
+  poke t
 
 let fail_node t asn =
   List.iter (fun (n, _) -> fail_link t ~a:asn ~b:n) (As_graph.neighbors t.graph asn)
@@ -372,9 +600,11 @@ let crash_node t asn =
   let now = Sim.Engine.now t.engine in
   List.iter
     (fun prefix -> emit_all t asn (Speaker.stop_originating sp ~now ~prefix))
-    (Speaker.originated sp)
+    (Speaker.originated sp);
+  poke t
 
 let reoriginate t asn =
+  sync t;
   let sp = speaker t asn in
   let now = Sim.Engine.now t.engine in
   List.iter
@@ -382,7 +612,8 @@ let reoriginate t asn =
       match Prefix.Map.find_opt prefix t.originations with
       | Some per_neighbor -> emit_all t asn (Speaker.originate sp ~now ~prefix ~per_neighbor)
       | None -> ())
-    (owned_prefixes t asn)
+    (owned_prefixes t asn);
+  poke t
 
 let restart_node t asn =
   restore_node t asn;
@@ -395,13 +626,18 @@ module Collector = struct
   type t = collector_state
 
   let attach (net : net) ~name ~peers =
+    let k = Array.length net.shards in
     let c =
       {
         cname = name;
         cpeers = peers;
         peer_set = List.fold_left (fun s p -> Asn.Set.add p s) Asn.Set.empty peers;
-        records = [];
-        clatest = Peer_prefix_tbl.create 64;
+        subs =
+          Array.init k (fun _ ->
+              { crecords = []; clatest = Peer_prefix_tbl.create 64 });
+        csync = (fun () -> sync net);
+        cshard_of = (fun asn -> shard_ix net asn);
+        csharded = is_sharded net;
       }
     in
     net.collectors <- c :: net.collectors;
@@ -409,31 +645,60 @@ module Collector = struct
 
   let name c = c.cname
   let peers c = c.cpeers
-  let log c = List.rev c.records
-  let since c time = List.rev (List.filter (fun r -> r.time >= time) c.records)
+
+  (* Sharded logs merge the per-shard slices in the canonical
+     (time, speaker) order — per-speaker record order is preserved by
+     the stable sort (each speaker records into exactly one slice), so
+     the merged log is a pure function of what happened, not of the
+     partitioning. The legacy path is the original single-slice log. *)
+  let log c =
+    c.csync ();
+    if not c.csharded then List.rev c.subs.(0).crecords
+    else
+      Array.to_list c.subs
+      |> List.concat_map (fun s -> List.rev s.crecords)
+      |> List.stable_sort (fun r1 r2 ->
+             match Float.compare r1.time r2.time with
+             | 0 -> Asn.compare r1.speaker r2.speaker
+             | cmp -> cmp)
+
+  let since c time = List.filter (fun r -> r.time >= time) (log c)
+
   let clear c =
-    c.records <- [];
-    Peer_prefix_tbl.reset c.clatest
+    Array.iter
+      (fun s ->
+        s.crecords <- [];
+        Peer_prefix_tbl.reset s.clatest)
+      c.subs
 
   let current_route c ~peer ~prefix =
-    match Peer_prefix_tbl.find_opt c.clatest (peer, prefix) with
+    c.csync ();
+    match Peer_prefix_tbl.find_opt c.subs.(c.cshard_of peer).clatest (peer, prefix) with
     | Some route -> route
     | None -> None
 
-  let route_view c ~peer ~prefix = Peer_prefix_tbl.find_opt c.clatest (peer, prefix)
+  let route_view c ~peer ~prefix =
+    c.csync ();
+    Peer_prefix_tbl.find_opt c.subs.(c.cshard_of peer).clatest (peer, prefix)
 end
 
-let message_count t = t.delivered
+let message_count t =
+  sync t;
+  Array.fold_left (fun acc sh -> acc + sh.s_delivered) 0 t.shards
 
 let messages_between t ~since ~until =
+  sync t;
   if until < since then 0
   else begin
     let w = delivery_bucket_width in
-    let lo = max 0 (int_of_float (since /. w)) in
-    let hi = min (Array.length t.delivery_buckets - 1) (int_of_float (until /. w)) in
     let total = ref 0 in
-    for i = lo to hi do
-      total := !total + t.delivery_buckets.(i)
-    done;
+    Array.iter
+      (fun sh ->
+        let lo = max 0 (int_of_float (since /. w)) in
+        let hi = min (Array.length sh.s_buckets - 1) (int_of_float (until /. w)) in
+        for i = lo to hi do
+          total := !total + sh.s_buckets.(i)
+        done)
+      t.shards;
     !total
   end

@@ -34,6 +34,9 @@ val create :
   ?delay_of:(Asn.t -> Asn.t -> float) ->
   ?mrai:float ->
   ?fib_install_delay:float ->
+  ?shards:int ->
+  ?shard_pool:Par.Pool.t ->
+  ?record_barriers:bool ->
   unit ->
   t
 (** Build a speaker per AS of [graph]. [config_of] supplies per-AS policy
@@ -44,16 +47,69 @@ val create :
     [fib_install_delay] (default 0: atomic) delays data-plane FIB commits
     behind loc-RIB changes by up to that many seconds (deterministic
     per-AS), modeling the RIB-to-FIB latency that causes transient
-    blackholes and micro-loops during convergence. *)
+    blackholes and micro-loops during convergence.
+
+    [shards] switches the network into {e sharded mode}: the AS graph is
+    partitioned into that many domains ({!Topology.Partition}, fixed
+    seed, cut-minimizing), each with its own event queue and path store,
+    advanced between deterministic time barriers
+    ({!Shard.Barrier}) driven from [engine] (which becomes the {e
+    control} engine). Every BGP delivery is exchanged at barriers in the
+    canonical [(arrival, src, dst, prefix)] order, so results are
+    byte-identical at any shard count and any [shard_pool] width — but
+    note they may differ from the unsharded ([?shards] absent) engine,
+    whose delivery interleaving at equal timestamps follows scheduling
+    order instead. [shard_pool] (settable later with {!set_shard_pool})
+    runs barrier windows on pool domains; without it shards advance
+    sequentially inline, with identical results. [record_barriers]
+    (tests only) retains per-barrier history rows for
+    {!barrier_history}. *)
+
+val shards : t -> int
+(** Number of shards ([1] for a legacy, unsharded network). *)
+
+val is_sharded : t -> bool
+(** Whether the network was created with [?shards] (barrier mode). *)
+
+val shard_of_asn : t -> Asn.t -> int
+(** The shard owning an AS's speaker ([0] for unsharded networks). *)
+
+val cut_edges : t -> int
+(** Undirected adjacencies whose endpoints landed in different shards
+    ([0] for unsharded networks). *)
+
+val set_shard_pool : t -> Par.Pool.t option -> unit
+(** Install (or remove) the worker pool barrier windows fan out on. The
+    caller owns the pool's lifecycle. No-op on unsharded networks. *)
+
+val barrier_count : t -> int
+(** Barriers executed so far ([0] for unsharded networks). *)
+
+val cut_message_count : t -> int
+(** Updates that crossed a shard boundary so far ([0] unsharded). *)
+
+val barrier_history : t -> (float * int * int) list
+(** With [record_barriers]: per-barrier [(window start, messages
+    injected, cross-shard messages injected)] rows, oldest first. *)
+
+val sync : t -> unit
+(** Catch every shard up to the control clock (run all barrier windows
+    due so far, inline). Control-plane entry points — {!announce},
+    {!fail_link}, {!best_route}, the collector reads, … — do this
+    implicitly; call it directly only before inspecting a {!speaker}
+    raw. No-op on unsharded networks. *)
 
 val engine : t -> Sim.Engine.t
 (** The shared discrete-event engine the network schedules on. *)
 
 val path_store : t -> Path_store.t
-(** This world's path/announcement interner. {!create} builds one store
-    and hands it to every speaker, so structurally-equal routes inside the
-    world are physically shared; it is never shared across worlds
-    (lib/par worlds are share-nothing). *)
+(** This world's control-side path/announcement interner. Unsharded,
+    {!create} builds one store and hands it to every speaker, so
+    structurally-equal routes inside the world are physically shared; it
+    is never shared across worlds (lib/par worlds are share-nothing). In
+    sharded mode each shard has its own store and announcements are
+    re-interned as they cross a boundary; this store holds only the
+    control plane's own paths (those passed to {!announce}). *)
 
 val graph : t -> As_graph.t
 (** The annotated AS topology the speakers were built from. *)
@@ -85,7 +141,9 @@ val owner_of_address : t -> Ipv4.t -> (Prefix.t * Asn.t) option
     originating AS — whose hosts answer probes sent to that address. *)
 
 val speaker : t -> Asn.t -> Speaker.t
-(** Direct access to an AS's speaker (read-mostly: RIB inspection). *)
+(** Direct access to an AS's speaker (read-mostly: RIB inspection). On a
+    sharded network this is raw access: call {!sync} first if the
+    barrier may be behind the control clock. *)
 
 val best_route : t -> Asn.t -> Prefix.t -> Route.entry option
 (** [best_route t asn prefix] is [asn]'s loc-RIB best route for exactly

@@ -407,6 +407,8 @@ let session_down t ~now ~neighbor =
     List.concat_map (fun p -> refresh_best t ~now p) (Prefix.Set.elements affected)
   end
 
+let damping_pending t = Damp_tbl.length t.damp <> 0
+
 let session_up t ~now ~neighbor =
   if not (session_is_down t neighbor) then []
   else begin
@@ -415,7 +417,7 @@ let session_up t ~now ~neighbor =
       Prefix.Table.fold (fun p _ acc -> Prefix.Set.add p acc) t.best_table Prefix.Set.empty
       |> fun s -> Prefix.Table.fold (fun p _ acc -> Prefix.Set.add p acc) t.locals s
     in
-    if Damp_tbl.length t.damp <> 0 then
+    if damping_pending t then
       (* With damping state live, re-running the decision process can
          lazily lift suppressions and move bests — keep the full refresh
          so that timing is unchanged. *)

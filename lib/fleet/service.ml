@@ -40,6 +40,10 @@ type config = {
   retry : Retry.policy;
   chaos : Chaos.config;
   faults : Bgp.Faults.config;
+  shards : int option;
+      (** [Some k]: run the world sharded over [k] domains with barrier
+          exchange (see [Shard.Barrier]); results are byte-identical at
+          any [k]. [None] (default): the legacy single-queue engine. *)
 }
 
 let default_config =
@@ -61,6 +65,7 @@ let default_config =
     retry = Retry.default;
     chaos = Chaos.none;
     faults = Bgp.Faults.none;
+    shards = None;
   }
 
 type report = {
@@ -140,10 +145,11 @@ let pick_targets rng mux ~count =
   let count = min count (List.length pool) in
   Array.to_list (Prng.sample_without_replacement rng count (Array.of_list pool))
 
-let run ?(config = default_config) ~seed () =
+let run_in ?(config = default_config) ~seed ~shard_pool () =
   let retry = Retry.validate config.retry in
   let mux =
-    Scenarios.bgpmux ~ases:config.ases ~infrastructure:Scenarios.No_infrastructure ~seed ()
+    Scenarios.bgpmux ~ases:config.ases ~infrastructure:Scenarios.No_infrastructure
+      ?shards:config.shards ?shard_pool ~seed ()
   in
   let bed = mux.Scenarios.bed in
   let engine = bed.Scenarios.engine in
@@ -341,3 +347,14 @@ let run ?(config = default_config) ~seed () =
   Obs.Metrics.add m_session_flaps report.session_flaps;
   Obs.Metrics.add m_router_crashes report.router_crashes;
   report
+
+(* Sharded runs own a worker pool for the trial's lifetime: barrier
+   windows fan out on it, and it is torn down before the report returns
+   so nested per-trial pools (the fleet study's outer jobs) never
+   accumulate domains. Pool width changes wall-clock only, never
+   results. *)
+let run ?(config = default_config) ~seed () =
+  match config.shards with
+  | Some k when k > 1 ->
+      Par.Pool.with_pool ~jobs:k (fun pool -> run_in ~config ~seed ~shard_pool:(Some pool) ())
+  | _ -> run_in ~config ~seed ~shard_pool:None ()

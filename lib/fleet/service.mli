@@ -35,6 +35,13 @@ type config = {
           session flaps, link failures, router crashes, update
           loss/duplication. Armed after baseline convergence; the origin
           is protected from crashes. *)
+  shards : int option;
+      (** [Some k]: partition the world over [k] shard domains advanced
+          between deterministic time barriers, with a worker pool owned
+          for the trial's lifetime — tables are byte-identical at any
+          [k >= 1] and any pool width (but may differ from [None], the
+          legacy single-queue engine, whose equal-timestamp delivery
+          interleaving follows scheduling order). Default [None]. *)
 }
 
 val default_config : config
@@ -87,4 +94,7 @@ type report = {
 
 val run : ?config:config -> seed:int -> unit -> report
 (** Build the world, run the service for [config.duration] simulated
-    seconds, and account for everything. Deterministic in [(config, seed)]. *)
+    seconds, and account for everything. Deterministic in [(config, seed)].
+    With [config.shards = Some k] the world runs sharded (see
+    {!type:config}); the per-run worker pool is created and torn down
+    inside this call. *)

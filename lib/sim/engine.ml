@@ -148,4 +148,24 @@ let run ?until t =
       end
   done
 
+(* Half-open variant of [run] for barrier-windowed stepping: process
+   strictly-earlier events only, so an event at exactly the window
+   boundary belongs to the next window. The clock always lands on
+   [before] (even from an empty queue), which is what lets a sharded
+   network treat every shard engine's clock as "this shard has observed
+   everything before the frontier". *)
+let run_before t ~before =
+  let continue = ref true in
+  while !continue do
+    match peek t with
+    | Some ev when ev.time < before -> ignore (step t)
+    | _ -> continue := false
+  done;
+  if before > t.clock then t.clock <- before
+
+let next_time t =
+  match peek t with
+  | Some ev -> Some ev.time
+  | None -> None
+
 let pending t = t.size

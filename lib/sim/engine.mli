@@ -64,6 +64,20 @@ val run : ?until:float -> t -> unit
     would pass [until] (remaining events stay queued and the clock is left
     at [until]). *)
 
+val run_before : t -> before:float -> unit
+(** Barrier-windowed stepping: execute events with [time < before] only
+    — strictly half-open, so an event at exactly [before] is left for
+    the next window — then set the clock to [before] (even when the
+    queue ran dry earlier, or was empty). This is the primitive the
+    sharded-world runtime ({!Shard.Barrier}) drives each shard engine
+    with: after [run_before ~before:b] the shard has observed every
+    event before the frontier [b] and nothing at or after it. *)
+
+val next_time : t -> float option
+(** Timestamp of the earliest queued event, without executing it;
+    [None] when the queue is empty. Used by the barrier scheduler to
+    pick the next window start across shard engines. *)
+
 val step : t -> bool
 (** Execute the single next event; [false] if the queue is empty. *)
 

@@ -1,0 +1,152 @@
+open Net
+
+type t = {
+  parts : int;
+  assign : int Asn.Table.t;
+  sizes : int array;
+  cut : int;
+}
+
+let parts t = t.parts
+
+let shard_of t asn =
+  match Asn.Table.find_opt t.assign asn with
+  | Some s -> s
+  | None ->
+      invalid_arg (Printf.sprintf "Partition.shard_of: unknown %s" (Asn.to_string asn))
+
+let size t i = t.sizes.(i)
+let cut_edges t = t.cut
+
+let assignment t =
+  Asn.Table.fold (fun asn s acc -> (asn, s) :: acc) t.assign []
+  |> List.sort (fun (a, _) (b, _) -> Asn.compare a b)
+
+let count_cut graph assign =
+  List.fold_left
+    (fun acc a ->
+      let sa = Asn.Table.find assign a in
+      List.fold_left
+        (fun acc (b, _) ->
+          if Asn.compare a b < 0 && Asn.Table.find assign b <> sa then acc + 1 else acc)
+        acc (As_graph.neighbors graph a))
+    0 (As_graph.as_list graph)
+
+(* Same explicit integer mix as the network's pair_hash: seed-dependent
+   but runtime-independent, so seed selection cannot drift with the
+   polymorphic hash. *)
+let mix seed v =
+  let z = (seed * 0x9E3779B1) lxor (v * 0x85EBCA6B) in
+  (z lxor (z lsr 16)) land max_int
+
+let pick_seeds graph ~parts ~seed =
+  let by_degree =
+    As_graph.as_list graph
+    |> List.map (fun a -> (As_graph.degree graph a, mix seed (Asn.to_int a), a))
+    |> List.sort (fun (d1, h1, a1) (d2, h2, a2) ->
+           match Int.compare d2 d1 with
+           | 0 -> ( match Int.compare h1 h2 with 0 -> Asn.compare a1 a2 | c -> c)
+           | c -> c)
+    |> List.map (fun (_, _, a) -> a)
+  in
+  (* Prefer mutually non-adjacent seeds so BFS regions grow from
+     separated cores; fall back to plain degree order when the graph is
+     too dense to find [parts] independent ones. *)
+  let adjacent a b = Option.is_some (As_graph.relationship graph ~a ~b) in
+  let independent =
+    List.fold_left
+      (fun acc a ->
+        if List.length acc >= parts then acc
+        else if List.exists (fun s -> adjacent s a) acc then acc
+        else a :: acc)
+      [] by_degree
+    |> List.rev
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  let taken = List.fold_left (fun s a -> Asn.Set.add a s) Asn.Set.empty independent in
+  let chosen = independent @ List.filter (fun a -> not (Asn.Set.mem a taken)) by_degree in
+  take parts chosen
+
+let compute graph ~parts ~seed =
+  let n = As_graph.as_count graph in
+  if parts < 1 then invalid_arg "Partition.compute: parts must be >= 1";
+  let parts = max 1 (min parts n) in
+  let assign = Asn.Table.create (2 * n) in
+  let sizes = Array.make parts 0 in
+  if parts = 1 then begin
+    List.iter (fun a -> Asn.Table.replace assign a 0) (As_graph.as_list graph);
+    sizes.(0) <- n;
+    { parts; assign; sizes; cut = 0 }
+  end
+  else begin
+    let cap = ((n + parts - 1) / parts) + 2 in
+    let queues = Array.make parts (Queue.create ()) in
+    for i = 1 to parts - 1 do
+      queues.(i) <- Queue.create ()
+    done;
+    let claim shard asn =
+      if not (Asn.Table.mem assign asn) && sizes.(shard) < cap then begin
+        Asn.Table.replace assign asn shard;
+        sizes.(shard) <- sizes.(shard) + 1;
+        Queue.add asn queues.(shard);
+        true
+      end
+      else false
+    in
+    List.iteri (fun i s -> ignore (claim i s)) (pick_seeds graph ~parts ~seed);
+    (* Round-robin BFS: each shard expands one frontier AS per turn,
+       claiming its unassigned neighbors in ascending-ASN order. *)
+    let any_left () = Array.exists (fun q -> not (Queue.is_empty q)) queues in
+    while any_left () do
+      Array.iteri
+        (fun shard q ->
+          match Queue.take_opt q with
+          | None -> ()
+          | Some a ->
+              List.iter
+                (fun (b, _) -> ignore (claim shard b))
+                (As_graph.neighbors graph a))
+        queues
+    done;
+    (* Stragglers — disconnected from every seed, or everything adjacent
+       was capped out: smallest shard wins, lowest index breaking ties. *)
+    List.iter
+      (fun a ->
+        if not (Asn.Table.mem assign a) then begin
+          let best = ref 0 in
+          Array.iteri (fun i s -> if s < sizes.(!best) then best := i) sizes;
+          Asn.Table.replace assign a !best;
+          sizes.(!best) <- sizes.(!best) + 1
+        end)
+      (As_graph.as_list graph);
+    (* Bounded greedy refinement: move a boundary AS to the neighboring
+       shard holding most of its adjacencies when that strictly reduces
+       the cut and respects the balance cap. *)
+    for _sweep = 1 to 3 do
+      List.iter
+        (fun a ->
+          let sa = Asn.Table.find assign a in
+          let per_shard = Array.make parts 0 in
+          List.iter
+            (fun (b, _) ->
+              let sb = Asn.Table.find assign b in
+              per_shard.(sb) <- per_shard.(sb) + 1)
+            (As_graph.neighbors graph a);
+          let best = ref sa in
+          Array.iteri
+            (fun i c ->
+              if i <> sa && c > per_shard.(!best) && sizes.(i) < cap then best := i)
+            per_shard;
+          if !best <> sa && per_shard.(!best) > per_shard.(sa) && sizes.(sa) > 1 then begin
+            Asn.Table.replace assign a !best;
+            sizes.(sa) <- sizes.(sa) - 1;
+            sizes.(!best) <- sizes.(!best) + 1
+          end)
+        (As_graph.as_list graph)
+    done;
+    { parts; assign; sizes; cut = count_cut graph assign }
+  end

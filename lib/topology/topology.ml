@@ -5,3 +5,4 @@ module Relationship = Relationship
 module As_graph = As_graph
 module Topo_gen = Topo_gen
 module Splice = Splice
+module Partition = Partition

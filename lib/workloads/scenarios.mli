@@ -86,6 +86,9 @@ val bgpmux :
   ?prepend_copies:int ->
   ?fib_install_delay:float ->
   ?infrastructure:infrastructure ->
+  ?shards:int ->
+  ?shard_pool:Par.Pool.t ->
+  ?record_barriers:bool ->
   seed:int ->
   unit ->
   mux

@@ -361,10 +361,83 @@ let test_no_damping_without_config () =
     (List.map Asn.to_int (Bgp.Speaker.suppressed_candidates speaker production));
   Alcotest.(check bool) "route intact" true (Bgp.Speaker.best speaker production <> None)
 
+(* Regression for the session_up fast path (Fig. 2 world): a poison
+   re-announced by the watchdog and a session restore landing at the same
+   simulated instant must converge to the same routes in either order.
+   With no damping state session_up exports the current loc-RIB toward
+   only the revived neighbor; the audit showed that path equivalent to
+   the full per-prefix refresh, including when the loc-RIB it exports
+   already holds a poison applied moments earlier in the same window —
+   this pins that equivalence, for the fast path and (with flap history
+   forcing {!Bgp.Speaker.damping_pending}) the slow path. *)
+let session_up_poison_run ~damping ~poison_first =
+  let config_of _ =
+    if damping then
+      { Bgp.Policy.default with Bgp.Policy.damping = Some Bgp.Policy.default_damping }
+    else Bgp.Policy.default
+  in
+  let w = world_of_graph ~config_of (fig2_graph ()) in
+  Bgp.Network.announce w.net ~origin:o ~prefix:production ();
+  converge w;
+  if damping then begin
+    (* One clean route flap first — withdraw and re-announce, which lands
+       at E as real Withdraw/Announce updates — so damping records exist
+       (slow path) without suppressing anything yet. *)
+    Bgp.Network.withdraw w.net ~origin:o ~prefix:production;
+    converge w;
+    Bgp.Network.announce w.net ~origin:o ~prefix:production ();
+    converge w
+  end;
+  Bgp.Network.fail_link w.net ~a:e ~b:a;
+  converge w;
+  let poison () =
+    Bgp.Network.announce w.net ~origin:o ~prefix:production
+      ~per_neighbor:(fun _ -> Some (Bgp.As_path.poisoned ~origin:o ~poison:a))
+      ()
+  in
+  let restore () = Bgp.Network.restore_link w.net ~a:e ~b:a in
+  if poison_first then begin
+    poison ();
+    restore ()
+  end
+  else begin
+    restore ();
+    poison ()
+  end;
+  if damping then
+    Alcotest.(check bool)
+      "flap history forces the session_up slow path" true
+      (Bgp.Speaker.damping_pending (Bgp.Network.speaker w.net e));
+  converge w;
+  List.map
+    (fun n ->
+      ( Asn.to_int n,
+        List.map Asn.to_int (path_of_best (Bgp.Network.best_route w.net n production)) ))
+    [ o; b; a; c; d; e; f ]
+
+let test_session_up_poison_same_window () =
+  let fast1 = session_up_poison_run ~damping:false ~poison_first:true in
+  let fast2 = session_up_poison_run ~damping:false ~poison_first:false in
+  Alcotest.(check (list (pair int (list int))))
+    "fast path: poison/restore order is immaterial" fast1 fast2;
+  (* The poison survives the same-window session_up: E stays on the D
+     chain (A's route is loop-rejected), and F — captive behind A — has
+     nothing. *)
+  Alcotest.(check (list int))
+    "E on the alternate chain, carrying the poison tail" [ 50; 40; 20; 10; 30; 10 ]
+    (List.assoc 60 fast1);
+  Alcotest.(check (list int)) "F is captive" [] (List.assoc 70 fast1);
+  let slow1 = session_up_poison_run ~damping:true ~poison_first:true in
+  let slow2 = session_up_poison_run ~damping:true ~poison_first:false in
+  Alcotest.(check (list (pair int (list int))))
+    "slow path: poison/restore order is immaterial" slow1 slow2
+
 let suite =
   suite
   @ [
       Alcotest.test_case "flap damping suppresses and reuses" `Quick
         test_flap_damping_suppresses_and_reuses;
       Alcotest.test_case "no damping unless configured" `Quick test_no_damping_without_config;
+      Alcotest.test_case "session_up vs same-window poison (fig2)" `Quick
+        test_session_up_poison_same_window;
     ]

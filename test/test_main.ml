@@ -15,6 +15,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("fleet", Test_fleet.suite);
       ("par", Test_par.suite);
+      ("shard", Test_shard.suite);
       ("experiments", Test_experiments.suite);
       ("behaviors", Test_behaviors.suite);
       ("invariants", Test_invariants.suite);
