@@ -4,10 +4,10 @@
 
    Usage: main.exe [--quick] [--seed N] [--only NAME[,NAME...]] [--no-micro]
                    [--jobs N] [--shards K] [--json [PATH]] [--trace FILE]
-                   [--metrics]
+                   [--metrics] [--no-shard-sweep]
    Experiment names: fig1 fig5 alt-paths efficacy fig6 loss selective
    accuracy scalability load hubble anomalies sentinel ablation damping
-   fleet faults case-study table1.
+   fleet faults plan case-study table1.
 
    --jobs N shards experiment trials over N domains (default: the
    machine's recommended domain count; 1 forces the sequential path).
@@ -17,8 +17,10 @@
    single-queue engine); tables are byte-identical for every K >= 1.
    --json writes a machine-readable run summary (per-experiment
    wall-clock, jobs, seed, micro-benchmark medians, a faults shard sweep
-   at K = 1/2/4, and — when metrics are on — per-experiment counter
-   totals) to PATH, defaulting to BENCH_<date>.json. --trace streams
+   at K = 1/2/4, the plan study's hit rate, and — when metrics are on —
+   per-experiment counter totals) to PATH, defaulting to
+   BENCH_<date>.json. The shard sweep runs only on full (non --quick)
+   runs; --no-shard-sweep skips it there too. --trace streams
    structured JSONL events to FILE (and implies --metrics); --metrics
    records Obs counters and prints a summary table. *)
 
@@ -31,6 +33,7 @@ let shards = ref 0
 let json_path : string option ref = ref None
 let trace_path : string option ref = ref None
 let show_metrics = ref false
+let shard_sweep = ref true
 
 (* The run date is read from the wall clock exactly once, at the top of
    [main], and threaded everywhere a date is rendered — so the default
@@ -68,6 +71,9 @@ let parse_args ~date =
     | "--metrics" :: rest ->
         show_metrics := true;
         go rest
+    | "--no-shard-sweep" :: rest ->
+        shard_sweep := false;
+        go rest
     | "--only" :: names :: rest ->
         only := String.split_on_char ',' names;
         go rest
@@ -91,6 +97,10 @@ let timings : (string * float) list ref = ref []
 (* --json only: the faults study re-run at K = 1/2/4 shard domains —
    (shards, seconds, tables byte-identical to K=1) per row. *)
 let faults_shards : (int * float * bool) list ref = ref []
+
+(* --json only: the plan study's headline numbers — (hit rate, planned
+   median reroute s, computed median reroute s). *)
+let plan_summary : (float * float option * float option) option ref = ref None
 
 let shards_opt () = if !shards = 0 then None else Some !shards
 
@@ -452,6 +462,15 @@ let write_json ~date ~path ~micro =
                (if i < n - 1 then "," else "")))
         rows;
       Buffer.add_string buf "  ],\n");
+  (match !plan_summary with
+  | None -> ()
+  | Some (hit_rate, planned_p50, computed_p50) ->
+      let opt = function None -> "null" | Some v -> Printf.sprintf "%.1f" v in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"plan\": { \"hit_rate\": %.4f, \"reroute_p50_planned\": %s, \
+            \"reroute_p50_computed\": %s },\n"
+           hit_rate (opt planned_p50) (opt computed_p50)));
   (match List.rev !exp_metrics with
   | [] -> ()
   | per_exp ->
@@ -698,7 +717,41 @@ let () =
     print_tables (Experiments.Fault_study.to_tables r)
   end;
 
-  if wanted "faults" && !json_path <> None then begin
+  if wanted "plan" then begin
+    banner "Plan study: precomputed remediation vs compute-from-scratch";
+    let config =
+      {
+        Experiments.Plan_study.default_config with
+        Fleet.Service.duration = (if !quick then 21600.0 else 43200.0);
+        shards = shards_opt ();
+      }
+    in
+    let r =
+      timed "plan" (fun () ->
+          Experiments.Plan_study.run ~config
+            ~targets:(if !quick then 20 else 40)
+            ~jobs:!jobs ~seed ())
+    in
+    let median samples =
+      match samples with
+      | [] -> None
+      | _ ->
+          Some
+            (Stats.Ecdf.quantile
+               (Stats.Ecdf.of_samples (Array.of_list samples))
+               0.5)
+    in
+    plan_summary :=
+      Some
+        ( Experiments.Plan_study.hit_rate r.Experiments.Plan_study.planned,
+          median r.Experiments.Plan_study.planned.Experiments.Plan_study.time_to_confirm,
+          median r.Experiments.Plan_study.computed.Experiments.Plan_study.time_to_confirm );
+    print_tables (Experiments.Plan_study.to_tables r)
+  end;
+
+  (* The shard sweep re-runs the fault study three times; keep it out of
+     smoke runs (--quick) and behind an explicit opt-out for full runs. *)
+  if wanted "faults" && !json_path <> None && !shard_sweep && not !quick then begin
     (* Per-shard-count rows for the JSON summary: the same (reduced)
        fault study at K = 1, 2 and 4 shard domains, with the rendered
        tables compared byte-for-byte against K=1 — the invariance tests'

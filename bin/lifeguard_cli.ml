@@ -397,7 +397,13 @@ let fleet_cmd =
       & info [ "atlas-staleness" ] ~docv:"P"
           ~doc:"Chaos: probability an atlas refresh is skipped.")
   in
-  let run obs seed duration targets outages probe_loss vp_mtbf staleness jobs shards =
+  let planning =
+    Arg.(
+      value & flag
+      & info [ "planning" ]
+          ~doc:"Consult the precomputed remediation plan cache before fresh decisions.")
+  in
+  let run obs seed duration targets outages probe_loss vp_mtbf staleness planning jobs shards =
     check_positive_f "--duration" duration;
     check_positive_i "--targets" targets;
     check_rate "--outages-per-day" outages;
@@ -414,6 +420,7 @@ let fleet_cmd =
             outages_per_day = outages;
             chaos =
               { Fleet.Chaos.none with Fleet.Chaos.probe_loss; vp_mtbf; atlas_staleness = staleness };
+            planning;
             shards;
           }
         in
@@ -428,7 +435,7 @@ let fleet_cmd =
           damping-paced announcements, optional chaos")
     Term.(
       const run $ obs_term $ seed $ duration $ targets $ outages $ probe_loss $ vp_mtbf $ staleness
-      $ jobs $ shards_arg)
+      $ planning $ jobs $ shards_arg)
 
 let faults_cmd =
   let duration =
@@ -565,6 +572,58 @@ let faults_cmd =
       $ flap_downtime $ link_mtbf $ link_mttr $ router_mtbf $ router_mttr $ update_loss
       $ update_dup $ jobs $ shards_arg)
 
+let plan_cmd =
+  let duration =
+    Arg.(
+      value
+      & opt float Experiments.Plan_study.default_config.Fleet.Service.duration
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated observation window per world.")
+  in
+  let targets =
+    Arg.(value & opt int 40 & info [ "targets" ] ~docv:"N" ~doc:"Monitored networks fleet-wide.")
+  in
+  let outages =
+    Arg.(
+      value
+      & opt float Experiments.Plan_study.default_config.Fleet.Service.outages_per_day
+      & info [ "outages-per-day" ] ~docv:"R" ~doc:"Poisson outage arrival rate per world.")
+  in
+  let latency =
+    Arg.(
+      value
+      & opt float Experiments.Plan_study.default_config.Fleet.Service.decision_latency
+      & info [ "decision-latency" ] ~docv:"SECONDS"
+          ~doc:"Simulated cost of one fresh decision round; plan hits skip it.")
+  in
+  let run obs seed duration targets outages latency jobs shards =
+    check_positive_f "--duration" duration;
+    check_positive_i "--targets" targets;
+    check_rate "--outages-per-day" outages;
+    check_rate "--decision-latency" latency;
+    check_positive_i "--jobs" jobs;
+    let shards = shards_opt shards in
+    with_obs obs (fun () ->
+        let config =
+          {
+            Experiments.Plan_study.default_config with
+            Fleet.Service.duration;
+            outages_per_day = outages;
+            decision_latency = latency;
+            shards;
+          }
+        in
+        print_tables
+          (Experiments.Plan_study.to_tables
+             (Experiments.Plan_study.run ~config ~targets ~jobs ~seed ())))
+  in
+  Cmd.v
+    (Cmd.info "plan"
+       ~doc:
+         "Plan study: precomputed remediation plans vs compute-from-scratch on a \
+          recurring-outage workload (hit rate, invalidations, repair latency)")
+    Term.(
+      const run $ obs_term $ seed $ duration $ targets $ outages $ latency $ jobs $ shards_arg)
+
 let main =
   let doc = "LIFEGUARD (SIGCOMM 2012) reproduction: failure localization and BGP-poisoning repair" in
   Cmd.group (Cmd.info "lifeguard" ~version:"1.0.0" ~doc)
@@ -586,6 +645,7 @@ let main =
       damping_cmd;
       fleet_cmd;
       faults_cmd;
+      plan_cmd;
       case_study_cmd;
       topo_cmd;
       poison_cmd;

@@ -15,8 +15,13 @@ let pp_verdict fmt = function
 let alternate_path_exists graph ~src ~origin ~avoid =
   Splice.policy_reachable graph ~src ~dst:origin ~avoiding:(Asn.Set.singleton avoid)
 
-let decide config graph ~origin ~diagnosis ~outage_age =
+let decide ?feasible config graph ~origin ~diagnosis ~outage_age =
   let open Isolation in
+  let feasible =
+    match feasible with
+    | Some f -> f
+    | None -> fun ~src ~avoid -> alternate_path_exists graph ~src ~origin ~avoid
+  in
   match diagnosis.direction with
   | No_failure -> Hopeless "path works; nothing to repair"
   | Destination_unreachable -> Hopeless "destination unreachable from everywhere"
@@ -36,7 +41,7 @@ let decide config graph ~origin ~diagnosis ~outage_age =
                remote destination, whose reverse path toward the origin
                is the broken one. *)
             config.require_alternate_path
-            && not (alternate_path_exists graph ~src:diagnosis.dst ~origin ~avoid:target)
+            && not (feasible ~src:diagnosis.dst ~avoid:target)
           then
             Hopeless
               (Printf.sprintf "no policy-compliant path around %s" (Asn.to_string target))

@@ -34,6 +34,7 @@ val alternate_path_exists :
     paper's 90%-of-simulated-poisonings result (§5.1). *)
 
 val decide :
+  ?feasible:(src:Asn.t -> avoid:Asn.t -> bool) ->
   config ->
   As_graph.t ->
   origin:Asn.t ->
@@ -43,7 +44,10 @@ val decide :
 (** Combine the isolation result with the outage's age. Only reverse and
     bidirectional failures are poison candidates here — forward failures
     are better fixed by switching egress (§2.3), which the origin can do
-    locally. *)
+    locally. [feasible] overrides the alternate-path check (default
+    {!alternate_path_exists} on [graph]); a precomputed plan passes its
+    memoized feasibility bit here so a cache hit routes through the exact
+    same verdict construction as a fresh decision. *)
 
 (** Residual-duration analysis over a set of outage durations (Fig. 5):
     given that an outage has lasted [elapsed], how much longer will it

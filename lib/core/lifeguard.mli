@@ -1,0 +1,15 @@
+(** LIFEGUARD: Locating Internet Failures Effectively and Generating
+    Usable Alternate Routes Dynamically — the paper's core system.
+
+    {!Isolation} locates a failure's AS and direction from one side;
+    {!Decide} gates poisoning on outage age and alternate-path existence;
+    {!Remediate} crafts the baseline/poisoned/selective announcements and
+    the sentinel machinery; {!Orchestrator} runs the whole loop on the
+    simulation clock; {!Load_model} estimates deployment-scale update
+    load (Table 2). *)
+
+module Isolation = Isolation
+module Decide = Decide
+module Remediate = Remediate
+module Orchestrator = Orchestrator
+module Load_model = Load_model

@@ -12,6 +12,7 @@ type config = {
   pipeline_timeout : float;
   poison_deadline : float;
   max_poison_announcements : int;
+  decision_latency : float;
 }
 
 let default_config =
@@ -27,6 +28,7 @@ let default_config =
     pipeline_timeout = 21600.0;
     poison_deadline = 3600.0;
     max_poison_announcements = 3;
+    decision_latency = 0.0;
   }
 
 type hooks = {
@@ -34,10 +36,28 @@ type hooks = {
   monitor_loss : (unit -> bool) option;
   isolation_attempt : (target:Asn.t -> attempt:int -> [ `Proceed | `Lost | `Denied ]) option;
   vantage_filter : (Asn.t -> bool) option;
+  plan_consult :
+    (target:Asn.t ->
+    diagnosis:Isolation.diagnosis ->
+    outage_age:float ->
+    breaker_open:(Asn.t -> bool) ->
+    Decide.verdict option)
+    option;
+  plan_record :
+    (target:Asn.t -> diagnosis:Isolation.diagnosis -> verdict:Decide.verdict -> unit) option;
+  plan_outcome : (poison:Asn.t -> [ `Confirmed | `Diverged of string ] -> unit) option;
 }
 
 let no_hooks =
-  { probe_gate = None; monitor_loss = None; isolation_attempt = None; vantage_filter = None }
+  {
+    probe_gate = None;
+    monitor_loss = None;
+    isolation_attempt = None;
+    vantage_filter = None;
+    plan_consult = None;
+    plan_record = None;
+    plan_outcome = None;
+  }
 
 type event =
   | Outage_detected of { vp : Asn.t; target : Asn.t }
@@ -47,6 +67,7 @@ type event =
   | Poison_queued of { target : Asn.t; poison : Asn.t }
   | Poison_announced of Asn.t
   | Poison_confirmed of Asn.t
+  | Repair_confirmed of { target : Asn.t; poison : Asn.t }
   | Poison_reannounced of { target : Asn.t; announcement : int }
   | Poison_rolled_back of { target : Asn.t; reason : string }
   | Breaker_open of Asn.t
@@ -68,6 +89,9 @@ let pp_event fmt = function
   | Poison_announced a -> Format.fprintf fmt "poisoned %a" Asn.pp a
   | Poison_confirmed a ->
       Format.fprintf fmt "poison of %a confirmed in force at the vantage feeds" Asn.pp a
+  | Repair_confirmed { target; poison } ->
+      Format.fprintf fmt "repair of %a confirmed: traffic rerouted around %a" Asn.pp target
+        Asn.pp poison
   | Poison_reannounced { target; announcement } ->
       Format.fprintf fmt "re-announced poison of %a (announcement %d)" Asn.pp target
         announcement
@@ -111,6 +135,7 @@ type active_poison = {
   ap_target : Asn.t;
   mutable ap_affected : Asn.t list;
   ap_first : float;
+  ap_planned : bool;  (** Served from the plan cache rather than computed fresh. *)
   mutable ap_announcements : int;
   mutable ap_confirmed : bool;
   mutable ap_rolling_back : bool;
@@ -126,7 +151,8 @@ type t = {
   vantage_points : Asn.t list;
   pipelines : (Asn.t, pipeline) Hashtbl.t;
   mutable active : active_poison option;
-  queue : (Asn.t * Asn.t) Queue.t;  (** (target, poison) FIFO awaiting the prefix *)
+  queue : (Asn.t * Asn.t * bool) Queue.t;
+      (** (target, poison, planned) FIFO awaiting the prefix *)
   mutable last_announce : float;
   mutable events : (float * event) list;  (** newest first *)
   mutable outcomes : (float * Asn.t * outcome) list;  (** newest first *)
@@ -248,6 +274,11 @@ let rollback t ap ~pump reason =
     ap.ap_rolling_back <- true;
     log t (Poison_rolled_back { target = ap.ap_target; reason });
     Hashtbl.replace t.breaker ap.ap_target ();
+    (* A served plan whose watchdog outcome diverged: demote it back to
+       compute-fresh. *)
+    (match t.hooks.plan_outcome with
+    | Some f when ap.ap_planned -> f ~poison:ap.ap_target (`Diverged reason)
+    | _ -> ());
     let do_roll () =
       match t.active with
       | Some current when current == ap ->
@@ -312,7 +343,14 @@ let watchdog_tick t ap ~pump =
           | _ :: _ ->
               if not ap.ap_confirmed then begin
                 ap.ap_confirmed <- true;
-                log t (Poison_confirmed ap.ap_target)
+                log t (Poison_confirmed ap.ap_target);
+                List.iter
+                  (fun target ->
+                    log t (Repair_confirmed { target; poison = ap.ap_target }))
+                  (List.rev ap.ap_affected);
+                match t.hooks.plan_outcome with
+                | Some f when ap.ap_planned -> f ~poison:ap.ap_target `Confirmed
+                | _ -> ()
               end
         end
         else if settled then begin
@@ -370,7 +408,7 @@ let rec schedule_recovery_checks t ap ~pump =
 (* Apply a poison now (spacing already satisfied), unless the outage
    resolved while the announcement waited its turn or the blamed AS has
    already proven unpoisonable. *)
-let rec apply_poison t ~vp ~target ~poison_target =
+let rec apply_poison t ~vp ~target ~poison_target ~planned =
   if Hashtbl.mem t.breaker poison_target then begin
     t.breaker_trips <- t.breaker_trips + 1;
     log t (Breaker_open poison_target);
@@ -392,6 +430,7 @@ let rec apply_poison t ~vp ~target ~poison_target =
         ap_target = poison_target;
         ap_affected = [ target ];
         ap_first = now t;
+        ap_planned = planned;
         ap_announcements = 1;
         ap_confirmed = false;
         ap_rolling_back = false;
@@ -420,13 +459,13 @@ and pump_queue t =
         else
           match Queue.take_opt t.queue with
           | None -> ()
-          | Some (target, poison_target) ->
-              apply_poison t ~vp:t.plan.Remediate.origin ~target ~poison_target
+          | Some (target, poison_target, planned) ->
+              apply_poison t ~vp:t.plan.Remediate.origin ~target ~poison_target ~planned
       end
 
 (* A pipeline reached a Poison verdict: announce, attach, or queue —
    unless the breaker already proved the blamed AS unpoisonable. *)
-let request_poison t ~vp ~target ~poison_target =
+let request_poison t ~vp ~target ~poison_target ~planned =
   Hashtbl.remove t.pipelines target;
   if Hashtbl.mem t.breaker poison_target then begin
     t.breaker_trips <- t.breaker_trips + 1;
@@ -442,13 +481,13 @@ let request_poison t ~vp ~target ~poison_target =
       ap.ap_affected <- target :: ap.ap_affected
   | Some _ ->
       log t (Poison_queued { target; poison = poison_target });
-      Queue.add (target, poison_target) t.queue
+      Queue.add (target, poison_target, planned) t.queue
   | None ->
       let delay = announce_delay t in
-      if delay <= 0.0 then apply_poison t ~vp ~target ~poison_target
+      if delay <= 0.0 then apply_poison t ~vp ~target ~poison_target ~planned
       else begin
         log t (Poison_queued { target; poison = poison_target });
-        Queue.add (target, poison_target) t.queue;
+        Queue.add (target, poison_target, planned) t.queue;
         Sim.Engine.schedule_after (engine t) ~delay (fun () -> pump_queue t)
       end
 
@@ -458,34 +497,62 @@ let pipeline_alive t p =
 let run_decision t p diagnosis =
   let vp = p.p_vp and target = p.p_target in
   let graph = Bgp.Network.graph t.env.Dataplane.Probe.net in
-  let decide_now () =
+  let outage_age () =
     let outage_started =
       match Hashtbl.find_opt t.outage_started target with
       | Some started -> started
       | None -> p.p_started
     in
+    now t -. outage_started
+  in
+  (* Consult the precomputed plan cache (when wired) before paying for a
+     fresh decision: a hit is a ready verdict, byte-identical to what the
+     decision process would compute. *)
+  let consult () =
+    match t.hooks.plan_consult with
+    | None -> None
+    | Some f ->
+        f ~target ~diagnosis ~outage_age:(outage_age ())
+          ~breaker_open:(fun a -> Hashtbl.mem t.breaker a)
+  in
+  let decide_fresh () =
     let verdict =
       Decide.decide t.config.decide graph ~origin:t.plan.Remediate.origin ~diagnosis
-        ~outage_age:(now t -. outage_started)
+        ~outage_age:(outage_age ())
     in
-    log t (Decision verdict);
+    (* Hand the fresh verdict back to the cache so the next outage of the
+       same class becomes a hit. *)
+    (match t.hooks.plan_record with Some f -> f ~target ~diagnosis ~verdict | None -> ());
     verdict
   in
   (* While the verdict is Wait, keep rechecking: stand down if the outage
      resolves on its own, poison once it has aged past the gate. *)
-  let rec decide_and_act () =
+  let rec act ~planned verdict =
+    log t (Decision verdict);
+    match verdict with
+    | Decide.Poison poison_target -> request_poison t ~vp ~target ~poison_target ~planned
+    | Decide.Hopeless reason -> stand_down t ~target reason
+    | Decide.Wait _ ->
+        Sim.Engine.schedule_after (engine t) ~delay:t.config.recheck_interval (fun () ->
+            if not (pipeline_alive t p) then ()
+            else if target_reachable t ~vp ~target then
+              stand_down t ~target "outage resolved on its own"
+            else decide_and_act ())
+  and decide_and_act () =
     if now t -. p.p_started > t.config.pipeline_timeout then
       give_up t ~target "pipeline timeout"
     else begin
-      match decide_now () with
-      | Decide.Poison poison_target -> request_poison t ~vp ~target ~poison_target
-      | Decide.Hopeless reason -> stand_down t ~target reason
-      | Decide.Wait _ ->
-          Sim.Engine.schedule_after (engine t) ~delay:t.config.recheck_interval (fun () ->
-              if not (pipeline_alive t p) then ()
-              else if target_reachable t ~vp ~target then
-                stand_down t ~target "outage resolved on its own"
-              else decide_and_act ())
+      match consult () with
+      | Some verdict -> act ~planned:true verdict
+      | None ->
+          (* [decision_latency] models the wall-clock cost of running the
+             decision process from scratch; a plan hit above skips it. At
+             the default 0 the fresh path is inline and event ordering is
+             exactly the pre-planning one. *)
+          if t.config.decision_latency <= 0.0 then act ~planned:false (decide_fresh ())
+          else
+            Sim.Engine.schedule_after (engine t) ~delay:t.config.decision_latency (fun () ->
+                if pipeline_alive t p then act ~planned:false (decide_fresh ()))
     end
   in
   decide_and_act ()
@@ -525,7 +592,8 @@ let covered_by_active t target =
   | Some ap -> List.exists (Asn.equal target) ap.ap_affected
   | None -> false
 
-let queued t target = Queue.fold (fun acc (qt, _) -> acc || Asn.equal qt target) false t.queue
+let queued t target =
+  Queue.fold (fun acc (qt, _, _) -> acc || Asn.equal qt target) false t.queue
 
 let notify_outage t ~vp ~target =
   if Hashtbl.mem t.pipelines target || covered_by_active t target || queued t target then ()

@@ -42,6 +42,12 @@ type config = {
       (** Watchdog: total announcements (initial + re-announces) per
           poison before the circuit breaker trips and the poison is
           rolled back (default 3). *)
+  decision_latency : float;
+      (** Modeled cost (simulated seconds) of computing a remediation
+          from scratch; charged before acting on every fresh verdict. A
+          plan-cache hit skips it — that is the fast-reroute win the
+          plan experiment measures. Default 0: fresh decisions act
+          inline, preserving the pre-planning event order exactly. *)
 }
 
 val default_config : config
@@ -62,6 +68,26 @@ type hooks = {
   vantage_filter : (Asn.t -> bool) option;
       (** Chaos: which vantage points are currently alive; dead VPs are
           excluded from isolation. *)
+  plan_consult :
+    (target:Asn.t ->
+    diagnosis:Isolation.diagnosis ->
+    outage_age:float ->
+    breaker_open:(Asn.t -> bool) ->
+    Decide.verdict option)
+    option;
+      (** Consulted before every fresh decision: [Some verdict] serves a
+          precomputed plan (and skips [decision_latency]); [None] falls
+          through to the decision process. [breaker_open] lets the cache
+          refuse to serve a plan against a breaker-open AS. *)
+  plan_record :
+    (target:Asn.t -> diagnosis:Isolation.diagnosis -> verdict:Decide.verdict -> unit) option;
+      (** Called with every freshly-computed verdict so the cache can
+          memoize it. *)
+  plan_outcome : (poison:Asn.t -> [ `Confirmed | `Diverged of string ] -> unit) option;
+      (** Watchdog feedback for poisons that were served from a plan:
+          [`Confirmed] when the vantage feeds showed the poison in
+          force, [`Diverged reason] when it was rolled back — the cache
+          demotes the plan back to compute-fresh. *)
 }
 
 val no_hooks : hooks
@@ -79,6 +105,11 @@ type event =
   | Poison_confirmed of Asn.t
       (** Every vantage feed with a route shows the poisoned path: the
           announcement took effect. *)
+  | Repair_confirmed of { target : Asn.t; poison : Asn.t }
+      (** Per monitored target sharing the confirmed poison: traffic to
+          [target] is flowing around [poison] again. The gap between this
+          and the target's detection is the repair latency the plan cache
+          exists to shrink. *)
   | Poison_reannounced of { target : Asn.t; announcement : int }
       (** A vantage feed showed a route avoiding the poisoned AS (the
           poison was flushed or lost, e.g. by a session reset); the

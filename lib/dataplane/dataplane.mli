@@ -1,0 +1,8 @@
+(** The data plane: FIB-driven forwarding walks, failure injection
+    (including the silent, unidirectional failures LIFEGUARD targets) and
+    the probe vocabulary — ping, traceroute, spoofed variants and reverse
+    traceroute emulation. *)
+
+module Failure = Failure
+module Forward = Forward
+module Probe = Probe

@@ -25,3 +25,4 @@ module Tab2_load = Tab2_load
 module Case_study = Case_study
 module Fleet_study = Fleet_study
 module Fault_study = Fault_study
+module Plan_study = Plan_study

@@ -21,6 +21,10 @@ let m_rolled_back = Obs.Metrics.counter "fleet.watchdog.rolled_back"
 let m_breaker_trips = Obs.Metrics.counter "fleet.watchdog.breaker_trips"
 let m_session_flaps = Obs.Metrics.counter "fleet.faults.session_flaps"
 let m_router_crashes = Obs.Metrics.counter "fleet.faults.router_crashes"
+let m_plan_hits = Obs.Metrics.counter "fleet.plan.hits"
+let m_plan_misses = Obs.Metrics.counter "fleet.plan.misses"
+let m_plan_invalidations = Obs.Metrics.counter "fleet.plan.invalidations"
+let m_plan_demotions = Obs.Metrics.counter "fleet.plan.demotions"
 
 type config = {
   ases : int;
@@ -40,6 +44,14 @@ type config = {
   retry : Retry.policy;
   chaos : Chaos.config;
   faults : Bgp.Faults.config;
+  planning : bool;
+      (** Precompute remediation plans offline and consult the plan cache
+          before every fresh decision (default false: the legacy
+          compute-every-time pipeline, byte-identical to before the knob
+          existed). *)
+  decision_latency : float;
+      (** Modeled cost of a fresh decision (simulated seconds); plan hits
+          skip it. Default 0. *)
   shards : int option;
       (** [Some k]: run the world sharded over [k] domains with barrier
           exchange (see [Shard.Barrier]); results are byte-identical at
@@ -65,6 +77,8 @@ let default_config =
     retry = Retry.default;
     chaos = Chaos.none;
     faults = Bgp.Faults.none;
+    planning = false;
+    decision_latency = 0.0;
     shards = None;
   }
 
@@ -81,6 +95,7 @@ type report = {
   poisons : int;
   unpoisons : int;
   time_to_repair : float list;
+  time_to_confirm : float list;
   monitor_pairs : int;
   monitor_skipped : int;
   probes_sent : int;
@@ -102,6 +117,10 @@ type report = {
   router_crashes : int;
   updates_dropped : int;
   updates_duplicated : int;
+  plan_hits : int;
+  plan_misses : int;
+  plan_invalidations : int;
+  plan_demotions : int;
 }
 
 (* Predicted daily update load, per the paper's Table 2 model with i = t
@@ -175,6 +194,30 @@ let run_in ?(config = default_config) ~seed ~shard_pool () =
     Budget.scheduler ~per_vp_rate:config.per_vp_rate ~per_vp_burst:config.per_vp_burst
       ~global:(Budget.create ~rate:config.probe_rate ~burst:config.probe_burst ()) ()
   in
+  let decide_config =
+    { Lifeguard.Decide.default_config with min_outage_age = config.min_outage_age }
+  in
+  (* The plan cache: seeded offline by the planner over this world's
+     graph, fingerprinted on the structural fault counters (links and
+     routers — session flaps only flush announcements, which the watchdog
+     already repairs) so topology churn invalidates it. *)
+  let cache =
+    if not config.planning then None
+    else begin
+      let net = bed.Scenarios.net in
+      let graph = Bgp.Network.graph net in
+      let paths = Bgp.Network.path_store net in
+      let seed_plans =
+        Plan.Planner.build ~graph ~store:paths ~plan:mux.Scenarios.plan ~targets
+      in
+      let fingerprint () =
+        Bgp.Faults.link_failure_count faults + Bgp.Faults.router_crash_count faults
+      in
+      Some
+        (Plan.Cache.create ~fingerprint ~seed:seed_plans ~config:decide_config ~origin
+           ~paths ())
+    end
+  in
   let hooks =
     {
       Lifeguard.Orchestrator.probe_gate =
@@ -189,13 +232,33 @@ let run_in ?(config = default_config) ~seed ~shard_pool () =
             else if Chaos.lose_probe chaos then `Lost
             else `Proceed);
       vantage_filter = Some (fun vp -> Chaos.vp_alive chaos vp);
+      plan_consult =
+        (match cache with
+        | None -> None
+        | Some c ->
+            let graph = Bgp.Network.graph bed.Scenarios.net in
+            Some
+              (fun ~target ~diagnosis ~outage_age ~breaker_open ->
+                Plan.Cache.lookup c graph ~now:(Sim.Engine.now engine) ~target ~diagnosis
+                  ~outage_age ~breaker_open));
+      plan_record =
+        (match cache with
+        | None -> None
+        | Some c ->
+            Some
+              (fun ~target ~diagnosis ~verdict ->
+                Plan.Cache.record c ~target ~diagnosis ~verdict));
+      plan_outcome =
+        (match cache with
+        | None -> None
+        | Some c -> Some (fun ~poison outcome -> Plan.Cache.note_outcome c ~poison outcome));
     }
   in
   let orch_config =
     {
       Lifeguard.Orchestrator.default_config with
-      Lifeguard.Orchestrator.decide =
-        { Lifeguard.Decide.default_config with min_outage_age = config.min_outage_age };
+      Lifeguard.Orchestrator.decide = decide_config;
+      decision_latency = config.decision_latency;
       recheck_interval = config.recheck_interval;
       monitor_interval = config.monitor_interval;
       announce_spacing = config.announce_spacing;
@@ -277,6 +340,17 @@ let run_in ?(config = default_config) ~seed ~shard_pool () =
       | Lifeguard.Orchestrator.Stood_down _ -> incr stood_down
       | Lifeguard.Orchestrator.Gave_up_on _ -> incr gave_up)
     outcomes;
+  let time_to_confirm =
+    List.filter_map
+      (function
+        | at, Lifeguard.Orchestrator.Repair_confirmed { target; _ } -> begin
+            match detection_before ~target ~at with
+            | Some dt -> Some (at -. dt)
+            | None -> None
+          end
+        | _ -> None)
+      events
+  in
   let monitors = Lifeguard.Orchestrator.monitors orch in
   let monitor_pairs =
     List.fold_left (fun acc m -> acc + Measurement.Monitor.probe_count m) 0 monitors
@@ -304,6 +378,7 @@ let run_in ?(config = default_config) ~seed ~shard_pool () =
       poisons;
       unpoisons;
       time_to_repair = List.rev !ttr;
+      time_to_confirm;
       monitor_pairs;
       monitor_skipped;
       probes_sent = bed.Scenarios.probe.Dataplane.Probe.probes_sent;
@@ -327,6 +402,11 @@ let run_in ?(config = default_config) ~seed ~shard_pool () =
       router_crashes = Bgp.Faults.router_crash_count faults;
       updates_dropped = Bgp.Faults.updates_dropped faults;
       updates_duplicated = Bgp.Faults.updates_duplicated faults;
+      plan_hits = (match cache with Some c -> Plan.Cache.hits c | None -> 0);
+      plan_misses = (match cache with Some c -> Plan.Cache.misses c | None -> 0);
+      plan_invalidations =
+        (match cache with Some c -> Plan.Cache.invalidations c | None -> 0);
+      plan_demotions = (match cache with Some c -> Plan.Cache.demotions c | None -> 0);
     }
   in
   Obs.Metrics.add m_injected report.injected;
@@ -346,6 +426,10 @@ let run_in ?(config = default_config) ~seed ~shard_pool () =
   Obs.Metrics.add m_breaker_trips report.breaker_trips;
   Obs.Metrics.add m_session_flaps report.session_flaps;
   Obs.Metrics.add m_router_crashes report.router_crashes;
+  Obs.Metrics.add m_plan_hits report.plan_hits;
+  Obs.Metrics.add m_plan_misses report.plan_misses;
+  Obs.Metrics.add m_plan_invalidations report.plan_invalidations;
+  Obs.Metrics.add m_plan_demotions report.plan_demotions;
   report
 
 (* Sharded runs own a worker pool for the trial's lifetime: barrier

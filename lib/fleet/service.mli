@@ -35,6 +35,16 @@ type config = {
           session flaps, link failures, router crashes, update
           loss/duplication. Armed after baseline convergence; the origin
           is protected from crashes. *)
+  planning : bool;
+      (** Precompute remediation plans offline ([Plan.Planner] over this
+          world's graph) and consult the plan cache before every fresh
+          decision, with invalidation on structural fault churn and
+          breaker trips and watchdog-divergence demotion. Default false:
+          the legacy compute-every-time pipeline, byte-identical to
+          before the knob existed. *)
+  decision_latency : float;
+      (** Modeled cost of computing a remediation from scratch (simulated
+          seconds); plan-cache hits skip it. Default 0. *)
   shards : int option;
       (** [Some k]: partition the world over [k] shard domains advanced
           between deterministic time barriers, with a worker pool owned
@@ -66,6 +76,13 @@ type report = {
   time_to_repair : float list;
       (** Detection-to-repair latency per repaired outage, in order of
           repair (s). *)
+  time_to_confirm : float list;
+      (** Detection-to-[Repair_confirmed] latency per target whose
+          traffic was rerouted around a confirmed poison, in event
+          order (s). Unlike {!time_to_repair}, which runs until the
+          underlying failure heals and the poison is withdrawn, this
+          measures only the window the repair machinery controls — the
+          fast-reroute latency the plan cache shortens. *)
   monitor_pairs : int;  (** Ping pairs the monitors sent. *)
   monitor_skipped : int;  (** Monitor rounds the budget refused. *)
   probes_sent : int;  (** All data-plane probes (incl. isolation). *)
@@ -90,6 +107,12 @@ type report = {
   router_crashes : int;
   updates_dropped : int;
   updates_duplicated : int;  (** ...per class. *)
+  plan_hits : int;  (** Decisions served from the plan cache. *)
+  plan_misses : int;  (** Lookups that fell through to a fresh decision. *)
+  plan_invalidations : int;
+      (** Cache flushes (topology churn) plus breaker-conflict drops. *)
+  plan_demotions : int;
+      (** Plans demoted to compute-fresh after watchdog divergence. *)
 }
 
 val run : ?config:config -> seed:int -> unit -> report

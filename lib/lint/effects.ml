@@ -216,6 +216,15 @@ let summary_rows t =
   |> List.map (fun (d : Callgraph.def) -> (d.Callgraph.display, row t d.Callgraph.id))
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* A "planner entry point" for LG-PLAN-STALE: any exported definition in
+   a plan subsystem's [planner.ml] (the real [lib/plan/planner.ml], plus
+   the [plan_bad]/[plan_good] fixture trees). Keyed on the path rather
+   than on {!Source_scan.classify} so fixture scans, which force
+   [lib_kind], exercise the rule too. *)
+let planner_file file =
+  String.equal (Filename.basename file) "planner.ml"
+  && String.starts_with ~prefix:"plan" (Filename.basename (Filename.dirname file))
+
 let violations t =
   let out = ref [] in
   Array.iter
@@ -223,7 +232,7 @@ let violations t =
       let kind = d.Callgraph.kind in
       if kind.Source_scan.in_lib && d.Callgraph.exported then begin
         let id = d.Callgraph.id in
-        let add rule what fix =
+        let add rule eff what fix =
           out :=
             {
               Source_scan.rule;
@@ -232,27 +241,38 @@ let violations t =
               col = d.Callgraph.col;
               message =
                 Printf.sprintf "%s transitively %s: %s; %s" d.Callgraph.display what
-                  (trace_string t id (match rule with
-                    | Rule.Eff_clock -> Clock
-                    | Rule.Eff_random -> Random
-                    | _ -> Global_mut))
-                  fix;
+                  (trace_string t id eff) fix;
             }
             :: !out
         in
         if has t id Clock && (not (is_direct t id Clock)) && not kind.Source_scan.obs_exempt
         then
-          add Rule.Eff_clock "reaches the wall clock"
+          add Rule.Eff_clock Clock "reaches the wall clock"
             "thread simulation time or the injected Obs.Clock";
         if has t id Random && (not (is_direct t id Random)) && not kind.Source_scan.prng_exempt
-        then add Rule.Eff_random "reaches Random" "thread a seeded Prng instead";
+        then add Rule.Eff_random Random "reaches Random" "thread a seeded Prng instead";
         if
           has t id Global_mut
           && (not d.Callgraph.mutable_global)
           && not kind.Source_scan.obs_exempt
         then
-          add Rule.Eff_globalmut "reaches module-level mutable state"
-            "allocate the state per world and thread it (share-nothing)"
+          add Rule.Eff_globalmut Global_mut "reaches module-level mutable state"
+            "allocate the state per world and thread it (share-nothing)";
+        (* LG-PLAN-STALE certifies planner entry points effect-pure:
+           unlike the LG-EFF-* family it fires on direct uses too, and on
+           clock/Random regardless of the file's exemptions — a plan
+           computed from anything but its arguments is stale on arrival. *)
+        if planner_file d.Callgraph.file then
+          List.iter
+            (fun (eff, what) ->
+              if has t id eff && not (eff == Global_mut && d.Callgraph.mutable_global) then
+                add Rule.Plan_stale eff what
+                  "planner entry points must be pure functions of the world")
+            [
+              (Clock, "is a planner entry point reaching the wall clock");
+              (Random, "is a planner entry point reaching Random");
+              (Global_mut, "is a planner entry point reaching module-level mutable state");
+            ]
       end)
     t.cg.Callgraph.defs;
   List.rev !out

@@ -48,8 +48,16 @@ val summary_rows : t -> (string * string) list
 (** (display, row) for every exported definition of every library file,
     sorted by display name — the [--effects] table. *)
 
+val planner_file : string -> bool
+(** Is this path a plan subsystem's [planner.ml] (a [planner.ml] whose
+    directory name starts with ["plan"])? Exported defs of such files
+    are held to [LG-PLAN-STALE]'s purity bar. *)
+
 val violations : t -> Source_scan.violation list
 (** The [LG-EFF-CLOCK] / [LG-EFF-RANDOM] / [LG-EFF-GLOBALMUT] reports:
     exported library functions that transitively (never directly — the
     syntactic rules own those sites) reach the wall clock / [Random] /
-    module-level mutable state, with the witness chain in the message. *)
+    module-level mutable state, with the witness chain in the message.
+    Plus [LG-PLAN-STALE]: planner entry points ({!planner_file}) must be
+    effect-pure — no clock, [Random], or module-level mutable state
+    reachable at all, direct uses and exempt-module escapes included. *)

@@ -13,10 +13,12 @@ type t =
   | Eff_clock
   | Eff_random
   | Eff_globalmut
+  | Plan_stale
 
 let all =
   [ Dom_mut; Det_random; Det_clock; Det_polyeq; Det_hashkey; Perf_append; Perf_scan;
-    Perf_structeq; Mli_missing; Obs_printf; Rob_exn; Eff_clock; Eff_random; Eff_globalmut ]
+    Perf_structeq; Mli_missing; Obs_printf; Rob_exn; Eff_clock; Eff_random; Eff_globalmut;
+    Plan_stale ]
 
 let id = function
   | Dom_mut -> "LG-DOM-MUT"
@@ -33,6 +35,7 @@ let id = function
   | Eff_clock -> "LG-EFF-CLOCK"
   | Eff_random -> "LG-EFF-RANDOM"
   | Eff_globalmut -> "LG-EFF-GLOBALMUT"
+  | Plan_stale -> "LG-PLAN-STALE"
 
 let of_id s =
   let rec find = function
@@ -81,3 +84,8 @@ let describe = function
       "exported library function transitively reaches module-level mutable state outside \
        the declared-exempt modules; breaks the share-nothing byte-identical --jobs \
        invariant — allocate the state per world and thread it"
+  | Plan_stale ->
+      "planner entry point (exported def in a plan subsystem's planner.ml) reaches the \
+       clock, Random, or module-level mutable state, directly or transitively; \
+       precomputed plans must be a pure function of the world or they are stale the \
+       moment they are built — take every input as an argument"

@@ -27,6 +27,12 @@ type t =
       (** exported [lib/] function transitively reaches module-level
           mutable state outside the declared-exempt modules — the
           share-nothing invariant, proven interprocedurally *)
+  | Plan_stale
+      (** planner entry point (exported def in a plan subsystem's
+          [planner.ml]) reaches the clock, [Random], or module-level
+          mutable state — directly or transitively, exemptions
+          notwithstanding. Precomputed plans must be pure functions of
+          the world (see {!Effects.planner_file}). *)
 
 val all : t list
 

@@ -1,0 +1,15 @@
+(** Precomputed remediation plans — fast-reroute for poisoning.
+
+    Turns LIFEGUARD's repair pipeline into a cache hit: an offline
+    {!Planner} enumerates (target, failure-class) pairs over a world and
+    precomputes each remediation into a deterministic {!Plan_store}; a
+    runtime {!Cache} serves them to the orchestrator ahead of the fresh
+    decision process, invalidating on topology churn, policy change and
+    circuit-breaker trips, and demoting plans whose watchdog outcome
+    diverges. Keys are {!Failure_class} values — the shape of an
+    isolation verdict. *)
+
+module Failure_class = Failure_class
+module Plan_store = Plan_store
+module Planner = Planner
+module Cache = Cache

@@ -1,0 +1,55 @@
+(** The offline planner: enumerate failure classes and precompute each
+    remediation before any outage happens.
+
+    For every monitored target, the planner walks the policy-compliant
+    path between target and origin, treats each intermediate AS as a
+    potential blame verdict, and answers the decision process's
+    feasibility question ahead of time: would a valley-free path around
+    that AS still exist? Feasible classes get a poison remedy (the
+    [O-A-O] path interned in the world's path store — selective when the
+    blamed AS is one of the origin's direct providers), infeasible ones a
+    hopeless remedy carrying the exact reason string the fresh decision
+    would produce, and forward-direction classes the egress-switch advice.
+
+    Every entry point here is effect-pure — no clock, no [Random], no
+    module-level mutable state reachable — certified by the
+    [LG-PLAN-STALE] lint rule. Purity is what makes a plan trustworthy:
+    rebuilding the map from the same graph always yields byte-identical
+    plans, so staleness can only come from the world changing, which the
+    cache's invalidation layer watches for. *)
+
+open Net
+open Topology
+open Lifeguard
+
+val hopeless_reason : Asn.t -> string
+(** The verbatim [Decide] reason served when no alternate path exists. *)
+
+val candidate_blames : As_graph.t -> origin:Asn.t -> target:Asn.t -> Asn.t list
+(** The blame verdicts isolation is likely to produce for this target:
+    intermediate ASes of the policy-compliant paths in both directions
+    between target and origin, plus the splice alternate around each
+    primary intermediate (covering post-reroute blames). Ascending,
+    duplicate-free. *)
+
+val remedy_for_class :
+  As_graph.t ->
+  store:Bgp.Path_store.t ->
+  origin:Asn.t ->
+  target:Asn.t ->
+  cls:Failure_class.t ->
+  Plan_store.remedy
+(** The remedy one failure class deserves, honoring the class's
+    direction: poison (or hopeless) for reverse/bidirectional blames,
+    egress-switch advice for forward failures, and the decision
+    process's verbatim stand-down reasons otherwise. Used by the cache
+    to demand-plan classes the offline sweep did not anticipate. *)
+
+val build :
+  graph:As_graph.t ->
+  store:Bgp.Path_store.t ->
+  plan:Remediate.plan ->
+  targets:Asn.t list ->
+  Plan_store.t
+(** The full failure map for [targets]: every (target, failure-class)
+    pair with its precomputed remedy, in the store's canonical order. *)

@@ -1,0 +1,8 @@
+(** AS-level Internet topology: business relationships, the annotated AS
+    graph, synthetic topology generation and valley-free path analysis. *)
+
+module Relationship = Relationship
+module As_graph = As_graph
+module Topo_gen = Topo_gen
+module Splice = Splice
+module Partition = Partition

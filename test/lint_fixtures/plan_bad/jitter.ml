@@ -1,0 +1,4 @@
+(* The laundering wrapper: the direct Random use is LG-DET-RANDOM
+   territory; planner entry points calling through it must still be
+   caught by LG-PLAN-STALE. *)
+let pick targets = List.nth targets (Random.int (List.length targets))

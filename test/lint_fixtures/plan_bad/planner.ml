@@ -1,0 +1,23 @@
+(* A planner that is NOT a pure function of the world: each exported
+   entry point reaches one forbidden effect. LG-PLAN-STALE must fire on
+   all three — including the direct clock read, which the LG-EFF family
+   would skip as the syntactic rule's territory. *)
+
+(* Direct wall-clock read: the plan is stamped with build time, so
+   rebuilding it from the same world gives a different plan. *)
+let build_stamped targets = (targets, Unix.gettimeofday ())
+
+(* Laundered randomness: syntactically clean here, but the chain
+   Planner.shuffle -> Jitter.pick -> Random.int taints the plan. *)
+let shuffle targets = Jitter.pick targets
+
+(* Module-level mutable memo: two planners in different worlds would
+   share it, so a plan depends on what was planned before. *)
+let memo = Hashtbl.create 7
+
+let build_cached k =
+  match Hashtbl.find_opt memo (k : int) with
+  | Some v -> v
+  | None ->
+      Hashtbl.replace memo k k;
+      k

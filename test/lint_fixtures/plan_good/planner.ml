@@ -1,0 +1,9 @@
+(* A planner that IS a pure function of the world: every input arrives
+   as an argument, nothing mutable or ambient is touched. LG-PLAN-STALE
+   must stay silent. *)
+
+let remedy_for ~avoid target = (target, avoid, "poison")
+
+let build ~targets ~avoid = List.map (remedy_for ~avoid) targets
+
+let feasible ~reachable ~avoid target = reachable target && avoid <> target

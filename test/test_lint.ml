@@ -166,6 +166,48 @@ let test_eff_fixtures () =
     [ Rule.Eff_clock; Rule.Eff_random; Rule.Eff_globalmut; Rule.Det_clock; Rule.Det_random;
       Rule.Dom_mut ]
 
+(* LG-PLAN-STALE: planner entry points (exported defs of a plan
+   subsystem's planner.ml) must be effect-pure. Unlike the LG-EFF-*
+   family, direct uses count too. *)
+let test_plan_fixtures () =
+  let bad = scan_dir "plan_bad" in
+  Alcotest.(check int) "plan_bad parses" 0 (List.length bad.Lint.errors);
+  (* One per tainted entry point: direct clock, laundered Random,
+     module-level memo. *)
+  check_rule "plan_bad" bad.Lint.violations Rule.Plan_stale 3;
+  Alcotest.(check bool) "direct clock read still fires PLAN-STALE" true
+    (List.exists
+       (contains ~needle:"Plan_bad.Planner.build_stamped -> Unix.gettimeofday")
+       (messages_of Rule.Plan_stale bad));
+  Alcotest.(check bool) "laundered Random carries the chain" true
+    (List.exists
+       (contains ~needle:"Plan_bad.Planner.shuffle -> Plan_bad.Jitter.pick -> Random.int")
+       (messages_of Rule.Plan_stale bad));
+  Alcotest.(check bool) "memo taints the cached entry point" true
+    (List.exists
+       (contains ~needle:"Plan_bad.Planner.memo (module-level mutable)")
+       (messages_of Rule.Plan_stale bad));
+  (* The wrapper itself is not a planner entry point. *)
+  Alcotest.(check bool) "jitter.ml itself not held to the planner bar" true
+    (not
+       (List.exists (contains ~needle:"Plan_bad.Jitter.pick is")
+          (messages_of Rule.Plan_stale bad)));
+  let good = scan_dir "plan_good" in
+  Alcotest.(check int) "plan_good parses" 0 (List.length good.Lint.errors);
+  check_rule "plan_good" good.Lint.violations Rule.Plan_stale 0
+
+(* The real planner is certified pure by the same pass the fixtures
+   exercise: the shipped baseline has no LG-PLAN-STALE entries, so
+   test_real_tree failing would catch a regression — this test makes the
+   certification explicit. *)
+let test_real_planner_pure () =
+  if Sys.file_exists "../lib/plan" then begin
+    let r = Lint.scan ~dirs:[ "../lib/plan" ] () in
+    Alcotest.(check int) "lib/plan parses" 0 (List.length r.Lint.errors);
+    check_rule "lib/plan" r.Lint.violations Rule.Plan_stale 0
+  end
+  else print_endline "real-tree sources not materialized; skipped"
+
 let test_pragma () =
   (* Unit semantics: same line and line-above suppress; two lines above
      does not; other rules unaffected. *)
@@ -263,6 +305,8 @@ let suite =
     Alcotest.test_case "baseline semantics" `Quick test_baseline_semantics;
     Alcotest.test_case "check exit codes" `Quick test_check_exit_codes;
     Alcotest.test_case "effect fixtures (LG-EFF-*)" `Quick test_eff_fixtures;
+    Alcotest.test_case "planner purity fixtures (LG-PLAN-STALE)" `Quick test_plan_fixtures;
+    Alcotest.test_case "real planner certified pure" `Quick test_real_planner_pure;
     Alcotest.test_case "pragma suppressions" `Quick test_pragma;
     Alcotest.test_case "report formats (sarif/json/github)" `Quick test_report_formats;
     Alcotest.test_case "--effects CLI table" `Quick test_effects_cli;

@@ -14,6 +14,7 @@ let () =
       ("lifeguard", Test_lifeguard.suite);
       ("workloads", Test_workloads.suite);
       ("fleet", Test_fleet.suite);
+      ("plan", Test_plan.suite);
       ("par", Test_par.suite);
       ("shard", Test_shard.suite);
       ("experiments", Test_experiments.suite);

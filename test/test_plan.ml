@@ -1,0 +1,314 @@
+(* lib/plan: precomputed remediation plans — the planner's failure map,
+   the cache's byte-identical hit path, its invalidation layers (topology
+   churn, breaker trips), watchdog-divergence demotion, and the plan
+   study's determinism across jobs and shards. *)
+
+open Net
+open Helpers
+
+let decide_config = Lifeguard.Decide.default_config
+let verdict_str v = Format.asprintf "%a" Lifeguard.Decide.pp_verdict v
+let no_breaker _ = false
+
+(* The fig. 2 world with O running LIFEGUARD, exactly as the core tests
+   build it: baseline announced, atlas populated, isolation context up. *)
+let plan_world () =
+  let w = fig2_world () in
+  announce_all_infrastructure w;
+  let rplan = Lifeguard.Remediate.plan ~sentinel ~origin:o ~production () in
+  Lifeguard.Remediate.announce_baseline w.net rplan;
+  converge w;
+  let atlas = Measurement.Atlas.create () in
+  Measurement.Atlas.refresh_all atlas w.probe ~vps:[ o ] ~dsts:[ e; d; f ] ~now:0.0;
+  let responsiveness = Measurement.Responsiveness.create () in
+  let ctx =
+    {
+      Lifeguard.Isolation.env = w.probe;
+      atlas;
+      responsiveness;
+      vantage_points = [ o; d; c ];
+      source_overrides = [ (o, Prefix.nth_address production 1) ];
+    }
+  in
+  (w, rplan, ctx)
+
+let reverse_failure_spec = Dataplane.Failure.spec ~toward:sentinel (Dataplane.Failure.Node a)
+
+let seeded_cache ?fingerprint w rplan =
+  let store = Bgp.Network.path_store w.net in
+  let seed = Plan.Planner.build ~graph:w.graph ~store ~plan:rplan ~targets:[ e; f ] in
+  Plan.Cache.create ?fingerprint ~seed ~config:decide_config ~origin:o ~paths:store ()
+
+(* The offline planner enumerates (target, class) pairs for fig. 2: the
+   reverse-failure class blaming A must carry a feasible poison for E
+   (E can re-route via D) and a hopeless remedy for every class blaming
+   B (O's sole provider). *)
+let test_planner_failure_map () =
+  let w, rplan, _ = plan_world () in
+  let store = Bgp.Network.path_store w.net in
+  let seed = Plan.Planner.build ~graph:w.graph ~store ~plan:rplan ~targets:[ e; f ] in
+  Alcotest.(check bool) "map is non-empty" true (Plan.Plan_store.cardinal seed > 0);
+  let cls_rev blamed =
+    { Plan.Failure_class.blamed; direction = Lifeguard.Isolation.Reverse_failure; reversal = true }
+  in
+  (match Plan.Plan_store.find seed ~target:e ~cls:(cls_rev a) with
+  | Some remedy ->
+      Alcotest.(check bool) "poisoning A is feasible for E" true
+        (Plan.Plan_store.feasible remedy);
+      Alcotest.(check bool) "remedy is a poison" true (Plan.Plan_store.poisons remedy)
+  | None -> Alcotest.fail "expected a plan for (E, reverse blaming A)");
+  (match Plan.Plan_store.find seed ~target:e ~cls:(cls_rev b) with
+  | Some remedy ->
+      Alcotest.(check bool) "no path around B (sole provider)" false
+        (Plan.Plan_store.feasible remedy)
+  | None -> Alcotest.fail "expected a plan for (E, reverse blaming B)")
+
+(* A hit must replay into the byte-identical verdict the fresh decision
+   process produces — at every outage age (Wait before the gate, Poison
+   after) and for infeasible blames (Hopeless with the same reason). *)
+let test_hit_byte_identical () =
+  let w, rplan, ctx = plan_world () in
+  let cache = seeded_cache w rplan in
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  let diagnosis = Lifeguard.Isolation.isolate ctx ~src:o ~dst:e in
+  List.iter
+    (fun age ->
+      let fresh =
+        Lifeguard.Decide.decide decide_config w.graph ~origin:o ~diagnosis ~outage_age:age
+      in
+      match
+        Plan.Cache.lookup cache w.graph ~now:0.0 ~target:e ~diagnosis ~outage_age:age
+          ~breaker_open:no_breaker
+      with
+      | None -> Alcotest.failf "expected a plan hit at age %.0f" age
+      | Some v ->
+          Alcotest.(check string)
+            (Printf.sprintf "verdict at age %.0f" age)
+            (verdict_str fresh) (verdict_str v))
+    [ 60.0; 400.0 ];
+  Alcotest.(check int) "both lookups hit" 2 (Plan.Cache.hits cache);
+  (* Captive blame: B is O's sole provider, so fresh and planned must
+     agree on the hopeless reason string too. *)
+  let captive = { diagnosis with Lifeguard.Isolation.blame = Lifeguard.Isolation.Blamed_as b } in
+  let fresh =
+    Lifeguard.Decide.decide decide_config w.graph ~origin:o ~diagnosis:captive ~outage_age:400.0
+  in
+  match
+    Plan.Cache.lookup cache w.graph ~now:0.0 ~target:e ~diagnosis:captive ~outage_age:400.0
+      ~breaker_open:no_breaker
+  with
+  | None -> Alcotest.fail "expected a plan hit for the captive blame"
+  | Some v -> Alcotest.(check string) "hopeless verdicts agree" (verdict_str fresh) (verdict_str v)
+
+(* An unseeded cache misses once, demand-plans the class, and serves the
+   byte-identical verdict from then on. *)
+let test_miss_demand_plans_then_hits () =
+  let w, _, ctx = plan_world () in
+  let store = Bgp.Network.path_store w.net in
+  let cache = Plan.Cache.create ~config:decide_config ~origin:o ~paths:store () in
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  let diagnosis = Lifeguard.Isolation.isolate ctx ~src:o ~dst:e in
+  let lookup () =
+    Plan.Cache.lookup cache w.graph ~now:0.0 ~target:e ~diagnosis ~outage_age:400.0
+      ~breaker_open:no_breaker
+  in
+  (match lookup () with
+  | None -> ()
+  | Some _ -> Alcotest.fail "an empty cache must miss");
+  Alcotest.(check int) "one miss" 1 (Plan.Cache.misses cache);
+  let fresh =
+    Lifeguard.Decide.decide decide_config w.graph ~origin:o ~diagnosis ~outage_age:400.0
+  in
+  (match lookup () with
+  | None -> Alcotest.fail "the demand-planned class must hit"
+  | Some v -> Alcotest.(check string) "verdicts agree" (verdict_str fresh) (verdict_str v));
+  Alcotest.(check int) "one hit" 1 (Plan.Cache.hits cache)
+
+(* Topology churn: a fingerprint change flushes the whole map; the next
+   lookup computes fresh (a miss) and re-plans. *)
+let test_invalidation_on_churn () =
+  let w, rplan, ctx = plan_world () in
+  let churn = ref 0 in
+  let cache = seeded_cache ~fingerprint:(fun () -> !churn) w rplan in
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  let diagnosis = Lifeguard.Isolation.isolate ctx ~src:o ~dst:e in
+  let lookup () =
+    Plan.Cache.lookup cache w.graph ~now:0.0 ~target:e ~diagnosis ~outage_age:400.0
+      ~breaker_open:no_breaker
+  in
+  (match lookup () with
+  | Some _ -> ()
+  | None -> Alcotest.fail "seeded class must hit before the churn");
+  incr churn;
+  (match lookup () with
+  | None -> ()
+  | Some _ -> Alcotest.fail "churn must flush the map: stale plans must not be served");
+  Alcotest.(check int) "one invalidation" 1 (Plan.Cache.invalidations cache);
+  match lookup () with
+  | Some _ -> ()
+  | None -> Alcotest.fail "the re-planned class must hit again"
+
+(* Breaker trips: a plan poisoning a breaker-open AS must not be served —
+   the entry is dropped, the lookup misses, and the fresh decision path
+   (which refuses at the breaker) takes over. *)
+let test_no_service_when_breaker_open () =
+  let w, rplan, ctx = plan_world () in
+  let cache = seeded_cache w rplan in
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  let diagnosis = Lifeguard.Isolation.isolate ctx ~src:o ~dst:e in
+  let size_before = Plan.Cache.size cache in
+  (match
+     Plan.Cache.lookup cache w.graph ~now:0.0 ~target:e ~diagnosis ~outage_age:400.0
+       ~breaker_open:(fun x -> Asn.equal x a)
+   with
+  | None -> ()
+  | Some _ -> Alcotest.fail "a plan against a breaker-open AS must not be served");
+  Alcotest.(check int) "no hit" 0 (Plan.Cache.hits cache);
+  Alcotest.(check int) "counted as invalidation" 1 (Plan.Cache.invalidations cache);
+  Alcotest.(check bool) "plans poisoning the open AS were dropped" true
+    (Plan.Cache.size cache < size_before)
+
+(* Watchdog divergence, end to end: the poison is served from the plan,
+   never propagates (the O->B wire is down), the watchdog rolls it back —
+   and the cache must demote the blamed AS back to compute-fresh. *)
+let test_watchdog_divergence_demotes () =
+  let w = fig2_world () in
+  announce_all_infrastructure w;
+  let rplan = Lifeguard.Remediate.plan ~sentinel ~origin:o ~production () in
+  let atlas = Measurement.Atlas.create () in
+  let responsiveness = Measurement.Responsiveness.create () in
+  let decide = { Lifeguard.Decide.default_config with Lifeguard.Decide.min_outage_age = 200.0 } in
+  let store = Bgp.Network.path_store w.net in
+  let seed = Plan.Planner.build ~graph:w.graph ~store ~plan:rplan ~targets:[ e ] in
+  let cache = Plan.Cache.create ~seed ~config:decide ~origin:o ~paths:store () in
+  let hooks =
+    {
+      Lifeguard.Orchestrator.no_hooks with
+      Lifeguard.Orchestrator.plan_consult =
+        Some
+          (fun ~target ~diagnosis ~outage_age ~breaker_open ->
+            Plan.Cache.lookup cache w.graph ~now:(Sim.Engine.now w.engine) ~target ~diagnosis
+              ~outage_age ~breaker_open);
+      plan_record =
+        Some (fun ~target ~diagnosis ~verdict -> Plan.Cache.record cache ~target ~diagnosis ~verdict);
+      plan_outcome = Some (fun ~poison outcome -> Plan.Cache.note_outcome cache ~poison outcome);
+    }
+  in
+  let config =
+    {
+      Lifeguard.Orchestrator.default_config with
+      Lifeguard.Orchestrator.decide;
+      announce_spacing = 1800.0;
+      poison_deadline = 3600.0;
+    }
+  in
+  let orc =
+    Lifeguard.Orchestrator.create ~config ~hooks ~env:w.probe ~atlas ~responsiveness ~plan:rplan
+      ~vantage_points:[ d; c ] ()
+  in
+  converge w;
+  Lifeguard.Orchestrator.watch orc ~targets:[ e ];
+  Sim.Engine.run ~until:600.0 w.engine;
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  Bgp.Network.set_link_faults w.net
+    (Some (fun ~from ~to_ -> if Asn.equal from o && Asn.equal to_ b then `Drop else `Deliver));
+  Sim.Engine.run ~until:9000.0 w.engine;
+  Alcotest.(check bool) "the poison verdict was served from the plan" true
+    (Plan.Cache.hits cache > 0);
+  Alcotest.(check int) "the watchdog rolled the poison back" 1
+    (Lifeguard.Orchestrator.rollback_count orc);
+  Alcotest.(check int) "divergence demoted the plan" 1 (Plan.Cache.demotions cache);
+  (match Plan.Cache.demotion_log cache with
+  | [ (poison, reason) ] ->
+      Alcotest.(check int) "A was demoted" 30 (Asn.to_int poison);
+      Alcotest.(check bool) "reason recorded" true (String.length reason > 0)
+  | log -> Alcotest.failf "expected one demotion, got %d" (List.length log));
+  (* Demoted classes are never served again: a direct lookup for the
+     blamed class must miss even though the class was once planned. *)
+  let diagnosis =
+    {
+      Lifeguard.Isolation.src = o;
+      dst = e;
+      direction = Lifeguard.Isolation.Reverse_failure;
+      blame = Lifeguard.Isolation.Blamed_as a;
+      suspects = [];
+      working_path = None;
+      traceroute_blame = None;
+      probes_used = 0;
+      elapsed = 0.0;
+    }
+  in
+  match
+    Plan.Cache.lookup cache w.graph ~now:9000.0 ~target:e ~diagnosis ~outage_age:400.0
+      ~breaker_open:no_breaker
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "a demoted plan must not be served"
+
+(* The plan experiment's rendered tables are a pure function of
+   (config, targets, seed): byte-identical at any --jobs and any shard
+   count. *)
+let small_config =
+  {
+    Experiments.Plan_study.default_config with
+    Fleet.Service.target_count = 10;
+    duration = 10800.0;
+  }
+
+let render_tables config ~jobs =
+  String.concat "\n"
+    (List.map Stats.Table.render
+       (Experiments.Plan_study.to_tables
+          (Experiments.Plan_study.run ~config ~targets:20 ~jobs ~seed:7 ())))
+
+let test_tables_jobs_and_shards_invariant () =
+  let base = render_tables small_config ~jobs:1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "tables at jobs=%d" jobs)
+        base
+        (render_tables small_config ~jobs))
+    [ 2; 4 ];
+  List.iter
+    (fun k ->
+      Alcotest.(check string)
+        (Printf.sprintf "tables at shards=%d" k)
+        base
+        (render_tables { small_config with Fleet.Service.shards = Some k } ~jobs:2))
+    [ 1; 2 ]
+
+(* The headline claims on the recurring-outage workload, pinned at the
+   benchmark's default scale: most lookups are served from plan, and the
+   planned arm's median reroute is strictly faster than computing every
+   remediation from scratch. *)
+let test_recurring_workload_wins () =
+  let r = Experiments.Plan_study.run ~jobs:2 ~seed:42 () in
+  let planned = r.Experiments.Plan_study.planned in
+  let computed = r.Experiments.Plan_study.computed in
+  Alcotest.(check bool) "hit rate >= 60%" true
+    (Experiments.Plan_study.hit_rate planned >= 0.6);
+  let median = function
+    | [] -> Alcotest.fail "expected confirmed reroutes"
+    | samples -> Stats.Ecdf.quantile (Stats.Ecdf.of_samples (Array.of_list samples)) 0.5
+  in
+  Alcotest.(check bool) "planned median reroute strictly faster" true
+    (median planned.Experiments.Plan_study.time_to_confirm
+    < median computed.Experiments.Plan_study.time_to_confirm)
+
+let suite =
+  [
+    Alcotest.test_case "planner: fig2 failure map" `Quick test_planner_failure_map;
+    Alcotest.test_case "hit path is byte-identical to compute-fresh" `Quick
+      test_hit_byte_identical;
+    Alcotest.test_case "miss demand-plans, then hits" `Quick test_miss_demand_plans_then_hits;
+    Alcotest.test_case "topology churn invalidates" `Quick test_invalidation_on_churn;
+    Alcotest.test_case "breaker-open plans are not served" `Quick
+      test_no_service_when_breaker_open;
+    Alcotest.test_case "watchdog divergence demotes to compute-fresh" `Quick
+      test_watchdog_divergence_demotes;
+    Alcotest.test_case "experiment tables: jobs/shards invariant" `Quick
+      test_tables_jobs_and_shards_invariant;
+    Alcotest.test_case "recurring workload: hit rate + faster reroute" `Quick
+      test_recurring_workload_wins;
+  ]
