@@ -102,6 +102,11 @@ let faults_shards : (int * float * bool) list ref = ref []
    median reroute s, computed median reroute s). *)
 let plan_summary : (float * float option * float option) option ref = ref None
 
+(* --json only: the durable-run section's headline numbers —
+   (snapshot_bytes, journal_lines, capture_ms, resume_seconds,
+   crash_resume_identical). *)
+let recover_summary : (int * int * float * float * bool) option ref = ref None
+
 let shards_opt () = if !shards = 0 then None else Some !shards
 
 (* Per-experiment counter deltas (name, counters), newest first. Metrics
@@ -471,6 +476,14 @@ let write_json ~date ~path ~micro =
            "  \"plan\": { \"hit_rate\": %.4f, \"reroute_p50_planned\": %s, \
             \"reroute_p50_computed\": %s },\n"
            hit_rate (opt planned_p50) (opt computed_p50)));
+  (match !recover_summary with
+  | None -> ()
+  | Some (snapshot_bytes, journal_lines, capture_ms, resume_seconds, identical) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  \"recover\": { \"snapshot_bytes\": %d, \"journal_lines\": %d, \"capture_ms\": \
+            %.3f, \"resume_seconds\": %.3f, \"crash_resume_identical\": %b },\n"
+           snapshot_bytes journal_lines capture_ms resume_seconds identical));
   (match List.rev !exp_metrics with
   | [] -> ()
   | per_exp ->
@@ -747,6 +760,77 @@ let () =
           median r.Experiments.Plan_study.planned.Experiments.Plan_study.time_to_confirm,
           median r.Experiments.Plan_study.computed.Experiments.Plan_study.time_to_confirm );
     print_tables (Experiments.Plan_study.to_tables r)
+  end;
+
+  if wanted "recover" then begin
+    banner "Recover: durable journal + snapshots, crash-and-resume fidelity";
+    let config =
+      {
+        Fleet.Service.default_config with
+        Fleet.Service.duration = (if !quick then 10800.0 else 21600.0);
+        target_count = 12;
+        outages_per_day = 96.0;
+        shards = shards_opt ();
+      }
+    in
+    let snapshot_every = config.Fleet.Service.duration /. 4.0 in
+    let last_snap = ref None in
+    let reference =
+      timed "recover" (fun () ->
+          Fleet.Service.run_durable ~config ~seed ~snapshot_every
+            ~snapshot_sink:(fun s -> last_snap := Some s)
+            ())
+    in
+    match reference with
+    | Fleet.Service.Interrupted _ -> assert false (* no crash injected *)
+    | Fleet.Service.Finished { report; recovery } ->
+        let journal_lines = List.length recovery.Fleet.Service.rc_journal in
+        let snapshot_bytes, capture_ms =
+          match !last_snap with
+          | None -> (0, 0.0)
+          | Some s ->
+              let bytes = String.length (Recover.Snapshot.render s) in
+              let reps = 100 in
+              let t0 = Unix.gettimeofday () in
+              for _ = 1 to reps do
+                ignore (Recover.Snapshot.render s)
+              done;
+              (bytes, (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int reps)
+        in
+        (* Crash mid-journal at the after-write boundary (record persisted,
+           effect lost — the boundary recovery must heal), then resume and
+           demand byte-identity with the uninterrupted report. *)
+        let crash_append = Int.max 1 (journal_lines / 2) in
+        let crashed =
+          Fleet.Service.run_durable ~config ~seed
+            ~crash:{ Recover.Crash.boundary = Recover.Crash.After_write; append = crash_append }
+            ~snapshot_every
+            ()
+        in
+        let t0 = Unix.gettimeofday () in
+        let resumed =
+          match crashed with
+          | Fleet.Service.Finished _ -> assert false (* crash_append <= journal length *)
+          | Fleet.Service.Interrupted { journal; snapshot; _ } ->
+              Fleet.Service.run_durable ~config ~seed ~journal ?snapshot ~snapshot_every ()
+        in
+        let resume_seconds = Unix.gettimeofday () -. t0 in
+        let identical =
+          match resumed with
+          | Fleet.Service.Interrupted _ -> false
+          | Fleet.Service.Finished { report = r2; recovery = rc2 } ->
+              List.equal String.equal
+                (Fleet.Service.render_report report)
+                (Fleet.Service.render_report r2)
+              && rc2.Fleet.Service.rc_reconcile.Recover.Reconcile.clean
+        in
+        recover_summary :=
+          Some (snapshot_bytes, journal_lines, capture_ms, resume_seconds, identical);
+        Printf.printf
+          "[recover: %d journal lines, %d snapshot bytes, capture %.3f ms, crash@%d resume \
+           %.1fs, %s]\n"
+          journal_lines snapshot_bytes capture_ms crash_append resume_seconds
+          (if identical then "byte-identical" else "DIVERGED")
   end;
 
   (* The shard sweep re-runs the fault study three times; keep it out of

@@ -403,14 +403,152 @@ let fleet_cmd =
       & info [ "planning" ]
           ~doc:"Consult the precomputed remediation plan cache before fresh decisions.")
   in
-  let run obs seed duration targets outages probe_loss vp_mtbf staleness planning jobs shards =
+  let journal_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE"
+          ~doc:
+            "Daemon mode: run one durable world and persist the write-ahead operations journal \
+             to $(docv) (one line per controller action, flushed before each effect).")
+  in
+  let resume_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resume" ] ~docv:"FILE"
+          ~doc:
+            "Daemon mode: resume a crashed durable run from the journal in $(docv) (replay is \
+             verified byte-for-byte; the continued journal is written back to $(b,--journal), \
+             defaulting to $(docv) itself).")
+  in
+  let snapshot_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "snapshot" ] ~docv:"FILE"
+          ~doc:
+            "Daemon mode: rewrite $(docv) with the latest state snapshot at every mark; on \
+             $(b,--resume), an existing $(docv) is loaded and verified against re-execution.")
+  in
+  let snapshot_every =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "snapshot-every" ] ~docv:"SECONDS"
+          ~doc:"Daemon mode: capture a snapshot every $(docv) simulated seconds (0 disables).")
+  in
+  let crash_at =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "crash-at" ] ~docv:"N"
+          ~doc:
+            "Crash injection: die at the $(docv)-th journal append (1-based; 0 disables), at \
+             the boundary chosen by $(b,--crash-boundary). Exits 3 with a resume hint.")
+  in
+  let crash_boundary =
+    Arg.(
+      value
+      & opt (enum [ ("before", "before-write"); ("write", "after-write"); ("effect", "after-effect") ])
+          "after-write"
+      & info [ "crash-boundary" ] ~docv:"B"
+          ~doc:
+            "Where the injected crash fires relative to the journal append: $(b,before) (record \
+             lost), $(b,write) (record persisted, effect lost) or $(b,effect) (both landed).")
+  in
+  let read_lines file =
+    let ic = open_in_bin file in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  in
+  let read_all file =
+    let ic = open_in_bin file in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  (* Daemon mode: one durable world. The journal file is rewritten from
+     its (verified) replayed prefix and appended live, flushed per line
+     so a kill leaves at worst one torn final line — which resume
+     tolerates. The snapshot file is atomically rewritten per mark. *)
+  let run_daemon ~config ~seed ~journal_file ~resume_file ~snapshot_file ~snapshot_every ~crash =
+    let journal_lines = match resume_file with None -> [] | Some f -> read_lines f in
+    let resuming = journal_lines <> [] in
+    let snapshot =
+      match snapshot_file with
+      | Some f when resuming && Sys.file_exists f -> begin
+          match Recover.Snapshot.parse_result (read_all f) with
+          | Ok s -> Some s
+          | Error e ->
+              prerr_endline ("lifeguard: unreadable snapshot " ^ f ^ ": " ^ e);
+              exit 2
+        end
+      | _ -> None
+    in
+    let out_journal =
+      match (journal_file, resume_file) with
+      | Some f, _ -> f
+      | None, Some f -> f
+      | None, None -> assert false
+    in
+    let oc = open_out_bin out_journal in
+    let journal_sink line =
+      output_string oc line;
+      output_char oc '\n';
+      flush oc
+    in
+    let snapshot_sink s =
+      match snapshot_file with
+      | None -> ()
+      | Some f ->
+          let tmp = f ^ ".tmp" in
+          let sc = open_out_bin tmp in
+          output_string sc (Recover.Snapshot.render s);
+          close_out sc;
+          Sys.rename tmp f
+    in
+    let snapshot_every = if snapshot_every > 0.0 then Some snapshot_every else None in
+    let outcome =
+      Fleet.Service.run_durable ~config ~seed ~journal:journal_lines ?snapshot ?crash
+        ?snapshot_every ~journal_sink ~snapshot_sink ()
+    in
+    close_out oc;
+    match outcome with
+    | Fleet.Service.Finished { report; recovery } ->
+        List.iter print_endline (Fleet.Service.render_report report);
+        Format.printf "journal %d lines (%d replayed), %d snapshot marks@."
+          (List.length recovery.Fleet.Service.rc_journal)
+          recovery.Fleet.Service.rc_replayed recovery.Fleet.Service.rc_marks;
+        Format.printf "reconcile %s@." (Recover.Reconcile.render recovery.Fleet.Service.rc_reconcile)
+    | Fleet.Service.Interrupted { boundary; append; journal; _ } ->
+        Format.eprintf "lifeguard: crashed at journal append %d (%s); %d lines persisted@."
+          append
+          (Recover.Crash.boundary_to_string boundary)
+          (List.length journal);
+        Format.eprintf "lifeguard: resume with: lifeguard fleet --resume %s%s@." out_journal
+          (match snapshot_file with Some f -> " --snapshot " ^ f | None -> "");
+        exit 3
+  in
+  let run obs seed duration targets outages probe_loss vp_mtbf staleness planning jobs shards
+      journal_file resume_file snapshot_file snapshot_every crash_at crash_boundary =
     check_positive_f "--duration" duration;
     check_positive_i "--targets" targets;
     check_rate "--outages-per-day" outages;
     check_probability "--probe-loss" probe_loss;
     check_rate "--vp-mtbf" vp_mtbf;
-    check_probability "--atlas-staleness" staleness;
     check_positive_i "--jobs" jobs;
+    check_probability "--atlas-staleness" staleness;
+    check (crash_at >= 0) (Printf.sprintf "--crash-at must be >= 0 (got %d)" crash_at);
+    check (snapshot_every >= 0.0)
+      (Printf.sprintf "--snapshot-every must be >= 0 (got %g)" snapshot_every);
     let shards = shards_opt shards in
     with_obs obs (fun () ->
         let config =
@@ -424,18 +562,38 @@ let fleet_cmd =
             shards;
           }
         in
-        print_tables
-          (Experiments.Fleet_study.to_tables
-             (Experiments.Fleet_study.run ~config ~targets ~jobs ~seed ())))
+        match (journal_file, resume_file) with
+        | None, None ->
+            check (crash_at = 0) "--crash-at requires daemon mode (--journal or --resume)";
+            check (snapshot_every = 0.0)
+              "--snapshot-every requires daemon mode (--journal or --resume)";
+            print_tables
+              (Experiments.Fleet_study.to_tables
+                 (Experiments.Fleet_study.run ~config ~targets ~jobs ~seed ()))
+        | _ ->
+            let crash =
+              if crash_at = 0 then None
+              else
+                match Recover.Crash.boundary_of_string crash_boundary with
+                | Some boundary -> Some { Recover.Crash.boundary; append = crash_at }
+                | None ->
+                    check false ("unknown crash boundary " ^ crash_boundary);
+                    None
+            in
+            run_daemon
+              ~config:{ config with Fleet.Service.target_count = targets }
+              ~seed ~journal_file ~resume_file ~snapshot_file ~snapshot_every ~crash)
   in
   Cmd.v
     (Cmd.info "fleet"
        ~doc:
          "Continuous fleet operations: budgeted monitoring, concurrent repair pipelines, \
-          damping-paced announcements, optional chaos")
+          damping-paced announcements, optional chaos; --journal/--resume run one durable \
+          crash-tolerant world")
     Term.(
       const run $ obs_term $ seed $ duration $ targets $ outages $ probe_loss $ vp_mtbf $ staleness
-      $ planning $ jobs $ shards_arg)
+      $ planning $ jobs $ shards_arg $ journal_file $ resume_file $ snapshot_file $ snapshot_every
+      $ crash_at $ crash_boundary)
 
 let faults_cmd =
   let duration =

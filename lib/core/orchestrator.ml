@@ -116,12 +116,17 @@ let log_src = Logs.Src.create "lifeguard.orchestrator" ~doc:"LIFEGUARD control l
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
-(* One in-flight isolate/decide pipeline per affected target. *)
+(* One in-flight isolate/decide pipeline per affected target. The phase
+   and deadline mirror what would otherwise live only inside an engine
+   timer closure: they are what the snapshot schema records and what
+   [restore] re-arms. *)
 type pipeline = {
   p_vp : Asn.t;
   p_target : Asn.t;
   p_started : float;
   mutable p_attempt : int;
+  mutable p_phase : Recover.Snapshot.pipeline_phase;
+  mutable p_due : float;
 }
 
 (* The single poison currently announced for the production prefix, with
@@ -139,6 +144,10 @@ type active_poison = {
   mutable ap_announcements : int;
   mutable ap_confirmed : bool;
   mutable ap_rolling_back : bool;
+  mutable ap_rollback_reason : string;  (** cause recorded when the rollback was decided *)
+  mutable ap_next_check : float;  (** deadline of the armed recovery/watchdog check *)
+  mutable ap_unpoison_due : float option;  (** paced unpoison pending at this time *)
+  mutable ap_rollback_due : float option;  (** paced rollback pending at this time *)
 }
 
 type t = {
@@ -173,19 +182,39 @@ type t = {
   mutable reannounced : int;
   mutable rolled_back : int;
   mutable breaker_trips : int;
+  journal : Recover.Journal.t option;
+      (** Write-ahead journal for externally-visible actions; [None] runs
+          the exact pre-journal code path. *)
 }
 
 let engine t = Bgp.Network.engine t.env.Dataplane.Probe.net
 let now t = Sim.Engine.now (engine t)
 
+(* Route an externally-visible action through the write-ahead journal:
+   record first, effect second. With no journal the effect runs bare —
+   byte-identical to the pre-journal controller. *)
+let journaled t action ~effect =
+  match t.journal with
+  | None -> effect ()
+  | Some j -> Recover.Journal.logged j ~at:(now t) action ~effect
+
 let log t event =
   Log.info (fun m -> m "t=%.0f %a" (now t) pp_event event);
   t.events <- (now t, event) :: t.events
 
-let finish t target outcome = t.outcomes <- (now t, target, outcome) :: t.outcomes
+let finish t target outcome =
+  let kind, reason =
+    match outcome with
+    | Repaired -> (Recover.Record.Repaired, "")
+    | Stood_down reason -> (Recover.Record.Stood_down, reason)
+    | Gave_up_on reason -> (Recover.Record.Gave_up, reason)
+  in
+  journaled t
+    (Recover.Record.Outcome { target; kind; reason })
+    ~effect:(fun () -> t.outcomes <- (now t, target, outcome) :: t.outcomes)
 
-let create ?(config = default_config) ?(hooks = no_hooks) ~env ~atlas ~responsiveness ~plan
-    ~vantage_points () =
+let create ?(config = default_config) ?(hooks = no_hooks) ?journal ~env ~atlas ~responsiveness
+    ~plan ~vantage_points () =
   (* Attach the watchdog feed before the baseline goes out, so the
      vantage views are populated by the baseline convergence itself. *)
   let collector =
@@ -214,6 +243,7 @@ let create ?(config = default_config) ?(hooks = no_hooks) ~env ~atlas ~responsiv
     reannounced = 0;
     rolled_back = 0;
     breaker_trips = 0;
+    journal;
   }
 
 (* The origin's probes are sourced from its production prefix: reverse
@@ -265,6 +295,27 @@ let give_up t ~target reason =
   log t (Gave_up reason);
   finish t target (Gave_up_on reason)
 
+(* The paced half of a rollback: withdraw, give up on every covered
+   target, free the prefix. Split out of [rollback] so a restored
+   controller can re-arm a rollback that was pending at capture time. *)
+let roll_now t ap ~pump =
+  match t.active with
+  | Some current when current == ap ->
+      ap.ap_rollback_due <- None;
+      journaled t
+        (Recover.Record.Unpoison
+           { poison = ap.ap_target; repaired = false; reason = ap.ap_rollback_reason })
+        ~effect:(fun () -> Remediate.unpoison t.env.Dataplane.Probe.net t.plan);
+      t.active <- None;
+      t.last_announce <- now t;
+      t.rolled_back <- t.rolled_back + 1;
+      log t Unpoisoned;
+      List.iter
+        (fun target -> give_up t ~target ap.ap_rollback_reason)
+        (List.rev ap.ap_affected);
+      pump ()
+  | _ -> ()
+
 (* Withdraw a failed poison (paced like any announcement), give up on
    every target it covered, and open the breaker for the poisoned AS:
    its routers flushed, filtered or choked on the announcement, so
@@ -272,28 +323,27 @@ let give_up t ~target reason =
 let rollback t ap ~pump reason =
   if not ap.ap_rolling_back then begin
     ap.ap_rolling_back <- true;
+    ap.ap_rollback_reason <- reason;
     log t (Poison_rolled_back { target = ap.ap_target; reason });
-    Hashtbl.replace t.breaker ap.ap_target ();
+    journaled t
+      (Recover.Record.Breaker_trip { poison = ap.ap_target; reason })
+      ~effect:(fun () -> Hashtbl.replace t.breaker ap.ap_target ());
     (* A served plan whose watchdog outcome diverged: demote it back to
        compute-fresh. *)
     (match t.hooks.plan_outcome with
-    | Some f when ap.ap_planned -> f ~poison:ap.ap_target (`Diverged reason)
+    | Some f when ap.ap_planned ->
+        journaled t
+          (Recover.Record.Plan_demotion { poison = ap.ap_target; reason })
+          ~effect:(fun () -> f ~poison:ap.ap_target (`Diverged reason))
     | _ -> ());
-    let do_roll () =
-      match t.active with
-      | Some current when current == ap ->
-          Remediate.unpoison t.env.Dataplane.Probe.net t.plan;
-          t.active <- None;
-          t.last_announce <- now t;
-          t.rolled_back <- t.rolled_back + 1;
-          log t Unpoisoned;
-          List.iter (fun target -> give_up t ~target reason) (List.rev ap.ap_affected);
-          pump ()
-      | _ -> ()
-    in
     let delay = announce_delay t in
-    if delay <= 0.0 then do_roll ()
-    else Sim.Engine.schedule_after (engine t) ~delay do_roll
+    if delay <= 0.0 then roll_now t ap ~pump
+    else begin
+      ap.ap_rollback_due <- Some (now t +. delay);
+      ignore
+        (Sim.Engine.after_named (engine t) ~name:"orch.rollback" ~delay (fun () ->
+             roll_now t ap ~pump))
+    end
   end
 
 (* The poison watchdog: one tick per recheck while the poison stands and
@@ -360,7 +410,10 @@ let watchdog_tick t ap ~pump =
               (Printf.sprintf "poison flushed or filtered after %d announcements"
                  ap.ap_announcements)
           else if announce_delay t <= 0.0 then begin
-            Remediate.reannounce t.env.Dataplane.Probe.net t.plan;
+            journaled t
+              (Recover.Record.Poison_reannounce
+                 { poison = ap.ap_target; announcement = ap.ap_announcements + 1 })
+              ~effect:(fun () -> Remediate.reannounce t.env.Dataplane.Probe.net t.plan);
             t.last_announce <- now t;
             ap.ap_announcements <- ap.ap_announcements + 1;
             t.reannounced <- t.reannounced + 1;
@@ -370,40 +423,60 @@ let watchdog_tick t ap ~pump =
         end
   end
 
+(* The paced half of a repair-confirmed withdrawal; standalone so a
+   restored controller can re-arm an unpoison pending at capture time. *)
+let unpoison_now t ap ~pump =
+  match t.active with
+  | Some current when current == ap ->
+      ap.ap_unpoison_due <- None;
+      journaled t
+        (Recover.Record.Unpoison { poison = ap.ap_target; repaired = true; reason = "" })
+        ~effect:(fun () -> Remediate.unpoison t.env.Dataplane.Probe.net t.plan);
+      t.active <- None;
+      t.last_announce <- now t;
+      log t Unpoisoned;
+      List.iter (fun target -> finish t target Repaired) (List.rev ap.ap_affected);
+      pump ()
+  | _ -> ()
+
 (* While poisoned, test the sentinel periodically; unpoison on repair,
-   otherwise let the watchdog supervise the announcement itself. *)
-let rec schedule_recovery_checks t ap ~pump =
-  Sim.Engine.schedule_after (engine t) ~delay:t.config.recheck_interval (fun () ->
-      match t.active with
-      | Some current when current == ap ->
-          if
-            (not ap.ap_rolling_back)
-            && Remediate.is_recovered t.env t.plan ~through:ap.ap_target
-                 ~targets:ap.ap_affected
-          then begin
-            log t (Recovery_detected ap.ap_target);
-            let unpoison () =
-              match t.active with
-              | Some current when current == ap ->
-                  Remediate.unpoison t.env.Dataplane.Probe.net t.plan;
-                  t.active <- None;
-                  t.last_announce <- now t;
-                  log t Unpoisoned;
-                  List.iter (fun target -> finish t target Repaired) (List.rev ap.ap_affected);
-                  pump ()
-              | _ -> ()
-            in
-            let delay = announce_delay t in
-            if delay <= 0.0 then unpoison ()
-            else Sim.Engine.schedule_after (engine t) ~delay unpoison
-          end
-          else begin
-            watchdog_tick t ap ~pump;
-            match t.active with
-            | Some current when current == ap -> schedule_recovery_checks t ap ~pump
-            | _ -> ()
-          end
-      | _ -> ())
+   otherwise let the watchdog supervise the announcement itself. The
+   armed deadline lives in [ap_next_check] (and the engine's named timer
+   set), so a snapshot records it and a restore re-arms it. *)
+let rec arm_recovery_check t ap ~pump ~delay =
+  ap.ap_next_check <- now t +. delay;
+  ignore
+    (Sim.Engine.after_named (engine t) ~name:"orch.recheck" ~delay (fun () ->
+         recovery_tick t ap ~pump))
+
+and recovery_tick t ap ~pump =
+  match t.active with
+  | Some current when current == ap ->
+      if
+        (not ap.ap_rolling_back)
+        && Remediate.is_recovered t.env t.plan ~through:ap.ap_target ~targets:ap.ap_affected
+      then begin
+        log t (Recovery_detected ap.ap_target);
+        let delay = announce_delay t in
+        if delay <= 0.0 then unpoison_now t ap ~pump
+        else begin
+          ap.ap_unpoison_due <- Some (now t +. delay);
+          ignore
+            (Sim.Engine.after_named (engine t) ~name:"orch.unpoison" ~delay (fun () ->
+                 unpoison_now t ap ~pump))
+        end
+      end
+      else begin
+        watchdog_tick t ap ~pump;
+        match t.active with
+        | Some current when current == ap ->
+            arm_recovery_check t ap ~pump ~delay:t.config.recheck_interval
+        | _ -> ()
+      end
+  | _ -> ()
+
+let schedule_recovery_checks t ap ~pump =
+  arm_recovery_check t ap ~pump ~delay:t.config.recheck_interval
 
 (* Apply a poison now (spacing already satisfied), unless the outage
    resolved while the announcement waited its turn or the blamed AS has
@@ -424,7 +497,10 @@ let rec apply_poison t ~vp ~target ~poison_target ~planned =
   end
   else begin
     Hashtbl.remove t.outage_started target;
-    Remediate.poison t.env.Dataplane.Probe.net t.plan ~target:poison_target;
+    journaled t
+      (Recover.Record.Poison_announce { target; poison = poison_target; planned })
+      ~effect:(fun () ->
+        Remediate.poison t.env.Dataplane.Probe.net t.plan ~target:poison_target);
     let ap =
       {
         ap_target = poison_target;
@@ -434,6 +510,10 @@ let rec apply_poison t ~vp ~target ~poison_target ~planned =
         ap_announcements = 1;
         ap_confirmed = false;
         ap_rolling_back = false;
+        ap_rollback_reason = "";
+        ap_next_check = now t;
+        ap_unpoison_due = None;
+        ap_rollback_due = None;
       }
     in
     t.active <- Some ap;
@@ -455,7 +535,9 @@ and pump_queue t =
       else begin
         let delay = announce_delay t in
         if delay > 0.0 then
-          Sim.Engine.schedule_after (engine t) ~delay (fun () -> pump_queue t)
+          ignore
+            (Sim.Engine.after_named (engine t) ~name:"orch.pump" ~delay (fun () ->
+                 pump_queue t))
         else
           match Queue.take_opt t.queue with
           | None -> ()
@@ -488,7 +570,9 @@ let request_poison t ~vp ~target ~poison_target ~planned =
       else begin
         log t (Poison_queued { target; poison = poison_target });
         Queue.add (target, poison_target, planned) t.queue;
-        Sim.Engine.schedule_after (engine t) ~delay (fun () -> pump_queue t)
+        ignore
+          (Sim.Engine.after_named (engine t) ~name:"orch.pump" ~delay (fun () ->
+               pump_queue t))
       end
 
 let pipeline_alive t p =
@@ -533,11 +617,15 @@ let run_decision t p diagnosis =
     | Decide.Poison poison_target -> request_poison t ~vp ~target ~poison_target ~planned
     | Decide.Hopeless reason -> stand_down t ~target reason
     | Decide.Wait _ ->
-        Sim.Engine.schedule_after (engine t) ~delay:t.config.recheck_interval (fun () ->
-            if not (pipeline_alive t p) then ()
-            else if target_reachable t ~vp ~target then
-              stand_down t ~target "outage resolved on its own"
-            else decide_and_act ())
+        p.p_phase <- Recover.Snapshot.Waiting;
+        p.p_due <- now t +. t.config.recheck_interval;
+        ignore
+          (Sim.Engine.after_named (engine t) ~name:"orch.wait"
+             ~delay:t.config.recheck_interval (fun () ->
+               if not (pipeline_alive t p) then ()
+               else if target_reachable t ~vp ~target then
+                 stand_down t ~target "outage resolved on its own"
+               else decide_and_act ()))
   and decide_and_act () =
     if now t -. p.p_started > t.config.pipeline_timeout then
       give_up t ~target "pipeline timeout"
@@ -550,9 +638,14 @@ let run_decision t p diagnosis =
              the default 0 the fresh path is inline and event ordering is
              exactly the pre-planning one. *)
           if t.config.decision_latency <= 0.0 then act ~planned:false (decide_fresh ())
-          else
-            Sim.Engine.schedule_after (engine t) ~delay:t.config.decision_latency (fun () ->
-                if pipeline_alive t p then act ~planned:false (decide_fresh ()))
+          else begin
+            p.p_phase <- Recover.Snapshot.Deciding;
+            p.p_due <- now t +. t.config.decision_latency;
+            ignore
+              (Sim.Engine.after_named (engine t) ~name:"orch.decide"
+                 ~delay:t.config.decision_latency (fun () ->
+                   if pipeline_alive t p then act ~planned:false (decide_fresh ())))
+          end
     end
   in
   decide_and_act ()
@@ -564,6 +657,8 @@ let rec attempt_isolation t p =
   if not (pipeline_alive t p) then ()
   else begin
     p.p_attempt <- p.p_attempt + 1;
+    p.p_phase <- Recover.Snapshot.Isolating;
+    p.p_due <- now t;
     let outcome =
       match t.hooks.isolation_attempt with
       | Some f -> f ~target:p.p_target ~attempt:p.p_attempt
@@ -575,15 +670,23 @@ let rec attempt_isolation t p =
         log t (Diagnosed diagnosis);
         (* The decision happens once isolation completes; model its latency
            by scheduling the decision after [elapsed]. *)
-        Sim.Engine.schedule_after (engine t) ~delay:diagnosis.Isolation.elapsed (fun () ->
-            if pipeline_alive t p then run_decision t p diagnosis)
+        p.p_phase <- Recover.Snapshot.Deciding;
+        p.p_due <- now t +. diagnosis.Isolation.elapsed;
+        ignore
+          (Sim.Engine.after_named (engine t) ~name:"orch.decide"
+             ~delay:diagnosis.Isolation.elapsed (fun () ->
+               if pipeline_alive t p then run_decision t p diagnosis))
     | `Lost | `Denied ->
         if p.p_attempt >= t.config.max_isolation_attempts then
           give_up t ~target:p.p_target "isolation retry budget exhausted"
         else begin
           let delay = backoff_delay t.config p.p_attempt in
           log t (Isolation_retry { target = p.p_target; attempt = p.p_attempt; delay });
-          Sim.Engine.schedule_after (engine t) ~delay (fun () -> attempt_isolation t p)
+          p.p_phase <- Recover.Snapshot.Backoff;
+          p.p_due <- now t +. delay;
+          ignore
+            (Sim.Engine.after_named (engine t) ~name:"orch.backoff" ~delay (fun () ->
+                 attempt_isolation t p))
         end
   end
 
@@ -606,7 +709,16 @@ let notify_outage t ~vp ~target =
     | Some _ -> ()
     | None ->
         Hashtbl.replace t.outage_started target (now t -. (4.0 *. t.config.monitor_interval)));
-    let p = { p_vp = vp; p_target = target; p_started = now t; p_attempt = 0 } in
+    let p =
+      {
+        p_vp = vp;
+        p_target = target;
+        p_started = now t;
+        p_attempt = 0;
+        p_phase = Recover.Snapshot.Isolating;
+        p_due = now t;
+      }
+    in
     Hashtbl.replace t.pipelines target p;
     attempt_isolation t p
   end
@@ -657,3 +769,180 @@ let events t = List.rev t.events
 let outcomes t = List.rev t.outcomes
 let monitors t = List.rev t.monitors
 let plan t = t.plan
+let collector t = t.collector
+
+(* The state-ownership contract: everything mutable in this module that
+   is not reconstructible from the world goes through here. The
+   LG-ROB-SNAPSHOT lint rule holds this function to that promise — every
+   mutable field of the records above must be referenced below. *)
+let capture t : Recover.Snapshot.orch =
+  let pipelines =
+    Hashtbl.fold
+      (fun _ p acc ->
+        {
+          Recover.Snapshot.sp_vp = p.p_vp;
+          sp_target = p.p_target;
+          sp_started = p.p_started;
+          sp_attempt = p.p_attempt;
+          sp_phase = p.p_phase;
+          sp_due = p.p_due;
+        }
+        :: acc)
+      t.pipelines []
+    |> List.sort (fun a b ->
+           Asn.compare a.Recover.Snapshot.sp_target b.Recover.Snapshot.sp_target)
+  in
+  let active =
+    match t.active with
+    | None -> None
+    | Some ap ->
+        Some
+          {
+            Recover.Snapshot.sa_poison = ap.ap_target;
+            sa_affected = ap.ap_affected;
+            sa_first = ap.ap_first;
+            sa_planned = ap.ap_planned;
+            sa_announcements = ap.ap_announcements;
+            sa_confirmed = ap.ap_confirmed;
+            sa_rolling_back = ap.ap_rolling_back;
+            sa_rollback_reason = ap.ap_rollback_reason;
+            sa_next_check = ap.ap_next_check;
+            sa_unpoison_due = ap.ap_unpoison_due;
+            sa_rollback_due = ap.ap_rollback_due;
+          }
+  in
+  let queue = List.rev (Queue.fold (fun acc entry -> entry :: acc) [] t.queue) in
+  let outage_started =
+    Hashtbl.fold (fun target started acc -> (target, started) :: acc) t.outage_started []
+    |> List.sort (fun (a, _) (b, _) -> Asn.compare a b)
+  in
+  let breaker =
+    Hashtbl.fold (fun target () acc -> target :: acc) t.breaker [] |> List.sort Asn.compare
+  in
+  {
+    Recover.Snapshot.so_pipelines = pipelines;
+    so_active = active;
+    so_queue = queue;
+    so_last_announce = t.last_announce;
+    so_outage_started = outage_started;
+    so_breaker = breaker;
+    so_reannounced = t.reannounced;
+    so_rolled_back = t.rolled_back;
+    so_breaker_trips = t.breaker_trips;
+    so_events = List.length t.events;
+    so_outcomes = List.length t.outcomes;
+    so_monitors = List.length t.monitors;
+  }
+
+(* Warm restore from a snapshot: rebuild the controller's tables and
+   re-arm its deadlines against the (already restored) engine clock.
+   The baseline is NOT re-announced and no new collector is attached —
+   the world (including any standing poison) is assumed to carry the
+   announcements the journal says went out; [restore] only rebuilds the
+   controller's own view of them.
+
+   Pipelines are restored by re-running isolation at the recorded
+   deadline: the diagnosis closure itself died with the process, and
+   isolation is a read-only measurement, so re-measuring is safe. For
+   phases past the attempt gate (Isolating/Deciding/Waiting) the
+   recorded attempt had already succeeded, so it is handed back —
+   re-running it must not burn retry budget. A Backoff attempt had
+   failed; its count stands. *)
+let restore ?(config = default_config) ?(hooks = no_hooks) ?journal ~env ~atlas
+    ~responsiveness ~plan ~vantage_points ~collector (s : Recover.Snapshot.orch) () =
+  let t =
+    {
+      config;
+      hooks;
+      env;
+      atlas;
+      responsiveness;
+      plan;
+      vantage_points;
+      pipelines = Hashtbl.create 8;
+      active = None;
+      queue = Queue.create ();
+      last_announce = s.Recover.Snapshot.so_last_announce;
+      events = [];
+      outcomes = [];
+      monitors = [];
+      outage_started = Hashtbl.create 8;
+      collector;
+      breaker = Hashtbl.create 4;
+      reannounced = s.Recover.Snapshot.so_reannounced;
+      rolled_back = s.Recover.Snapshot.so_rolled_back;
+      breaker_trips = s.Recover.Snapshot.so_breaker_trips;
+      journal;
+    }
+  in
+  List.iter
+    (fun (target, started) -> Hashtbl.replace t.outage_started target started)
+    s.Recover.Snapshot.so_outage_started;
+  List.iter (fun target -> Hashtbl.replace t.breaker target ()) s.Recover.Snapshot.so_breaker;
+  List.iter (fun entry -> Queue.add entry t.queue) s.Recover.Snapshot.so_queue;
+  let delay_until due = Float.max 0.0 (due -. now t) in
+  (match s.Recover.Snapshot.so_active with
+  | None -> ()
+  | Some sa ->
+      let ap =
+        {
+          ap_target = sa.Recover.Snapshot.sa_poison;
+          ap_affected = sa.Recover.Snapshot.sa_affected;
+          ap_first = sa.Recover.Snapshot.sa_first;
+          ap_planned = sa.Recover.Snapshot.sa_planned;
+          ap_announcements = sa.Recover.Snapshot.sa_announcements;
+          ap_confirmed = sa.Recover.Snapshot.sa_confirmed;
+          ap_rolling_back = sa.Recover.Snapshot.sa_rolling_back;
+          ap_rollback_reason = sa.Recover.Snapshot.sa_rollback_reason;
+          ap_next_check = sa.Recover.Snapshot.sa_next_check;
+          ap_unpoison_due = sa.Recover.Snapshot.sa_unpoison_due;
+          ap_rollback_due = sa.Recover.Snapshot.sa_rollback_due;
+        }
+      in
+      t.active <- Some ap;
+      let pump () = pump_queue t in
+      if ap.ap_rolling_back then begin
+        let delay =
+          match ap.ap_rollback_due with Some due -> delay_until due | None -> 0.0
+        in
+        ignore
+          (Sim.Engine.after_named (engine t) ~name:"orch.rollback" ~delay (fun () ->
+               roll_now t ap ~pump))
+      end
+      else begin
+        match ap.ap_unpoison_due with
+        | Some due ->
+            ignore
+              (Sim.Engine.after_named (engine t) ~name:"orch.unpoison"
+                 ~delay:(delay_until due) (fun () -> unpoison_now t ap ~pump))
+        | None -> arm_recovery_check t ap ~pump ~delay:(delay_until ap.ap_next_check)
+      end);
+  List.iter
+    (fun sp ->
+      let attempt =
+        match sp.Recover.Snapshot.sp_phase with
+        | Recover.Snapshot.Isolating | Recover.Snapshot.Deciding | Recover.Snapshot.Waiting
+          ->
+            Int.max 0 (sp.Recover.Snapshot.sp_attempt - 1)
+        | Recover.Snapshot.Backoff -> sp.Recover.Snapshot.sp_attempt
+      in
+      let p =
+        {
+          p_vp = sp.Recover.Snapshot.sp_vp;
+          p_target = sp.Recover.Snapshot.sp_target;
+          p_started = sp.Recover.Snapshot.sp_started;
+          p_attempt = attempt;
+          p_phase = sp.Recover.Snapshot.sp_phase;
+          p_due = sp.Recover.Snapshot.sp_due;
+        }
+      in
+      Hashtbl.replace t.pipelines p.p_target p;
+      ignore
+        (Sim.Engine.after_named (engine t) ~name:"orch.restart"
+           ~delay:(delay_until sp.Recover.Snapshot.sp_due) (fun () ->
+             attempt_isolation t p)))
+    s.Recover.Snapshot.so_pipelines;
+  (match t.active with
+  | None -> if not (Queue.is_empty t.queue) then pump_queue t
+  | Some _ -> ());
+  t

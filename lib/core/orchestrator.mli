@@ -147,6 +147,7 @@ type t
 val create :
   ?config:config ->
   ?hooks:hooks ->
+  ?journal:Recover.Journal.t ->
   env:Dataplane.Probe.env ->
   atlas:Measurement.Atlas.t ->
   responsiveness:Measurement.Responsiveness.t ->
@@ -155,7 +156,11 @@ val create :
   unit ->
   t
 (** Announce the plan's baseline and stand ready. The caller drives the
-    engine; LIFEGUARD schedules its own follow-ups on it. *)
+    engine; LIFEGUARD schedules its own follow-ups on it. With [journal],
+    every externally-visible action (poison, re-announce, unpoison,
+    breaker trip, plan demotion, terminal outcome) is appended to the
+    write-ahead journal {e before} it takes effect; without it, the code
+    path is byte-identical to the pre-journal controller. *)
 
 val watch : t -> targets:Asn.t list -> unit
 (** Start monitors from the origin toward each target's infrastructure
@@ -203,3 +208,36 @@ val monitors : t -> Measurement.Monitor.t list
 (** Monitors started by {!watch}, oldest first. *)
 
 val plan : t -> Remediate.plan
+
+val collector : t -> Bgp.Network.Collector.t
+(** The watchdog's vantage-feed collector — exposed so reconciliation
+    can compare journal state against collector ground truth, and so
+    {!restore} can re-attach to the original feed. *)
+
+val capture : t -> Recover.Snapshot.orch
+(** Declarative snapshot of the controller's own state: pipelines (with
+    phase and deadline), the active poison and its watchdog deadlines,
+    the poison queue, pacing, outage-start estimates, breaker set and
+    counters. Pure read — capturing never perturbs the run. *)
+
+val restore :
+  ?config:config ->
+  ?hooks:hooks ->
+  ?journal:Recover.Journal.t ->
+  env:Dataplane.Probe.env ->
+  atlas:Measurement.Atlas.t ->
+  responsiveness:Measurement.Responsiveness.t ->
+  plan:Remediate.plan ->
+  vantage_points:Asn.t list ->
+  collector:Bgp.Network.Collector.t ->
+  Recover.Snapshot.orch ->
+  unit ->
+  t
+(** Warm restore from a {!capture}: rebuilds tables and re-arms every
+    recorded deadline against the engine clock. Unlike {!create} it does
+    {e not} re-announce the baseline or attach a new collector — the
+    world is assumed to already carry whatever the journal says went
+    out; pass the original [collector] (see {!val-collector}).
+    In-flight pipelines are re-isolated at their recorded deadlines;
+    attempts that had already passed the gate are handed back so
+    re-running them cannot burn retry budget. *)

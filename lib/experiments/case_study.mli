@@ -1,0 +1,33 @@
+(** §6 case study: repairing the Taiwan <-> Wisconsin outage end to end.
+
+    A LIFEGUARD origin announces production + sentinel prefixes via its
+    Wisconsin provider and monitors a Taiwanese site whose reverse path
+    through UUNET silently dies; LIFEGUARD detects, isolates, poisons
+    UUNET, and — once sentinel probes see UUNET recover — reverts to the
+    unpoisoned baseline. *)
+
+open Net
+
+type phase_check = {
+  label : string;
+  time : float;
+  reachable : bool;  (** Taiwan -> production delivery at that instant. *)
+  via : Asn.t list;  (** Taiwan's AS path toward the production prefix. *)
+}
+
+type result = {
+  events : (float * Lifeguard.Orchestrator.event) list;
+  checks : phase_check list;
+  diagnosis_blames_uunet : bool;
+  repaired : bool;  (** Poisoning restored Taiwan's connectivity. *)
+  unpoisoned_after_repair : bool;
+  detection_to_repair : float option;
+      (** Seconds from outage detection to working path. *)
+}
+
+val run : unit -> result
+(** Build the fixed case-study world and play the whole timeline:
+    baseline, silent UUNET failure, detection/isolation/poisoning,
+    UUNET's eventual recovery, and the unpoison. Fully deterministic. *)
+
+val to_tables : result -> Stats.Table.t list

@@ -35,6 +35,14 @@ val admit_vp : scheduler -> vp:Asn.t -> now:float -> cost:int -> bool
 (** Admit only if both the VP's bucket and the global bucket agree; a
     refusal by either consumes nothing from the global bucket. *)
 
+val capture : scheduler -> Recover.Snapshot.bucket list
+(** Token levels and counters of every bucket: ["global"] first, then
+    the per-VP caps sorted by ASN (named ["vp:<asn>"]). Pure read. *)
+
+val restore : scheduler -> Recover.Snapshot.bucket list -> unit
+(** Set bucket levels back to a {!capture}'s values; per-VP buckets are
+    created on demand, unknown names are ignored. *)
+
 val scheduler_granted : scheduler -> int
 (** Total cost admitted through the global bucket. *)
 

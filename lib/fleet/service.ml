@@ -106,6 +106,7 @@ type report = {
   lost_probes : int;
   stale_refreshes : int;
   collector_updates : int;
+  injected_ge15 : int;
   injected_h15 : float;
   measured_updates_per_day : float;
   predicted_updates_per_day : float;
@@ -149,6 +150,274 @@ let predict_updates_per_day ~seed ~h15 ~min_outage_age ~monitor_interval =
       ~d_minutes:((min_outage_age +. detection_lag) /. 60.0)
   end
 
+(* FNV-1a over a canonical rendering of every config knob plus the seed:
+   the resume guard. A snapshot taken under one (config, seed) must never
+   be verified against a run under another — replay would diverge in
+   confusing ways; the fingerprint turns that into an immediate error. *)
+let config_fingerprint ~config ~seed =
+  let b = Buffer.create 512 in
+  let f x = Buffer.add_string b (Printf.sprintf "%h;" x) in
+  let i x = Buffer.add_string b (string_of_int x ^ ";") in
+  i seed;
+  i config.ases;
+  i config.target_count;
+  f config.duration;
+  f config.outages_per_day;
+  f config.monitor_interval;
+  f config.atlas_refresh_interval;
+  f config.probe_rate;
+  f config.probe_burst;
+  f config.per_vp_rate;
+  f config.per_vp_burst;
+  i config.isolation_cost;
+  f config.announce_spacing;
+  f config.min_outage_age;
+  f config.recheck_interval;
+  i config.retry.Retry.max_attempts;
+  f config.retry.Retry.base_delay;
+  f config.retry.Retry.multiplier;
+  f config.retry.Retry.max_delay;
+  f config.chaos.Chaos.probe_loss;
+  f config.chaos.Chaos.vp_mtbf;
+  f config.chaos.Chaos.vp_mttr;
+  f config.chaos.Chaos.atlas_staleness;
+  f config.faults.Bgp.Faults.session_flap_mtbf;
+  f config.faults.Bgp.Faults.session_flap_downtime;
+  f config.faults.Bgp.Faults.link_mtbf;
+  f config.faults.Bgp.Faults.link_mttr;
+  f config.faults.Bgp.Faults.router_mtbf;
+  f config.faults.Bgp.Faults.router_mttr;
+  f config.faults.Bgp.Faults.update_loss;
+  f config.faults.Bgp.Faults.update_dup;
+  Buffer.add_string b (if config.planning then "planning;" else "fresh;");
+  f config.decision_latency;
+  i (match config.shards with None -> 0 | Some k -> k);
+  (* FNV-1a offset basis truncated to OCaml's 63-bit int. *)
+  let h = ref 0xbf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    (Buffer.contents b);
+  Printf.sprintf "%016x" (!h land max_int)
+
+(* Byte-stable report codec: one [key value] line per field, floats as
+   hex floats, lists comma-joined. This is what a snapshot's head-segment
+   report is stored as, and what the crash tests compare byte-for-byte. *)
+let render_report r =
+  let fl = Printf.sprintf "%h" in
+  let fll xs = match xs with [] -> "-" | _ -> String.concat "," (List.map fl xs) in
+  [
+    "days " ^ fl r.days;
+    "injected " ^ string_of_int r.injected;
+    "drawn " ^ string_of_int r.drawn;
+    "unplaceable " ^ string_of_int r.unplaceable;
+    "detected " ^ string_of_int r.detected;
+    "repaired " ^ string_of_int r.repaired;
+    "stood_down " ^ string_of_int r.stood_down;
+    "gave_up " ^ string_of_int r.gave_up;
+    "unfinished " ^ string_of_int r.unfinished;
+    "poisons " ^ string_of_int r.poisons;
+    "unpoisons " ^ string_of_int r.unpoisons;
+    "time_to_repair " ^ fll r.time_to_repair;
+    "time_to_confirm " ^ fll r.time_to_confirm;
+    "monitor_pairs " ^ string_of_int r.monitor_pairs;
+    "monitor_skipped " ^ string_of_int r.monitor_skipped;
+    "probes_sent " ^ string_of_int r.probes_sent;
+    "budget_granted " ^ string_of_int r.budget_granted;
+    "budget_denied " ^ string_of_int r.budget_denied;
+    "isolation_retries " ^ string_of_int r.isolation_retries;
+    "vp_crashes " ^ string_of_int r.vp_crashes;
+    "lost_probes " ^ string_of_int r.lost_probes;
+    "stale_refreshes " ^ string_of_int r.stale_refreshes;
+    "collector_updates " ^ string_of_int r.collector_updates;
+    "injected_ge15 " ^ string_of_int r.injected_ge15;
+    "injected_h15 " ^ fl r.injected_h15;
+    "measured_updates_per_day " ^ fl r.measured_updates_per_day;
+    "predicted_updates_per_day " ^ fl r.predicted_updates_per_day;
+    "reannounced " ^ string_of_int r.reannounced;
+    "rolled_back " ^ string_of_int r.rolled_back;
+    "breaker_trips " ^ string_of_int r.breaker_trips;
+    "session_flaps " ^ string_of_int r.session_flaps;
+    "link_failures " ^ string_of_int r.link_failures;
+    "router_crashes " ^ string_of_int r.router_crashes;
+    "updates_dropped " ^ string_of_int r.updates_dropped;
+    "updates_duplicated " ^ string_of_int r.updates_duplicated;
+    "plan_hits " ^ string_of_int r.plan_hits;
+    "plan_misses " ^ string_of_int r.plan_misses;
+    "plan_invalidations " ^ string_of_int r.plan_invalidations;
+    "plan_demotions " ^ string_of_int r.plan_demotions;
+  ]
+
+let parse_report lines =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun line ->
+      match String.index_opt line ' ' with
+      | Some i ->
+          Hashtbl.replace tbl
+            (String.sub line 0 i)
+            (String.sub line (i + 1) (String.length line - i - 1))
+      | None -> ())
+    lines;
+  let ( let* ) = Option.bind in
+  let int k = Option.bind (Hashtbl.find_opt tbl k) int_of_string_opt in
+  let flt k = Option.bind (Hashtbl.find_opt tbl k) float_of_string_opt in
+  let fll k =
+    let* raw = Hashtbl.find_opt tbl k in
+    if String.equal raw "-" then Some []
+    else
+      List.fold_left
+        (fun acc part ->
+          let* acc = acc in
+          let* x = float_of_string_opt part in
+          Some (x :: acc))
+        (Some [])
+        (String.split_on_char ',' raw)
+      |> Option.map List.rev
+  in
+  let* days = flt "days" in
+  let* injected = int "injected" in
+  let* drawn = int "drawn" in
+  let* unplaceable = int "unplaceable" in
+  let* detected = int "detected" in
+  let* repaired = int "repaired" in
+  let* stood_down = int "stood_down" in
+  let* gave_up = int "gave_up" in
+  let* unfinished = int "unfinished" in
+  let* poisons = int "poisons" in
+  let* unpoisons = int "unpoisons" in
+  let* time_to_repair = fll "time_to_repair" in
+  let* time_to_confirm = fll "time_to_confirm" in
+  let* monitor_pairs = int "monitor_pairs" in
+  let* monitor_skipped = int "monitor_skipped" in
+  let* probes_sent = int "probes_sent" in
+  let* budget_granted = int "budget_granted" in
+  let* budget_denied = int "budget_denied" in
+  let* isolation_retries = int "isolation_retries" in
+  let* vp_crashes = int "vp_crashes" in
+  let* lost_probes = int "lost_probes" in
+  let* stale_refreshes = int "stale_refreshes" in
+  let* collector_updates = int "collector_updates" in
+  let* injected_ge15 = int "injected_ge15" in
+  let* injected_h15 = flt "injected_h15" in
+  let* measured_updates_per_day = flt "measured_updates_per_day" in
+  let* predicted_updates_per_day = flt "predicted_updates_per_day" in
+  let* reannounced = int "reannounced" in
+  let* rolled_back = int "rolled_back" in
+  let* breaker_trips = int "breaker_trips" in
+  let* session_flaps = int "session_flaps" in
+  let* link_failures = int "link_failures" in
+  let* router_crashes = int "router_crashes" in
+  let* updates_dropped = int "updates_dropped" in
+  let* updates_duplicated = int "updates_duplicated" in
+  let* plan_hits = int "plan_hits" in
+  let* plan_misses = int "plan_misses" in
+  let* plan_invalidations = int "plan_invalidations" in
+  let* plan_demotions = int "plan_demotions" in
+  Some
+    {
+      days;
+      injected;
+      drawn;
+      unplaceable;
+      detected;
+      repaired;
+      stood_down;
+      gave_up;
+      unfinished;
+      poisons;
+      unpoisons;
+      time_to_repair;
+      time_to_confirm;
+      monitor_pairs;
+      monitor_skipped;
+      probes_sent;
+      budget_granted;
+      budget_denied;
+      isolation_retries;
+      vp_crashes;
+      lost_probes;
+      stale_refreshes;
+      collector_updates;
+      injected_ge15;
+      injected_h15;
+      measured_updates_per_day;
+      predicted_updates_per_day;
+      reannounced;
+      rolled_back;
+      breaker_trips;
+      session_flaps;
+      link_failures;
+      router_crashes;
+      updates_dropped;
+      updates_duplicated;
+      plan_hits;
+      plan_misses;
+      plan_invalidations;
+      plan_demotions;
+    }
+
+(* Segment-report merge: counters and lists form a monoid (sums and
+   concatenation); point-in-time fields take the right operand (the later
+   segment's horizon view); derived rates are recomputed from the merged
+   raw sums — never averaged — so merge is associative and
+   [merge head tail] of a split run reproduces the uninterrupted report
+   byte-for-byte when the window boundaries are exact binary fractions
+   of a day. *)
+let merge ~seed ~config a b =
+  let days = a.days +. b.days in
+  let poisons = a.poisons + b.poisons in
+  let unpoisons = a.unpoisons + b.unpoisons in
+  let injected_ge15 = a.injected_ge15 + b.injected_ge15 in
+  let injected_h15 =
+    if days <= 0.0 then 0.0 else float_of_int injected_ge15 /. days
+  in
+  {
+    days;
+    injected = a.injected + b.injected;
+    drawn = a.drawn + b.drawn;
+    unplaceable = a.unplaceable + b.unplaceable;
+    detected = a.detected + b.detected;
+    repaired = a.repaired + b.repaired;
+    stood_down = a.stood_down + b.stood_down;
+    gave_up = a.gave_up + b.gave_up;
+    unfinished = b.unfinished;
+    poisons;
+    unpoisons;
+    time_to_repair = a.time_to_repair @ b.time_to_repair;
+    time_to_confirm = a.time_to_confirm @ b.time_to_confirm;
+    monitor_pairs = a.monitor_pairs + b.monitor_pairs;
+    monitor_skipped = a.monitor_skipped + b.monitor_skipped;
+    probes_sent = a.probes_sent + b.probes_sent;
+    budget_granted = a.budget_granted + b.budget_granted;
+    budget_denied = a.budget_denied + b.budget_denied;
+    isolation_retries = a.isolation_retries + b.isolation_retries;
+    vp_crashes = a.vp_crashes + b.vp_crashes;
+    lost_probes = a.lost_probes + b.lost_probes;
+    stale_refreshes = a.stale_refreshes + b.stale_refreshes;
+    collector_updates = a.collector_updates + b.collector_updates;
+    injected_ge15;
+    injected_h15;
+    measured_updates_per_day =
+      (if days <= 0.0 then 0.0 else float_of_int (poisons + unpoisons) /. days);
+    predicted_updates_per_day =
+      predict_updates_per_day ~seed ~h15:injected_h15
+        ~min_outage_age:config.min_outage_age ~monitor_interval:config.monitor_interval;
+    reannounced = a.reannounced + b.reannounced;
+    rolled_back = a.rolled_back + b.rolled_back;
+    breaker_trips = a.breaker_trips + b.breaker_trips;
+    session_flaps = a.session_flaps + b.session_flaps;
+    link_failures = a.link_failures + b.link_failures;
+    router_crashes = a.router_crashes + b.router_crashes;
+    updates_dropped = a.updates_dropped + b.updates_dropped;
+    updates_duplicated = a.updates_duplicated + b.updates_duplicated;
+    plan_hits = a.plan_hits + b.plan_hits;
+    plan_misses = a.plan_misses + b.plan_misses;
+    plan_invalidations = a.plan_invalidations + b.plan_invalidations;
+    plan_demotions = a.plan_demotions + b.plan_demotions;
+  }
+
 let pick_targets rng mux ~count =
   let bed = mux.Scenarios.bed in
   let vps = Asn.Set.of_list bed.Scenarios.vantage_points in
@@ -164,7 +433,35 @@ let pick_targets rng mux ~count =
   let count = min count (List.length pool) in
   Array.to_list (Prng.sample_without_replacement rng count (Array.of_list pool))
 
-let run_in ?(config = default_config) ~seed ~shard_pool () =
+(* Durable-run plumbing threaded into [run_in]: the write-ahead journal
+   every orchestrator action flows through, the snapshot cadence, the
+   snapshot to verify replay fidelity against when resuming, and where
+   captured snapshots go. *)
+type durable = {
+  d_journal : Recover.Journal.t;
+  d_snapshot_every : float option;
+  d_verify : Recover.Snapshot.t option;
+  d_on_snapshot : Recover.Snapshot.t -> unit;
+}
+
+type recovery = {
+  rc_reconcile : Recover.Reconcile.t;
+  rc_journal : string list;
+  rc_replayed : int;
+  rc_marks : int;
+  rc_tail : report option;
+}
+
+type outcome =
+  | Finished of { report : report; recovery : recovery }
+  | Interrupted of {
+      boundary : Recover.Crash.boundary;
+      append : int;
+      journal : string list;
+      snapshot : Recover.Snapshot.t option;
+    }
+
+let run_in ?(config = default_config) ?durable ~seed ~shard_pool () =
   let retry = Retry.validate config.retry in
   let mux =
     Scenarios.bgpmux ~ases:config.ases ~infrastructure:Scenarios.No_infrastructure
@@ -269,8 +566,10 @@ let run_in ?(config = default_config) ~seed ~shard_pool () =
     }
   in
   let orch =
-    Lifeguard.Orchestrator.create ~config:orch_config ~hooks ~env:bed.Scenarios.probe ~atlas
-      ~responsiveness ~plan:mux.Scenarios.plan ~vantage_points:bed.Scenarios.vantage_points ()
+    Lifeguard.Orchestrator.create ~config:orch_config ~hooks
+      ?journal:(match durable with Some d -> Some d.d_journal | None -> None)
+      ~env:bed.Scenarios.probe ~atlas ~responsiveness ~plan:mux.Scenarios.plan
+      ~vantage_points:bed.Scenarios.vantage_points ()
   in
   (* Let the baseline converge before the clock starts counting. *)
   Bgp.Network.run_until_quiet ~timeout:36000.0 bed.Scenarios.net;
@@ -297,76 +596,137 @@ let run_in ?(config = default_config) ~seed ~shard_pool () =
            Measurement.Atlas.refresh_all atlas bed.Scenarios.probe ~vps:[ origin ]
              ~dsts:targets ~now;
          `Continue));
-  Sim.Engine.run ~until:horizon engine;
-  (* Harvest: the event log and per-target outcomes are the run's story. *)
-  let events = Lifeguard.Orchestrator.events orch in
-  let count_events f = List.length (List.filter f events) in
-  let detected =
-    count_events (function _, Lifeguard.Orchestrator.Outage_detected _ -> true | _ -> false)
+  (* Harvest, parameterized for segment reports: [skip_events] and
+     [skip_outcomes] drop the prefix a snapshot already accounted for,
+     [base] supplies counter baselines (constantly 0 for a whole run)
+     and [days] the segment's window. Cross-boundary repairs still find
+     their detection: the detection list is always searched in full.
+     Everything here is a pure read, so a snapshot mark can harvest the
+     head segment mid-run without perturbing it. *)
+  let counter_values () =
+    let plan_c f = match cache with Some c -> f c | None -> 0 in
+    [
+      ("arrivals.drawn", Arrivals.drawn_count arrivals);
+      ( "arrivals.ge15",
+        List.length
+          (List.filter (fun i -> i.Arrivals.duration >= 900.0) (Arrivals.injected arrivals))
+      );
+      ("arrivals.injected", Arrivals.injected_count arrivals);
+      ("arrivals.unplaceable", Arrivals.unplaceable_count arrivals);
+      ("budget.denied", Budget.scheduler_denied sched);
+      ("budget.granted", Budget.scheduler_granted sched);
+      ("chaos.lost_probes", Chaos.lost_probe_count chaos);
+      ("chaos.stale_refreshes", Chaos.stale_refresh_count chaos);
+      ("chaos.vp_crashes", Chaos.crash_count chaos);
+      ("collector.updates", List.length (Bgp.Network.Collector.log mux.Scenarios.collector));
+      ("faults.link_failures", Bgp.Faults.link_failure_count faults);
+      ("faults.router_crashes", Bgp.Faults.router_crash_count faults);
+      ("faults.session_flaps", Bgp.Faults.session_flap_count faults);
+      ("faults.updates_dropped", Bgp.Faults.updates_dropped faults);
+      ("faults.updates_duplicated", Bgp.Faults.updates_duplicated faults);
+      ( "monitor.pairs",
+        List.fold_left
+          (fun acc m -> acc + Measurement.Monitor.probe_count m)
+          0
+          (Lifeguard.Orchestrator.monitors orch) );
+      ( "monitor.skipped",
+        List.fold_left
+          (fun acc m -> acc + Measurement.Monitor.skipped_count m)
+          0
+          (Lifeguard.Orchestrator.monitors orch) );
+      ("orch.breaker_trips", Lifeguard.Orchestrator.breaker_trip_count orch);
+      ("orch.reannounced", Lifeguard.Orchestrator.reannounce_count orch);
+      ("orch.rolled_back", Lifeguard.Orchestrator.rollback_count orch);
+      ("plan.demotions", plan_c Plan.Cache.demotions);
+      ("plan.hits", plan_c Plan.Cache.hits);
+      ("plan.invalidations", plan_c Plan.Cache.invalidations);
+      ("plan.misses", plan_c Plan.Cache.misses);
+      ("probes.sent", bed.Scenarios.probe.Dataplane.Probe.probes_sent);
+    ]
   in
-  let poisons =
-    count_events (function _, Lifeguard.Orchestrator.Poison_announced _ -> true | _ -> false)
-  in
-  let unpoisons =
-    count_events (function _, Lifeguard.Orchestrator.Unpoisoned -> true | _ -> false)
-  in
-  let isolation_retries =
-    count_events (function _, Lifeguard.Orchestrator.Isolation_retry _ -> true | _ -> false)
-  in
-  let detections =
-    List.filter_map
-      (function
-        | at, Lifeguard.Orchestrator.Outage_detected { target; _ } -> Some (at, target)
-        | _ -> None)
-      events
-  in
-  let detection_before ~target ~at =
-    List.fold_left
-      (fun acc (dt, dtarget) ->
-        if Asn.equal dtarget target && dt <= at then Some dt else acc)
-      None detections
-  in
-  let outcomes = Lifeguard.Orchestrator.outcomes orch in
-  let repaired = ref 0 and stood_down = ref 0 and gave_up = ref 0 in
-  let ttr = ref [] in
-  List.iter
-    (fun (at, target, outcome) ->
-      match outcome with
-      | Lifeguard.Orchestrator.Repaired ->
-          incr repaired;
-          (match detection_before ~target ~at with
-          | Some dt -> ttr := (at -. dt) :: !ttr
-          | None -> ())
-      | Lifeguard.Orchestrator.Stood_down _ -> incr stood_down
-      | Lifeguard.Orchestrator.Gave_up_on _ -> incr gave_up)
-    outcomes;
-  let time_to_confirm =
-    List.filter_map
-      (function
-        | at, Lifeguard.Orchestrator.Repair_confirmed { target; _ } -> begin
-            match detection_before ~target ~at with
-            | Some dt -> Some (at -. dt)
-            | None -> None
-          end
-        | _ -> None)
-      events
-  in
-  let monitors = Lifeguard.Orchestrator.monitors orch in
-  let monitor_pairs =
-    List.fold_left (fun acc m -> acc + Measurement.Monitor.probe_count m) 0 monitors
-  in
-  let monitor_skipped =
-    List.fold_left (fun acc m -> acc + Measurement.Monitor.skipped_count m) 0 monitors
-  in
-  let days = config.duration /. 86400.0 in
-  let injected_h15 = Arrivals.daily_rate_at_least arrivals ~observed_days:days ~d_minutes:15.0 in
-  let measured_updates_per_day = float_of_int (poisons + unpoisons) /. days in
-  let report =
+  let segment ~skip_events ~skip_outcomes ~base ~days () =
+    let rec drop n xs =
+      if n <= 0 then xs else match xs with [] -> [] | _ :: tl -> drop (n - 1) tl
+    in
+    let cur = counter_values () in
+    let c name =
+      let rec find = function
+        | [] -> 0
+        | (n, v) :: tl -> if String.equal n name then v else find tl
+      in
+      find cur - base name
+    in
+    let all_events = Lifeguard.Orchestrator.events orch in
+    let events = drop skip_events all_events in
+    let count_events f = List.length (List.filter f events) in
+    let detected =
+      count_events (function
+        | _, Lifeguard.Orchestrator.Outage_detected _ -> true
+        | _ -> false)
+    in
+    let poisons =
+      count_events (function
+        | _, Lifeguard.Orchestrator.Poison_announced _ -> true
+        | _ -> false)
+    in
+    let unpoisons =
+      count_events (function _, Lifeguard.Orchestrator.Unpoisoned -> true | _ -> false)
+    in
+    let isolation_retries =
+      count_events (function
+        | _, Lifeguard.Orchestrator.Isolation_retry _ -> true
+        | _ -> false)
+    in
+    let detections =
+      List.filter_map
+        (function
+          | at, Lifeguard.Orchestrator.Outage_detected { target; _ } -> Some (at, target)
+          | _ -> None)
+        all_events
+    in
+    let detection_before ~target ~at =
+      List.fold_left
+        (fun acc (dt, dtarget) ->
+          if Asn.equal dtarget target && dt <= at then Some dt else acc)
+        None detections
+    in
+    let outcomes = drop skip_outcomes (Lifeguard.Orchestrator.outcomes orch) in
+    let repaired = ref 0 and stood_down = ref 0 and gave_up = ref 0 in
+    let ttr = ref [] in
+    List.iter
+      (fun (at, target, outcome) ->
+        match outcome with
+        | Lifeguard.Orchestrator.Repaired ->
+            incr repaired;
+            (match detection_before ~target ~at with
+            | Some dt -> ttr := (at -. dt) :: !ttr
+            | None -> ())
+        | Lifeguard.Orchestrator.Stood_down _ -> incr stood_down
+        | Lifeguard.Orchestrator.Gave_up_on _ -> incr gave_up)
+      outcomes;
+    let time_to_confirm =
+      List.filter_map
+        (function
+          | at, Lifeguard.Orchestrator.Repair_confirmed { target; _ } -> begin
+              match detection_before ~target ~at with
+              | Some dt -> Some (at -. dt)
+              | None -> None
+            end
+          | _ -> None)
+        events
+    in
+    let injected_ge15 = c "arrivals.ge15" in
+    let injected_h15 =
+      if days <= 0.0 then 0.0 else float_of_int injected_ge15 /. days
+    in
+    let measured_updates_per_day =
+      if days <= 0.0 then 0.0 else float_of_int (poisons + unpoisons) /. days
+    in
     {
       days;
-      injected = Arrivals.injected_count arrivals;
-      drawn = Arrivals.drawn_count arrivals;
-      unplaceable = Arrivals.unplaceable_count arrivals;
+      injected = c "arrivals.injected";
+      drawn = c "arrivals.drawn";
+      unplaceable = c "arrivals.unplaceable";
       detected;
       repaired = !repaired;
       stood_down = !stood_down;
@@ -379,35 +739,85 @@ let run_in ?(config = default_config) ~seed ~shard_pool () =
       unpoisons;
       time_to_repair = List.rev !ttr;
       time_to_confirm;
-      monitor_pairs;
-      monitor_skipped;
-      probes_sent = bed.Scenarios.probe.Dataplane.Probe.probes_sent;
-      budget_granted = Budget.scheduler_granted sched;
-      budget_denied = Budget.scheduler_denied sched;
+      monitor_pairs = c "monitor.pairs";
+      monitor_skipped = c "monitor.skipped";
+      probes_sent = c "probes.sent";
+      budget_granted = c "budget.granted";
+      budget_denied = c "budget.denied";
       isolation_retries;
-      vp_crashes = Chaos.crash_count chaos;
-      lost_probes = Chaos.lost_probe_count chaos;
-      stale_refreshes = Chaos.stale_refresh_count chaos;
-      collector_updates = List.length (Bgp.Network.Collector.log mux.Scenarios.collector);
+      vp_crashes = c "chaos.vp_crashes";
+      lost_probes = c "chaos.lost_probes";
+      stale_refreshes = c "chaos.stale_refreshes";
+      collector_updates = c "collector.updates";
+      injected_ge15;
       injected_h15;
       measured_updates_per_day;
       predicted_updates_per_day =
         predict_updates_per_day ~seed ~h15:injected_h15 ~min_outage_age:config.min_outage_age
           ~monitor_interval:config.monitor_interval;
-      reannounced = Lifeguard.Orchestrator.reannounce_count orch;
-      rolled_back = Lifeguard.Orchestrator.rollback_count orch;
-      breaker_trips = Lifeguard.Orchestrator.breaker_trip_count orch;
-      session_flaps = Bgp.Faults.session_flap_count faults;
-      link_failures = Bgp.Faults.link_failure_count faults;
-      router_crashes = Bgp.Faults.router_crash_count faults;
-      updates_dropped = Bgp.Faults.updates_dropped faults;
-      updates_duplicated = Bgp.Faults.updates_duplicated faults;
-      plan_hits = (match cache with Some c -> Plan.Cache.hits c | None -> 0);
-      plan_misses = (match cache with Some c -> Plan.Cache.misses c | None -> 0);
-      plan_invalidations =
-        (match cache with Some c -> Plan.Cache.invalidations c | None -> 0);
-      plan_demotions = (match cache with Some c -> Plan.Cache.demotions c | None -> 0);
+      reannounced = c "orch.reannounced";
+      rolled_back = c "orch.rolled_back";
+      breaker_trips = c "orch.breaker_trips";
+      session_flaps = c "faults.session_flaps";
+      link_failures = c "faults.link_failures";
+      router_crashes = c "faults.router_crashes";
+      updates_dropped = c "faults.updates_dropped";
+      updates_duplicated = c "faults.updates_duplicated";
+      plan_hits = c "plan.hits";
+      plan_misses = c "plan.misses";
+      plan_invalidations = c "plan.invalidations";
+      plan_demotions = c "plan.demotions";
     }
+  in
+  (* Snapshot marks: pure-read captures on the simulation clock, armed
+     after every other recurring timer so their extra heap events shift
+     sequence numbers uniformly without reordering anything — a durable
+     run is byte-identical to a plain one. When resuming, re-execution
+     reaching the persisted snapshot's mark must capture the exact same
+     bytes; anything else means replay infidelity and raises
+     [Snapshot.Mismatch] rather than silently diverging. *)
+  let marks_done = ref 0 in
+  (match durable with
+  | Some ({ d_snapshot_every = Some every_s; _ } as d) when every_s > 0.0 ->
+      let fp = config_fingerprint ~config ~seed in
+      ignore
+        (Sim.Engine.every engine ~every:every_s ~until:horizon (fun _ ->
+             let mark = !marks_done + 1 in
+             let window = float_of_int mark *. every_s in
+             let head =
+               segment ~skip_events:0 ~skip_outcomes:0
+                 ~base:(fun _ -> 0)
+                 ~days:(window /. 86400.0) ()
+             in
+             let snap =
+               {
+                 Recover.Snapshot.version = Recover.Snapshot.version;
+                 at = Sim.Engine.now engine;
+                 mark;
+                 seed;
+                 config_fp = fp;
+                 journal_len = Recover.Journal.length d.d_journal;
+                 orch = Lifeguard.Orchestrator.capture orch;
+                 counters = counter_values ();
+                 buckets = Budget.capture sched;
+                 plan =
+                   (match cache with Some c -> Some (Plan.Cache.capture c) | None -> None);
+                 head = render_report head;
+               }
+             in
+             (match d.d_verify with
+             | Some expected when expected.Recover.Snapshot.mark = mark ->
+                 if not (Recover.Snapshot.equal snap expected) then
+                   raise (Recover.Snapshot.Mismatch { mark })
+             | _ -> ());
+             marks_done := mark;
+             d.d_on_snapshot snap;
+             `Continue))
+  | _ -> ());
+  Sim.Engine.run ~until:horizon engine;
+  let report =
+    segment ~skip_events:0 ~skip_outcomes:0 ~base:(fun _ -> 0)
+      ~days:(config.duration /. 86400.0) ()
   in
   Obs.Metrics.add m_injected report.injected;
   Obs.Metrics.add m_detected report.detected;
@@ -430,7 +840,69 @@ let run_in ?(config = default_config) ~seed ~shard_pool () =
   Obs.Metrics.add m_plan_misses report.plan_misses;
   Obs.Metrics.add m_plan_invalidations report.plan_invalidations;
   Obs.Metrics.add m_plan_demotions report.plan_demotions;
-  report
+  (* Recovery accounting: reconcile the journal against the collector's
+     ground truth (the exactly-once verdict), and — when resuming — the
+     tail-segment report whose merge with the snapshot's head must
+     reproduce the uninterrupted report. *)
+  let recovery =
+    match durable with
+    | None -> None
+    | Some d ->
+        let j = d.d_journal in
+        let prefix = mux.Scenarios.plan.Lifeguard.Remediate.production in
+        let watchdog = Lifeguard.Orchestrator.collector orch in
+        let poisoned_views =
+          List.map
+            (fun vp ->
+              let carried =
+                match Bgp.Network.Collector.route_view watchdog ~peer:vp ~prefix with
+                | Some (Some entry) -> begin
+                    (* A poisoned announcement is [O; p; O]: at any view
+                       the path's origin-side tail reads O, p, O (the
+                       baseline's prepend padding is excluded because
+                       p = O there). *)
+                    match List.rev (Bgp.As_path.to_list entry.Bgp.Route.ann.Bgp.Route.path) with
+                    | o2 :: p :: o1 :: _
+                      when Asn.equal o1 origin && Asn.equal o2 origin
+                           && not (Asn.equal p origin) ->
+                        Some p
+                    | _ -> None
+                  end
+                | Some None | None -> None
+              in
+              (vp, carried))
+            bed.Scenarios.vantage_points
+        in
+        let rc =
+          Recover.Reconcile.check ~replayed:(Recover.Journal.replayed j)
+            ~grace:(2.0 *. config.recheck_interval)
+            ~horizon:(Sim.Engine.now engine) ~poisoned_views (Recover.Journal.records j)
+        in
+        let tail =
+          match d.d_verify with
+          | None -> None
+          | Some s -> begin
+              match parse_report s.Recover.Snapshot.head with
+              | None -> None
+              | Some head ->
+                  Some
+                    (segment ~skip_events:s.Recover.Snapshot.orch.Recover.Snapshot.so_events
+                       ~skip_outcomes:s.Recover.Snapshot.orch.Recover.Snapshot.so_outcomes
+                       ~base:(Recover.Snapshot.counter s)
+                       ~days:((config.duration /. 86400.0) -. head.days)
+                       ())
+            end
+        in
+        Some
+          {
+            rc_reconcile = rc;
+            rc_journal = Recover.Journal.lines j;
+            rc_replayed = Recover.Journal.replayed j;
+            rc_marks = !marks_done;
+            rc_tail = tail;
+          }
+  in
+  (report, recovery)
 
 (* Sharded runs own a worker pool for the trial's lifetime: barrier
    windows fan out on it, and it is torn down before the report returns
@@ -440,5 +912,53 @@ let run_in ?(config = default_config) ~seed ~shard_pool () =
 let run ?(config = default_config) ~seed () =
   match config.shards with
   | Some k when k > 1 ->
-      Par.Pool.with_pool ~jobs:k (fun pool -> run_in ~config ~seed ~shard_pool:(Some pool) ())
-  | _ -> run_in ~config ~seed ~shard_pool:None ()
+      Par.Pool.with_pool ~jobs:k (fun pool ->
+          fst (run_in ~config ~seed ~shard_pool:(Some pool) ()))
+  | _ -> fst (run_in ~config ~seed ~shard_pool:None ())
+
+(* The durable entry point: same world, same schedule, plus the
+   write-ahead journal, optional snapshot marks, and crash injection.
+   Recovery is deterministic re-execution — the resumed run replays from
+   t = 0 with the persisted journal as its expected prefix (byte-for-byte
+   verified, [Journal.Divergence] otherwise) and the persisted snapshot
+   as a replay-fidelity check at its mark. Because re-execution re-derives
+   every action, an effect lost to an [After_write] crash is re-applied
+   exactly once, and the final report is byte-identical to the
+   uninterrupted run's at any jobs x shards. *)
+let run_durable ?(config = default_config) ~seed ?(journal = []) ?snapshot ?crash
+    ?snapshot_every ?(journal_sink = fun _ -> ()) ?(snapshot_sink = fun _ -> ()) () =
+  let fp = config_fingerprint ~config ~seed in
+  (match snapshot with
+  | Some s when not (String.equal s.Recover.Snapshot.config_fp fp) ->
+      invalid_arg "Service.run_durable: snapshot was taken under a different (config, seed)"
+  | _ -> ());
+  let j =
+    match journal with
+    | [] -> Recover.Journal.create ~sink:journal_sink ?crash ()
+    | lines -> Recover.Journal.replaying ~sink:journal_sink ?crash ~expected:lines ()
+  in
+  let last_snap = ref snapshot in
+  let durable =
+    {
+      d_journal = j;
+      d_snapshot_every = snapshot_every;
+      d_verify = snapshot;
+      d_on_snapshot =
+        (fun s ->
+          last_snap := Some s;
+          snapshot_sink s);
+    }
+  in
+  let go () =
+    match config.shards with
+    | Some k when k > 1 ->
+        Par.Pool.with_pool ~jobs:k (fun pool ->
+            run_in ~config ~durable ~seed ~shard_pool:(Some pool) ())
+    | _ -> run_in ~config ~durable ~seed ~shard_pool:None ()
+  in
+  match go () with
+  | report, Some recovery -> Finished { report; recovery }
+  | _, None -> assert false (* run_in always returns recovery when durable *)
+  | exception Recover.Crash.Crashed { boundary; append } ->
+      Interrupted
+        { boundary; append; journal = Recover.Journal.lines j; snapshot = !last_snap }

@@ -93,6 +93,7 @@ type report = {
   lost_probes : int;
   stale_refreshes : int;
   collector_updates : int;  (** Route-collector records during the window. *)
+  injected_ge15 : int;  (** Injected outages lasting >= 15 min (raw count). *)
   injected_h15 : float;  (** Injected outages/day lasting >= 15 min. *)
   measured_updates_per_day : float;  (** (poisons + unpoisons) / days. *)
   predicted_updates_per_day : float;
@@ -121,3 +122,82 @@ val run : ?config:config -> seed:int -> unit -> report
     With [config.shards = Some k] the world runs sharded (see
     {!type:config}); the per-run worker pool is created and torn down
     inside this call. *)
+
+(** {1 Durable (crash-tolerant) runs}
+
+    A durable run is the same simulation with a write-ahead operations
+    journal: every externally visible controller action is serialized
+    and persisted {e before} its effect executes. Recovery is
+    deterministic re-execution — the resumed run replays from [t = 0]
+    with the persisted journal as its expected prefix, verifying each
+    re-derived action byte-for-byte ({!Recover.Journal.Divergence}
+    otherwise) and, when a snapshot is supplied, verifying that
+    re-execution reaching the snapshot's mark reproduces its exact bytes
+    ({!Recover.Snapshot.Mismatch} otherwise). Because replay re-derives
+    every action, an effect lost to an [After_write] crash is re-applied
+    exactly once, and the resumed run's report is byte-identical to the
+    uninterrupted run's at any jobs/shards width. *)
+
+val config_fingerprint : config:config -> seed:int -> string
+(** Stable 16-hex-digit fingerprint of [(config, seed)], stamped into
+    snapshots so a resume under a different world is refused loudly. *)
+
+val render_report : report -> string list
+(** Deterministic [key value] line rendering of a report, one field per
+    line; floats as lossless hex floats. Byte-stable: two reports are
+    equal iff their renderings are. *)
+
+val parse_report : string list -> report option
+(** Inverse of {!render_report}. [None] on missing or malformed
+    fields. *)
+
+val merge : seed:int -> config:config -> report -> report -> report
+(** Associative segment merge: counters sum, latency lists concatenate
+    in order, [unfinished] takes the later segment's point-in-time
+    value, and the derived rates ([injected_h15], measured and predicted
+    updates/day) are recomputed from the merged raw sums — so merging a
+    snapshot's head report with the resumed tail reproduces the
+    uninterrupted report byte-for-byte. *)
+
+type recovery = {
+  rc_reconcile : Recover.Reconcile.t;
+      (** Journal-vs-collector reconciliation: exactly-once poison
+          accounting (no double poison, no orphaned poison). *)
+  rc_journal : string list;  (** Full journal after the run, oldest first. *)
+  rc_replayed : int;  (** Journal lines verified as the replay prefix. *)
+  rc_marks : int;  (** Snapshot marks captured during this run. *)
+  rc_tail : report option;
+      (** Resumes only: the report of the segment after the snapshot's
+          mark; [merge snapshot_head rc_tail] equals the full report. *)
+}
+
+type outcome =
+  | Finished of { report : report; recovery : recovery }
+  | Interrupted of {
+      boundary : Recover.Crash.boundary;
+      append : int;
+      journal : string list;  (** Journal as persisted at the crash. *)
+      snapshot : Recover.Snapshot.t option;  (** Last snapshot captured. *)
+    }  (** An injected crash fired: everything a process death leaves on disk. *)
+
+val run_durable :
+  ?config:config ->
+  seed:int ->
+  ?journal:string list ->
+  ?snapshot:Recover.Snapshot.t ->
+  ?crash:Recover.Crash.spec ->
+  ?snapshot_every:float ->
+  ?journal_sink:(string -> unit) ->
+  ?snapshot_sink:(Recover.Snapshot.t -> unit) ->
+  unit ->
+  outcome
+(** The durable entry point. Fresh run: leave [journal] empty. Resume:
+    pass the persisted [journal] lines (and the last [snapshot], if any
+    — its [config_fp] must match, [Invalid_argument] otherwise).
+    [snapshot_every] > 0 arms periodic snapshot marks on the simulation
+    clock; [journal_sink] sees each persisted line as it is appended
+    (replayed lines included, in order); [snapshot_sink] sees each
+    captured snapshot. [crash] injects a crash at the given journal
+    append boundary — the run dies as {!Interrupted} exactly as a real
+    process death at that point would. Deterministic in every
+    argument. *)

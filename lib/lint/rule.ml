@@ -10,6 +10,7 @@ type t =
   | Mli_missing
   | Obs_printf
   | Rob_exn
+  | Rob_snapshot
   | Eff_clock
   | Eff_random
   | Eff_globalmut
@@ -17,8 +18,8 @@ type t =
 
 let all =
   [ Dom_mut; Det_random; Det_clock; Det_polyeq; Det_hashkey; Perf_append; Perf_scan;
-    Perf_structeq; Mli_missing; Obs_printf; Rob_exn; Eff_clock; Eff_random; Eff_globalmut;
-    Plan_stale ]
+    Perf_structeq; Mli_missing; Obs_printf; Rob_exn; Rob_snapshot; Eff_clock; Eff_random;
+    Eff_globalmut; Plan_stale ]
 
 let id = function
   | Dom_mut -> "LG-DOM-MUT"
@@ -32,6 +33,7 @@ let id = function
   | Mli_missing -> "LG-MLI-MISSING"
   | Obs_printf -> "LG-OBS-PRINTF"
   | Rob_exn -> "LG-ROB-EXN"
+  | Rob_snapshot -> "LG-ROB-SNAPSHOT"
   | Eff_clock -> "LG-EFF-CLOCK"
   | Eff_random -> "LG-EFF-RANDOM"
   | Eff_globalmut -> "LG-EFF-GLOBALMUT"
@@ -73,6 +75,10 @@ let describe = function
   | Rob_exn ->
       "catch-all exception handler (try ... with _ ->) in a library; swallows programming \
        errors along with the expected failure — match the specific exceptions"
+  | Rob_snapshot ->
+      "mutable or container-typed record field in a file defining a snapshot [capture] \
+       that capture's body never reads; state the crash-recovery snapshot would silently \
+       reset on restore — capture the field or move it out of the snapshotted record"
   | Eff_clock ->
       "exported library function transitively reaches the wall clock (through any number \
        of wrappers) outside Obs.Clock; breaks determinism — thread simulation time or the \

@@ -16,6 +16,11 @@ type t =
   | Mli_missing  (** library [.ml] without a matching [.mli] *)
   | Obs_printf  (** bare stdout printing in [lib/] outside [lib/obs] *)
   | Rob_exn  (** catch-all [try ... with _ ->] handler inside [lib/] *)
+  | Rob_snapshot
+      (** in a [lib/] file defining a toplevel [capture] (the
+          crash-recovery snapshot contract): a mutable or container-typed
+          field of a locally declared record type that [capture]'s body
+          never references — restore would silently reset it *)
   | Eff_clock
       (** exported [lib/] function {e transitively} reaches the wall clock
           outside [Obs.Clock] — the interprocedural closure of

@@ -382,6 +382,108 @@ let scan_structure ~kind ~file str =
     | _ -> it.module_expr it me
   in
   walk_structure str;
+  (* LG-ROB-SNAPSHOT: a file defining a toplevel [capture] has opted into
+     the crash-recovery snapshot contract — every mutable (or
+     container-typed, hence mutable-inside) field of every record type
+     the file declares must be read somewhere in [capture]'s body, or a
+     restore silently resets it. Purely syntactic like everything else
+     here: "read" means the field's name appears as an identifier, field
+     access/update, or record-pattern label inside [capture]. *)
+  if kind.in_lib then begin
+    let container_types = [ "Hashtbl.t"; "Queue.t"; "Stack.t"; "Buffer.t"; "ref" ] in
+    let is_container (t : core_type) =
+      let rec go (t : core_type) =
+        match t.ptyp_desc with
+        | Ptyp_constr ({ txt; _ }, args) -> (
+            (match path_of_lident txt with
+            | Some p -> List.exists (String.equal (joined p)) container_types
+            | None -> false)
+            || List.exists go args)
+        | _ -> false
+      in
+      go t
+    in
+    let flagged_fields = ref [] in
+    let capture_bodies = ref [] in
+    let rec collect items =
+      List.iter
+        (fun (si : structure_item) ->
+          match si.pstr_desc with
+          | Pstr_type (_, tds) ->
+              List.iter
+                (fun td ->
+                  match td.ptype_kind with
+                  | Ptype_record labels ->
+                      List.iter
+                        (fun (ld : label_declaration) ->
+                          let mutable_field =
+                            match ld.pld_mutable with
+                            | Asttypes.Mutable -> true
+                            | Asttypes.Immutable -> false
+                          in
+                          if mutable_field || is_container ld.pld_type then
+                            flagged_fields :=
+                              (ld.pld_name.Asttypes.txt, ld.pld_loc) :: !flagged_fields)
+                        labels
+                  | _ -> ())
+                tds
+          | Pstr_value (_, vbs) ->
+              List.iter
+                (fun vb ->
+                  match vb.pvb_pat.ppat_desc with
+                  | Ppat_var { txt = "capture"; _ } -> capture_bodies := vb.pvb_expr :: !capture_bodies
+                  | _ -> ())
+                vbs
+          | Pstr_module { pmb_expr = { pmod_desc = Pmod_structure s; _ }; _ } -> collect s
+          | _ -> ())
+        items
+    in
+    collect str;
+    match !capture_bodies with
+    | [] -> ()
+    | bodies ->
+        let referenced = Hashtbl.create 32 in
+        let note = function
+          | Some p -> (
+              match last_component p with
+              | Some name -> Hashtbl.replace referenced name ()
+              | None -> ())
+          | None -> ()
+        in
+        let ref_it =
+          {
+            Ast_iterator.default_iterator with
+            expr =
+              (fun rit e ->
+                (match e.pexp_desc with
+                | Pexp_ident { txt; _ } -> note (path_of_lident txt)
+                | Pexp_field (_, { txt; _ }) | Pexp_setfield (_, { txt; _ }, _) ->
+                    note (path_of_lident txt)
+                | Pexp_record (fields, _) ->
+                    List.iter (fun ({ Location.txt; _ }, _) -> note (path_of_lident txt)) fields
+                | _ -> ());
+                Ast_iterator.default_iterator.expr rit e);
+            pat =
+              (fun rit p ->
+                (match p.ppat_desc with
+                | Ppat_record (fields, _) ->
+                    List.iter (fun ({ Location.txt; _ }, _) -> note (path_of_lident txt)) fields
+                | Ppat_var { txt; _ } -> Hashtbl.replace referenced txt ()
+                | _ -> ());
+                Ast_iterator.default_iterator.pat rit p);
+          }
+        in
+        List.iter (fun body -> ref_it.expr ref_it body) bodies;
+        List.iter
+          (fun (name, loc) ->
+            if not (Hashtbl.mem referenced name) then
+              add Rule.Rob_snapshot loc
+                (Printf.sprintf
+                   "mutable field %s is not read by this file's snapshot [capture]; restore \
+                    would silently reset it"
+                   name))
+          (List.rev !flagged_fields)
+  end;
   List.rev !out
 
 let parse_impl path =

@@ -167,6 +167,24 @@ let record t ~target ~diagnosis ~verdict =
         | Some remedy -> t.plans <- Plan_store.add t.plans ~target ~cls remedy
       end
 
+(* Deterministic one-line rendering of the cache's mutable state for the
+   snapshot schema: fingerprint, counters, demotion set and log. Opaque
+   to recovery (a resumed run rebuilds the cache by re-execution); its
+   job is to make cache drift visible in snapshot comparisons. *)
+let capture t =
+  let demoted =
+    Asn.Set.elements t.demoted |> List.map Asn.to_string |> String.concat ","
+  in
+  let dlog =
+    List.rev t.demotion_log
+    |> List.map (fun (a, reason) ->
+           Asn.to_string a ^ ":" ^ String.map (fun c -> if c = ' ' then '_' else c) reason)
+    |> String.concat ","
+  in
+  Printf.sprintf "fp=%d size=%d hits=%d misses=%d invalidations=%d demotions=%d demoted=%s log=%s"
+    t.last_fingerprint (Plan_store.cardinal t.plans) t.hits t.misses t.invalidations
+    t.demotions demoted dlog
+
 let hits t = t.hits
 let misses t = t.misses
 let invalidations t = t.invalidations

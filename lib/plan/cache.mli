@@ -71,6 +71,12 @@ val note_outcome : t -> poison:Asn.t -> [ `Confirmed | `Diverged of string ] -> 
 val invalidate : t -> reason:string -> unit
 (** Policy-change invalidation: flush the whole map (demotions persist). *)
 
+val capture : t -> string
+(** Deterministic one-line rendering of the cache's mutable state
+    (fingerprint, size, counters, demotion set and log) for the recovery
+    snapshot schema. Pure read; spaces in demotion reasons are folded to
+    ['_'] so the line stays single-token. *)
+
 val hits : t -> int
 val misses : t -> int
 val invalidations : t -> int

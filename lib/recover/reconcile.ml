@@ -1,0 +1,84 @@
+open Net
+
+let m_double = Obs.Metrics.counter "recover.reconcile.double_poisons"
+let m_orphaned = Obs.Metrics.counter "recover.reconcile.orphaned"
+
+type t = {
+  records : int;
+  replayed : int;
+  fresh : int;
+  poisons : int;
+  unpoisons : int;
+  double_poisons : int;
+  orphaned : int;
+  settling : int;
+  active_at_horizon : Asn.t option;
+  clean : bool;
+}
+
+(* Walk the journal as a state machine over the single active-poison
+   slot the controller maintains. A Poison_announce while any episode is
+   still open is a double poison — exactly the bug class write-ahead
+   logging plus replay is meant to exclude. *)
+let scan records =
+  let active = ref None in
+  let poisons = ref 0 and unpoisons = ref 0 and doubles = ref 0 in
+  let last_clear = ref neg_infinity in
+  List.iter
+    (fun r ->
+      match r.Record.action with
+      | Record.Poison_announce { poison; _ } ->
+          incr poisons;
+          (match !active with Some _ -> incr doubles | None -> ());
+          active := Some poison
+      | Record.Unpoison { poison = _; _ } ->
+          incr unpoisons;
+          last_clear := r.Record.at;
+          active := None
+      | Record.Poison_reannounce _ | Record.Breaker_trip _ | Record.Plan_demotion _
+      | Record.Outcome _ ->
+          ())
+    records;
+  (!active, !poisons, !unpoisons, !doubles, !last_clear)
+
+let check ?(replayed = 0) ?(grace = 0.0) ~horizon ~poisoned_views records =
+  let active, poisons, unpoisons, doubles, last_clear = scan records in
+  (* A view still carrying a poison the journal says was withdrawn is an
+     orphan — unless the withdrawal happened inside the final [grace]
+     window, where the view is merely still converging at the horizon. *)
+  let orphaned, settling =
+    List.fold_left
+      (fun (orphaned, settling) (_vp, carried) ->
+        match carried with
+        | None -> (orphaned, settling)
+        | Some p -> begin
+            match active with
+            | Some a when Asn.equal a p -> (orphaned, settling)
+            | _ ->
+                if horizon -. last_clear <= grace then (orphaned, settling + 1)
+                else (orphaned + 1, settling)
+          end)
+      (0, 0) poisoned_views
+  in
+  Obs.Metrics.add m_double doubles;
+  Obs.Metrics.add m_orphaned orphaned;
+  {
+    records = List.length records;
+    replayed;
+    fresh = List.length records - replayed;
+    poisons;
+    unpoisons;
+    double_poisons = doubles;
+    orphaned;
+    settling;
+    active_at_horizon = active;
+    clean = doubles = 0 && orphaned = 0;
+  }
+
+let render t =
+  Printf.sprintf
+    "records=%d replayed=%d fresh=%d poisons=%d unpoisons=%d double_poisons=%d orphaned=%d \
+     settling=%d active=%s clean=%b"
+    t.records t.replayed t.fresh t.poisons t.unpoisons t.double_poisons t.orphaned t.settling
+    (match t.active_at_horizon with None -> "-" | Some a -> Asn.to_string a)
+    t.clean

@@ -1,0 +1,46 @@
+(** Recovery reconciliation: the journal against collector ground truth.
+
+    After a resumed run reaches its horizon, reconciliation replays the
+    final journal as a state machine over the controller's single
+    active-poison slot and checks it against what the BGP collector
+    actually observes, delivering the exactly-once verdict:
+
+    - {e no double poison}: a [Poison_announce] while an episode is
+      still open would mean a re-issued (rather than re-derived) action;
+    - {e no orphaned poison}: every vantage view still carrying a
+      poisoned announcement at the horizon must belong to the journal's
+      open episode — a poison the journal says was withdrawn but a view
+      still carries (outside the convergence [grace] window) is stranded
+      state in the global routing system, the exact failure mode a
+      crashed controller would leave behind without recovery. *)
+
+open Net
+
+type t = {
+  records : int;
+  replayed : int;  (** prefix records verified by replay *)
+  fresh : int;
+  poisons : int;
+  unpoisons : int;
+  double_poisons : int;
+  orphaned : int;
+  settling : int;  (** views still converging after a withdrawal inside [grace] *)
+  active_at_horizon : Asn.t option;  (** the journal's open episode, if any *)
+  clean : bool;  (** no doubles, no orphans *)
+}
+
+val check :
+  ?replayed:int ->
+  ?grace:float ->
+  horizon:float ->
+  poisoned_views:(Asn.t * Asn.t option) list ->
+  Record.t list ->
+  t
+(** [check ~horizon ~poisoned_views records]: [poisoned_views] gives,
+    per vantage point, the poisoned AS its current route for the
+    production prefix carries (as announced by the origin), [None] for
+    baseline or no route. [grace] (default 0) is the settle window for
+    withdrawals near the horizon. *)
+
+val render : t -> string
+(** One line, stable field order. *)

@@ -1,0 +1,13 @@
+(* Must-flag corpus for LG-ROB-SNAPSHOT: this file defines a snapshot
+   [capture], so every mutable or container-typed field of its record
+   types must be read inside it — [last], [pending] and [log] are not. *)
+
+type t = {
+  name : string;
+  mutable hits : int;
+  mutable last : float;
+  pending : (int, int) Hashtbl.t;
+  log : string list ref;
+}
+
+let capture t = Printf.sprintf "%s hits=%d" t.name t.hits

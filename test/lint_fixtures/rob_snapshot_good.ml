@@ -1,0 +1,16 @@
+(* Must-pass corpus for LG-ROB-SNAPSHOT: every mutable or container
+   field is read inside [capture] — including through a local helper
+   defined in its body and a record pattern. *)
+
+type t = {
+  name : string;
+  mutable hits : int;
+  mutable last : float;
+  pending : (int, int) Hashtbl.t;
+  log : string list ref;
+}
+
+let capture t =
+  let entries { log; _ } = List.length !log in
+  Printf.sprintf "%s hits=%d last=%f pending=%d log=%d" t.name t.hits t.last
+    (Hashtbl.length t.pending) (entries t)

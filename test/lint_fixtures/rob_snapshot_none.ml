@@ -1,0 +1,12 @@
+(* Must-pass corpus for LG-ROB-SNAPSHOT: no toplevel [capture] binding
+   means the file never opted into the snapshot contract — mutable
+   fields are its own business. *)
+
+type t = {
+  mutable hits : int;
+  pending : (int, int) Hashtbl.t;
+}
+
+let bump t =
+  t.hits <- t.hits + 1;
+  Hashtbl.replace t.pending t.hits t.hits

@@ -77,6 +77,19 @@ let test_rob_fixtures () =
   | Ok vs -> check_rule "rob_bad outside lib" vs Rule.Rob_exn 0
   | Error e -> Alcotest.fail e
 
+let test_rob_snapshot_fixtures () =
+  let bad = scan_fixture "rob_snapshot_bad.ml" in
+  check_rule "rob_snapshot_bad" bad Rule.Rob_snapshot 3;
+  Alcotest.(check int) "rob_snapshot_good is clean" 0
+    (List.length (scan_fixture "rob_snapshot_good.ml"));
+  (* no toplevel [capture] binding, no snapshot contract *)
+  Alcotest.(check int) "rob_snapshot_none is clean" 0
+    (List.length (scan_fixture "rob_snapshot_none.ml"));
+  (* outside lib/, snapshotting is not a contract the linter owns *)
+  match Scan.scan_file ~kind:(Scan.classify "bench/main.ml") (fixture "rob_snapshot_bad.ml") with
+  | Ok vs -> check_rule "rob_snapshot_bad outside lib" vs Rule.Rob_snapshot 0
+  | Error e -> Alcotest.fail e
+
 let test_mli_fixtures () =
   let files = Lint.collect_ml_files [] (fixture "mli") in
   let vs = Scan.mli_violations ~force_lib:true files in
@@ -301,6 +314,8 @@ let suite =
     Alcotest.test_case "perf/structeq fixtures" `Quick test_structeq_fixtures;
     Alcotest.test_case "obs/printf fixtures" `Quick test_obs_fixtures;
     Alcotest.test_case "robustness/exception fixtures" `Quick test_rob_fixtures;
+    Alcotest.test_case "robustness/snapshot fixtures (LG-ROB-SNAPSHOT)" `Quick
+      test_rob_snapshot_fixtures;
     Alcotest.test_case "mli fixtures" `Quick test_mli_fixtures;
     Alcotest.test_case "baseline semantics" `Quick test_baseline_semantics;
     Alcotest.test_case "check exit codes" `Quick test_check_exit_codes;

@@ -15,6 +15,7 @@ let () =
       ("workloads", Test_workloads.suite);
       ("fleet", Test_fleet.suite);
       ("plan", Test_plan.suite);
+      ("recover", Test_recover.suite);
       ("par", Test_par.suite);
       ("shard", Test_shard.suite);
       ("experiments", Test_experiments.suite);

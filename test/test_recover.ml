@@ -1,0 +1,465 @@
+(* Crash tolerance (lib/recover): the journal line codec, crash-point
+   boundaries, replay divergence, reconciliation, snapshot round-trips,
+   durable-mode inertness, the crash matrix (every boundary class, with
+   and without sharding, byte-identical resume), segment merge, and warm
+   orchestrator capture/restore. *)
+
+open Net
+open Helpers
+
+let an = Asn.of_int
+let weird = "spaces % percent|pipe\nnewline\ttab"
+
+(* ---------- record line codec ---------- *)
+
+let sample_records =
+  let open Recover.Record in
+  [
+    { seq = 0; at = 0.0; action = Poison_announce { target = an 7; poison = an 9; planned = true } };
+    { seq = 1; at = -0.0; action = Poison_reannounce { poison = an 9; announcement = 3 } };
+    { seq = 2; at = 1.5e-300; action = Unpoison { poison = an 9; repaired = false; reason = weird } };
+    { seq = 3; at = 86400.5; action = Breaker_trip { poison = an 1; reason = "" } };
+    { seq = 4; at = 4.2; action = Plan_demotion { poison = an 2; reason = "diverged: rolled back" } };
+    { seq = 5; at = 10308.0; action = Outcome { target = an 3; kind = Gave_up; reason = weird } };
+    { seq = 6; at = 1.0; action = Outcome { target = an 3; kind = Stood_down; reason = "ok" } };
+    { seq = 7; at = 2.0; action = Outcome { target = an 3; kind = Repaired; reason = "ok" } };
+  ]
+
+let test_record_roundtrip () =
+  List.iter
+    (fun r ->
+      let line = Recover.Record.to_line r in
+      match Recover.Record.of_line line with
+      | Ok r' ->
+          Alcotest.(check string) "line round-trips" line (Recover.Record.to_line r')
+      | Error e -> Alcotest.failf "of_line %S: %s" line e)
+    sample_records;
+  (match Recover.Record.of_line "not|a|record" with
+  | Ok _ -> Alcotest.fail "garbage must not parse"
+  | Error _ -> ());
+  List.iter
+    (fun s ->
+      match Recover.Record.unescape (Recover.Record.escape s) with
+      | Some s' -> Alcotest.(check string) "escape round-trips" s s'
+      | None -> Alcotest.failf "unescape failed for %S" s)
+    [ ""; weird; "%"; "%2"; "plain"; "a|b%7Cc" ]
+
+(* ---------- journal: torn tail vs interior corruption ---------- *)
+
+let outcome_action i =
+  Recover.Record.Outcome
+    { target = an i; kind = Recover.Record.Stood_down; reason = "r " ^ string_of_int i }
+
+let journal_of_n n =
+  let j = Recover.Journal.create () in
+  let effects = ref 0 in
+  for i = 1 to n do
+    Recover.Journal.logged j ~at:(float_of_int i) (outcome_action i) ~effect:(fun () ->
+        incr effects)
+  done;
+  Alcotest.(check int) "every effect ran" n !effects;
+  j
+
+let test_journal_corruption () =
+  let j = journal_of_n 5 in
+  let lines = Recover.Journal.lines j in
+  Alcotest.(check int) "five lines" 5 (List.length lines);
+  (* A torn final line is a half-written append: dropped, prefix kept. *)
+  let torn =
+    match List.rev lines with
+    | last :: rest -> List.rev (String.sub last 0 (String.length last / 2) :: rest)
+    | [] -> []
+  in
+  (match Recover.Journal.parse_lines torn with
+  | Ok rs -> Alcotest.(check int) "torn tail dropped" 4 (List.length rs)
+  | Error e -> Alcotest.failf "torn tail must parse: %s" e);
+  (* The same damage in the interior is corruption, not a torn write. *)
+  let corrupt = List.mapi (fun i l -> if i = 1 then "garb|age" else l) lines in
+  (match Recover.Journal.parse_lines corrupt with
+  | Ok _ -> Alcotest.fail "interior corruption must not parse"
+  | Error _ -> ());
+  (match Recover.Journal.parse_lines lines with
+  | Ok rs -> Alcotest.(check int) "clean journal parses" 5 (List.length rs)
+  | Error e -> Alcotest.failf "clean journal must parse: %s" e)
+
+(* ---------- replay: verification and divergence ---------- *)
+
+let test_journal_replay () =
+  let lines = Recover.Journal.lines (journal_of_n 3) in
+  (* Faithful re-execution: every line verifies, every effect re-runs. *)
+  let j = Recover.Journal.replaying ~expected:lines () in
+  let effects = ref 0 in
+  for i = 1 to 3 do
+    Recover.Journal.logged j ~at:(float_of_int i) (outcome_action i) ~effect:(fun () ->
+        incr effects)
+  done;
+  Alcotest.(check int) "replay re-applies effects" 3 !effects;
+  Alcotest.(check int) "replayed" 3 (Recover.Journal.replayed j);
+  Alcotest.(check int) "no fresh appends" 0 (Recover.Journal.appended j);
+  Alcotest.(check bool) "prefix exhausted" false (Recover.Journal.replaying_now j);
+  Alcotest.(check (list string)) "journal rewritten identically" lines
+    (Recover.Journal.lines j);
+  (* A resumed run that derives a different action is not a resume. *)
+  let j = Recover.Journal.replaying ~expected:lines () in
+  match
+    Recover.Journal.logged j ~at:1.0 (outcome_action 99) ~effect:(fun () ->
+        Alcotest.fail "diverging effect must not run")
+  with
+  | () -> Alcotest.fail "expected Divergence"
+  | exception Recover.Journal.Divergence { seq; _ } ->
+      Alcotest.(check int) "diverged at the first append" 0 seq
+
+(* ---------- crash boundaries at the append site ---------- *)
+
+let test_crash_boundaries_unit () =
+  let attempt boundary =
+    let j = Recover.Journal.create ~crash:{ Recover.Crash.boundary; append = 1 } () in
+    let ran = ref false in
+    (match
+       Recover.Journal.logged j ~at:0.5 (outcome_action 1) ~effect:(fun () -> ran := true)
+     with
+    | () -> Alcotest.fail "armed crash must fire"
+    | exception Recover.Crash.Crashed { boundary = b; append } ->
+        Alcotest.(check bool) "boundary" true (Recover.Crash.boundary_equal b boundary);
+        Alcotest.(check int) "append" 1 append);
+    (List.length (Recover.Journal.lines j), !ran)
+  in
+  (* Before_write: nothing persisted, nothing applied.  After_write: the
+     record is durable but the effect was lost — the case replay must
+     re-derive.  After_effect: both happened; only memory is lost. *)
+  Alcotest.(check (pair int bool)) "before-write" (0, false)
+    (attempt Recover.Crash.Before_write);
+  Alcotest.(check (pair int bool)) "after-write" (1, false)
+    (attempt Recover.Crash.After_write);
+  Alcotest.(check (pair int bool)) "after-effect" (1, true)
+    (attempt Recover.Crash.After_effect);
+  List.iter
+    (fun b ->
+      match Recover.Crash.boundary_of_string (Recover.Crash.boundary_to_string b) with
+      | Some b' ->
+          Alcotest.(check bool) "boundary name round-trips" true
+            (Recover.Crash.boundary_equal b b')
+      | None -> Alcotest.fail "boundary name must parse")
+    Recover.Crash.boundaries
+
+(* ---------- reconciliation rules on hand-built journals ---------- *)
+
+let test_reconcile_rules () =
+  let p = an 9 in
+  let r seq at action = { Recover.Record.seq; at; action } in
+  let announce =
+    Recover.Record.Poison_announce { target = an 5; poison = p; planned = false }
+  in
+  let unpoison = Recover.Record.Unpoison { poison = p; repaired = true; reason = "" } in
+  (* A closed episode against clean views. *)
+  let v = Recover.Reconcile.check ~horizon:100.0 ~poisoned_views:[ (an 2, None) ]
+      [ r 0 1.0 announce; r 1 50.0 unpoison ]
+  in
+  Alcotest.(check bool) "clean" true v.Recover.Reconcile.clean;
+  Alcotest.(check int) "poisons" 1 v.Recover.Reconcile.poisons;
+  Alcotest.(check int) "unpoisons" 1 v.Recover.Reconcile.unpoisons;
+  (* Two announces with no withdrawal between them: the double-poison
+     bug class write-ahead logging exists to exclude. *)
+  let v = Recover.Reconcile.check ~horizon:100.0 ~poisoned_views:[]
+      [ r 0 1.0 announce; r 1 2.0 announce ]
+  in
+  Alcotest.(check int) "double poison counted" 1 v.Recover.Reconcile.double_poisons;
+  Alcotest.(check bool) "not clean" false v.Recover.Reconcile.clean;
+  (* A view still carrying the poison long after the journal withdrew
+     it is an orphan; inside the grace window it is merely settling. *)
+  let views = [ (an 2, Some p) ] in
+  let episode = [ r 0 1.0 announce; r 1 50.0 unpoison ] in
+  let v = Recover.Reconcile.check ~grace:10.0 ~horizon:100.0 ~poisoned_views:views episode in
+  Alcotest.(check int) "orphaned outside grace" 1 v.Recover.Reconcile.orphaned;
+  let v = Recover.Reconcile.check ~grace:60.0 ~horizon:100.0 ~poisoned_views:views episode in
+  Alcotest.(check int) "settling inside grace" 1 v.Recover.Reconcile.settling;
+  Alcotest.(check bool) "settling is clean" true v.Recover.Reconcile.clean;
+  (* A view carrying the journal's own open poison is expected state. *)
+  let v = Recover.Reconcile.check ~horizon:100.0 ~poisoned_views:views [ r 0 1.0 announce ] in
+  Alcotest.(check int) "open episode is not an orphan" 0 v.Recover.Reconcile.orphaned;
+  Alcotest.(check bool) "active at horizon" true
+    (match v.Recover.Reconcile.active_at_horizon with
+    | Some a -> Asn.equal a p
+    | None -> false)
+
+(* ---------- durable fleet runs ---------- *)
+
+let fleet_config shards =
+  {
+    Fleet.Service.default_config with
+    Fleet.Service.duration = 10800.0;
+    target_count = 12;
+    outages_per_day = 96.0;
+    shards;
+  }
+
+let render = Fleet.Service.render_report
+
+let finished label = function
+  | Fleet.Service.Finished { report; recovery } -> (report, recovery)
+  | Fleet.Service.Interrupted { boundary; append; _ } ->
+      Alcotest.failf "%s: unexpected crash at %s append %d" label
+        (Recover.Crash.boundary_to_string boundary)
+        append
+
+let poison_count lines =
+  List.length
+    (List.filter
+       (fun l ->
+         match String.split_on_char '|' l with
+         | _ :: _ :: "poison" :: _ -> true
+         | _ -> false)
+       lines)
+
+let test_snapshot_roundtrip () =
+  let config = fleet_config None in
+  let snaps = ref [] in
+  let _, rc =
+    finished "fresh"
+      (Fleet.Service.run_durable ~config ~seed:42 ~snapshot_every:2700.0
+         ~snapshot_sink:(fun s -> snaps := s :: !snaps)
+         ())
+  in
+  Alcotest.(check bool) "marks captured" true (rc.Fleet.Service.rc_marks >= 2);
+  Alcotest.(check int) "sink saw every mark" rc.Fleet.Service.rc_marks (List.length !snaps);
+  List.iter
+    (fun s ->
+      match Recover.Snapshot.parse_result (Recover.Snapshot.render s) with
+      | Ok s' ->
+          Alcotest.(check bool) "render/parse round-trip" true (Recover.Snapshot.equal s s')
+      | Error e -> Alcotest.failf "snapshot must re-parse: %s" e)
+    !snaps;
+  let s = List.hd !snaps in
+  let txt = Recover.Snapshot.render s in
+  (match Recover.Snapshot.parse_result (String.sub txt 0 (String.length txt / 2)) with
+  | Ok _ -> Alcotest.fail "truncated snapshot must not parse"
+  | Error _ -> ());
+  (* A snapshot from another (config, seed) world is refused loudly. *)
+  match Fleet.Service.run_durable ~config ~seed:43 ~snapshot:s () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "foreign snapshot must be refused"
+
+let test_durable_inert () =
+  List.iter
+    (fun shards ->
+      let config = fleet_config shards in
+      let plain = render (Fleet.Service.run ~config ~seed:42 ()) in
+      let bare, _ = finished "bare" (Fleet.Service.run_durable ~config ~seed:42 ()) in
+      let marked, _ =
+        finished "marked"
+          (Fleet.Service.run_durable ~config ~seed:42 ~snapshot_every:2700.0 ())
+      in
+      Alcotest.(check (list string)) "durable-off == durable-on" plain (render bare);
+      Alcotest.(check (list string)) "snapshot marks are inert" plain (render marked))
+    [ None; Some 2 ]
+
+let test_crash_matrix () =
+  List.iter
+    (fun shards ->
+      let config = fleet_config shards in
+      let reference, ref_rc =
+        finished "reference"
+          (Fleet.Service.run_durable ~config ~seed:42 ~snapshot_every:2700.0 ())
+      in
+      let ref_render = render reference in
+      let ref_lines = ref_rc.Fleet.Service.rc_journal in
+      let total = List.length ref_lines in
+      Alcotest.(check bool) "journal has records" true (total >= 2);
+      Alcotest.(check bool) "reference saw a poison" true (poison_count ref_lines >= 1);
+      let appends = match shards with None -> [ 1; total / 2 ] | Some _ -> [ total / 2 ] in
+      List.iter
+        (fun boundary ->
+          List.iter
+            (fun append ->
+              let label =
+                Printf.sprintf "shards=%s %s@%d"
+                  (match shards with None -> "-" | Some k -> string_of_int k)
+                  (Recover.Crash.boundary_to_string boundary)
+                  append
+              in
+              match
+                Fleet.Service.run_durable ~config ~seed:42 ~snapshot_every:2700.0
+                  ~crash:{ Recover.Crash.boundary; append } ()
+              with
+              | Fleet.Service.Finished _ -> Alcotest.failf "%s: crash did not fire" label
+              | Fleet.Service.Interrupted { boundary = b; append = a; journal; snapshot } ->
+                  Alcotest.(check bool) (label ^ ": boundary") true
+                    (Recover.Crash.boundary_equal b boundary);
+                  Alcotest.(check int) (label ^ ": append") append a;
+                  let persisted =
+                    match boundary with
+                    | Recover.Crash.Before_write -> append - 1
+                    | Recover.Crash.After_write | Recover.Crash.After_effect -> append
+                  in
+                  Alcotest.(check int) (label ^ ": persisted lines") persisted
+                    (List.length journal);
+                  let resumed, rc =
+                    finished (label ^ ": resume")
+                      (Fleet.Service.run_durable ~config ~seed:42 ~snapshot_every:2700.0
+                         ~journal ?snapshot ())
+                  in
+                  (* The headline invariant: a crashed-and-resumed run is
+                     byte-identical to the uninterrupted one. *)
+                  Alcotest.(check (list string)) (label ^ ": report byte-identical")
+                    ref_render (render resumed);
+                  Alcotest.(check (list string)) (label ^ ": journal identical") ref_lines
+                    rc.Fleet.Service.rc_journal;
+                  Alcotest.(check int) (label ^ ": replayed the persisted prefix")
+                    persisted rc.Fleet.Service.rc_replayed;
+                  Alcotest.(check int) (label ^ ": exactly-once poisons")
+                    (poison_count ref_lines)
+                    (poison_count rc.Fleet.Service.rc_journal);
+                  Alcotest.(check int) (label ^ ": no double poison") 0
+                    rc.Fleet.Service.rc_reconcile.Recover.Reconcile.double_poisons;
+                  Alcotest.(check int) (label ^ ": no orphaned poison") 0
+                    rc.Fleet.Service.rc_reconcile.Recover.Reconcile.orphaned;
+                  Alcotest.(check bool) (label ^ ": reconcile clean") true
+                    rc.Fleet.Service.rc_reconcile.Recover.Reconcile.clean)
+            appends)
+        Recover.Crash.boundaries)
+    [ None; Some 2; Some 4 ]
+
+let test_segment_merge () =
+  let config = fleet_config None in
+  let snaps = ref [] in
+  let full, full_rc =
+    finished "full"
+      (Fleet.Service.run_durable ~config ~seed:42 ~snapshot_every:2700.0
+         ~snapshot_sink:(fun s -> snaps := s :: !snaps)
+         ())
+  in
+  let snap =
+    match List.find_opt (fun s -> s.Recover.Snapshot.mark = 2) !snaps with
+    | Some s -> s
+    | None -> Alcotest.fail "expected a mark-2 snapshot"
+  in
+  let resumed, rc =
+    finished "resume"
+      (Fleet.Service.run_durable ~config ~seed:42
+         ~journal:full_rc.Fleet.Service.rc_journal ~snapshot:snap ())
+  in
+  Alcotest.(check (list string)) "re-execution reproduces the report" (render full)
+    (render resumed);
+  let head =
+    match Fleet.Service.parse_report snap.Recover.Snapshot.head with
+    | Some r -> r
+    | None -> Alcotest.fail "snapshot head must parse"
+  in
+  let tail =
+    match rc.Fleet.Service.rc_tail with
+    | Some t -> t
+    | None -> Alcotest.fail "resume must produce a tail segment"
+  in
+  (* The merge monoid: head-at-mark + tail-after-mark = whole run. *)
+  Alcotest.(check (list string)) "merge head tail == full report" (render full)
+    (render (Fleet.Service.merge ~seed:42 ~config head tail))
+
+(* ---------- warm orchestrator capture/restore ---------- *)
+
+(* The paper's target scenario (as in the orchestrator tests): A
+   silently drops traffic toward the origin's announced space. *)
+let reverse_failure_spec =
+  Dataplane.Failure.spec ~toward:sentinel (Dataplane.Failure.Node a)
+
+let orch_world ~targets =
+  let w = fig2_world () in
+  announce_all_infrastructure w;
+  let plan = Lifeguard.Remediate.plan ~sentinel ~origin:o ~production () in
+  let atlas = Measurement.Atlas.create () in
+  let responsiveness = Measurement.Responsiveness.create () in
+  let config =
+    {
+      Lifeguard.Orchestrator.default_config with
+      Lifeguard.Orchestrator.decide =
+        { Lifeguard.Decide.default_config with Lifeguard.Decide.min_outage_age = 200.0 };
+    }
+  in
+  let orc =
+    Lifeguard.Orchestrator.create ~config ~env:w.probe ~atlas ~responsiveness ~plan
+      ~vantage_points:[ d; c ] ()
+  in
+  converge w;
+  Lifeguard.Orchestrator.watch orc ~targets;
+  (w, config, plan, atlas, responsiveness, orc)
+
+let restore_of (w, config, plan, atlas, responsiveness, orc) snap =
+  Lifeguard.Orchestrator.restore ~config ~env:w.probe ~atlas ~responsiveness ~plan
+    ~vantage_points:[ d; c ]
+    ~collector:(Lifeguard.Orchestrator.collector orc)
+    snap ()
+
+let test_warm_restore () =
+  let ((w, _, _, _, _, orc) as world) = orch_world ~targets:[ e ] in
+  Sim.Engine.run ~until:600.0 w.engine;
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  Sim.Engine.run ~until:2400.0 w.engine;
+  (match Lifeguard.Orchestrator.state orc with
+  | Lifeguard.Orchestrator.Poisoned _ -> ()
+  | _ -> Alcotest.fail "expected the poisoned steady state");
+  Alcotest.(check int) "no pipelines at capture" 0
+    (Lifeguard.Orchestrator.active_pipelines orc);
+  let snap = Lifeguard.Orchestrator.capture orc in
+  let restored = restore_of world snap in
+  let snap' = Lifeguard.Orchestrator.capture restored in
+  (* The event/outcome/monitor logs are observability, not state: a
+     restored controller restarts them empty.  Everything else — the
+     active poison with its watchdog deadlines, pacing, breaker set,
+     counters — must survive the round-trip byte-for-byte. *)
+  Alcotest.(check int) "event log restarts empty" 0 snap'.Recover.Snapshot.so_events;
+  Alcotest.(check int) "outcome log restarts empty" 0 snap'.Recover.Snapshot.so_outcomes;
+  let normalized =
+    {
+      snap' with
+      Recover.Snapshot.so_events = snap.Recover.Snapshot.so_events;
+      so_outcomes = snap.Recover.Snapshot.so_outcomes;
+      so_monitors = snap.Recover.Snapshot.so_monitors;
+    }
+  in
+  Alcotest.(check bool) "capture . restore . capture = capture" true (snap = normalized);
+  Alcotest.(check bool) "restored state is poisoned" true
+    (match Lifeguard.Orchestrator.state restored with
+    | Lifeguard.Orchestrator.Poisoned _ -> true
+    | _ -> false)
+
+let test_restore_mid_pipeline () =
+  let ((w, _, _, _, _, orc) as world) = orch_world ~targets:[ e; f ] in
+  Sim.Engine.run ~until:600.0 w.engine;
+  Dataplane.Failure.add w.failures reverse_failure_spec;
+  Sim.Engine.run ~until:730.0 w.engine;
+  let live = Lifeguard.Orchestrator.active_pipelines orc in
+  Alcotest.(check int) "two pipelines in flight" 2 live;
+  let snap = Lifeguard.Orchestrator.capture orc in
+  Alcotest.(check int) "snapshot carries the pipelines" live
+    (List.length snap.Recover.Snapshot.so_pipelines);
+  let restored = restore_of world snap in
+  Alcotest.(check int) "pipelines restored" live
+    (Lifeguard.Orchestrator.active_pipelines restored);
+  (* Every restored pipeline is re-armed as a named restart timer so a
+     resumed engine picks the work back up at its recorded deadline. *)
+  let restarts =
+    List.filter (fun (n, _) -> String.equal n "orch.restart")
+      (Sim.Engine.named_pending w.engine)
+  in
+  Alcotest.(check bool) "restart timers armed" true (List.length restarts >= live)
+
+let suite =
+  [
+    Alcotest.test_case "record line codec round-trips" `Quick test_record_roundtrip;
+    Alcotest.test_case "journal: torn tail vs interior corruption" `Quick
+      test_journal_corruption;
+    Alcotest.test_case "journal: replay verifies, divergence raises" `Quick
+      test_journal_replay;
+    Alcotest.test_case "crash boundaries at the append site" `Quick
+      test_crash_boundaries_unit;
+    Alcotest.test_case "reconcile: doubles, orphans, settling" `Quick test_reconcile_rules;
+    Alcotest.test_case "snapshot render/parse round-trip + fingerprint" `Quick
+      test_snapshot_roundtrip;
+    Alcotest.test_case "durable mode is byte-inert" `Quick test_durable_inert;
+    Alcotest.test_case "crash matrix: byte-identical resume at every boundary" `Quick
+      test_crash_matrix;
+    Alcotest.test_case "segment merge reproduces the full report" `Quick
+      test_segment_merge;
+    Alcotest.test_case "warm capture/restore round-trip" `Quick test_warm_restore;
+    Alcotest.test_case "mid-pipeline restore re-arms the work" `Quick
+      test_restore_mid_pipeline;
+  ]
